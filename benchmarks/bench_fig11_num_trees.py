@@ -1,0 +1,88 @@
+"""Figure 11: compression time as a function of the number of trees.
+
+The paper partitions the 128 variables into "a set of eight (3-level)
+binary trees, each with 16 leaf[s]" and sweeps how many of them the
+algorithm may use. Greedy grows moderately with the tree count; brute
+force must enumerate the *product* of the trees' cuts (26 each), so it
+drops out almost immediately.
+"""
+
+import pytest
+
+from repro.algorithms.brute_force import brute_force_vvs
+from repro.algorithms.greedy import greedy_vvs
+from repro.core.forest import AbstractionForest
+from repro.workloads.telephony import TelephonyBenchmark
+from repro.workloads.tpch import generate, query_provenance
+from repro.workloads.trees import layered_tree
+from benchmarks import common
+
+BRUTE_CAP = 1_000
+MAX_TREES = 8
+
+
+def _figure11_workload(name):
+    """Provenance over a 128-variable alphabet (the figure needs 8×16)."""
+    if name.startswith("tpch-"):
+        db = generate(scale_factor=0.002, seed=7)
+        return query_provenance(db, name.split("-", 1)[1], buckets=(128, 128))
+    bench = TelephonyBenchmark(
+        customers=300, num_plans=128, months=12, zip_pool=50, seed=5
+    )
+    return bench.provenance()
+
+
+def _partition_trees(variables, chunk=16):
+    """Split the alphabet into 3-level binary trees of 16 leaves each."""
+    variables = sorted(variables)
+    trees = []
+    for start in range(0, len(variables) - chunk + 1, chunk):
+        leaves = variables[start : start + chunk]
+        trees.append(
+            layered_tree(leaves, (2, 2), prefix=f"part{start // chunk}")
+        )
+    return trees
+
+
+def _series(workload):
+    provenance = _figure11_workload(workload)
+    # Partition the largest 128-bucket alphabet actually present. At
+    # bench scale TPC-H has few suppliers, so the PART variables (whose
+    # keys cover all 128 buckets) stand in for the paper's suppliers.
+    alphabet = sorted(
+        v for v in provenance.variables if v.startswith("p")
+    )
+    trees = _partition_trees(alphabet)
+    rows = []
+    for count in range(2, min(MAX_TREES, len(trees)) + 1):
+        forest = AbstractionForest([t.copy() for t in trees[:count]])
+        cleaned = forest.clean(provenance)
+        bound = common.feasible_bound(provenance, cleaned)
+        greedy_seconds, _ = common.timed(
+            greedy_vvs, provenance, cleaned, bound, clean=False
+        )
+        cuts = cleaned.count_cuts()
+        if cuts <= BRUTE_CAP:
+            brute_seconds, _ = common.timed(
+                brute_force_vvs, provenance, cleaned, bound, clean=False
+            )
+            brute_cell = f"{brute_seconds:.3f}"
+        else:
+            brute_cell = "-"
+        rows.append(
+            [workload, count, cuts, f"{greedy_seconds:.3f}", brute_cell]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("workload", common.WORKLOADS)
+def test_fig11(benchmark, workload):
+    rows = benchmark.pedantic(_series, args=(workload,), rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    common.emit(
+        f"fig11_{workload}",
+        ["workload", "#trees", "#cuts", "greedy [s]", "brute [s]"],
+        rows,
+        title=f"Figure 11 — {workload}: time vs number of trees",
+    )
+    assert rows

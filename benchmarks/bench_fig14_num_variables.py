@@ -1,0 +1,78 @@
+"""Figure 14 (Appendix B): compression time vs the number of variables.
+
+The paper adds up to 8000 variables (128 of which are tree leaves) and
+observes moderate runtime growth for Q1/Q5 — because their few
+polynomials gain many new monomials — while Q10/telephony barely move
+(their polynomial counts dominate, extra variables change little).
+
+Reproduced by re-aggregating lineitem revenue with a third,
+order-bucketed parameter variable whose alphabet is swept: more
+variables → more distinct monomials per polynomial, exactly the
+mechanism the appendix describes.
+"""
+
+import pytest
+
+from repro.algorithms.greedy import greedy_vvs
+from repro.algorithms.optimal import optimal_vvs
+from repro.engine.aggregates import aggregate_sum
+from benchmarks import common
+
+EXTRA_VARIABLE_COUNTS = [1, 50, 200, 800]
+TREE_FANOUTS = (8,)
+
+
+def _provenance_with_extra_variables(num_extra):
+    """Q1-shaped revenue with (sᵢ, pⱼ, x_{order mod num_extra}) params."""
+    db = common.tpch_database()
+    supplier_buckets, part_buckets = 32, 32
+
+    def params(row):
+        return [
+            f"s{row['L_SUPPKEY'] % supplier_buckets}",
+            f"p{row['L_PARTKEY'] % part_buckets}",
+            f"x{row['L_ORDERKEY'] % num_extra}",
+        ]
+
+    result = aggregate_sum(
+        db.lineitem,
+        ["L_RETURNFLAG", "L_LINESTATUS"],
+        lambda row: row["L_EXTENDEDPRICE"] * row["L_DISCOUNT"],
+        params=params,
+    )
+    return result.polynomials
+
+
+def _series():
+    rows = []
+    for num_extra in EXTRA_VARIABLE_COUNTS:
+        provenance = _provenance_with_extra_variables(num_extra)
+        tree = common.workload_tree("tpch-q1", TREE_FANOUTS).clean(
+            provenance.variables
+        )
+        bound = common.feasible_bound(provenance, tree)
+        opt_seconds, _ = common.timed(
+            optimal_vvs, provenance, tree, bound, clean=False
+        )
+        greedy_seconds, _ = common.timed(
+            greedy_vvs, provenance, common.forest_of(tree), bound, clean=False
+        )
+        rows.append(
+            [provenance.num_variables, provenance.num_monomials,
+             f"{opt_seconds:.3f}", f"{greedy_seconds:.3f}"]
+        )
+    return rows
+
+
+def test_fig14(benchmark):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    common.emit(
+        "fig14_num_variables",
+        ["|P|_V", "|P|_M", "opt [s]", "greedy [s]"],
+        rows,
+        title="Figure 14 — compression time vs number of variables",
+    )
+    # Shape: more variables -> more monomials -> (weakly) more work.
+    sizes = [row[1] for row in rows]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,51 @@
+"""Figure 6: compression time vs number of cuts, 3-level trees
+(types 2, 3 and 4 — root fan-out 2, 4 and 8)."""
+
+import pytest
+
+from repro.algorithms.greedy import greedy_vvs
+from repro.algorithms.optimal import optimal_vvs
+from benchmarks import common
+
+
+def _series(workload):
+    rows = []
+    for tree_type in (2, 3, 4):
+        seen = set()
+        for fanouts in common.catalog_fanouts(tree_type):
+            fanouts = common.scaled_fanouts(fanouts)
+            if fanouts in seen:
+                continue
+            seen.add(fanouts)
+            provenance = common.workload_provenance(workload)
+            tree = common.workload_tree(workload, fanouts).clean(
+                provenance.variables
+            )
+            if tree is None:
+                continue
+            bound = common.feasible_bound(provenance, tree)
+            opt_seconds, _ = common.timed(
+                optimal_vvs, provenance, tree, bound, clean=False
+            )
+            greedy_seconds, _ = common.timed(
+                greedy_vvs, provenance, common.forest_of(tree), bound,
+                clean=False,
+            )
+            rows.append(
+                [workload, tree_type, str(fanouts), tree.count_cuts(),
+                 f"{opt_seconds:.3f}", f"{greedy_seconds:.3f}"]
+            )
+    return rows
+
+
+@pytest.mark.parametrize("workload", common.WORKLOADS)
+def test_fig6(benchmark, workload):
+    rows = benchmark.pedantic(_series, args=(workload,), rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    common.emit(
+        f"fig6_{workload}",
+        ["workload", "type", "fanouts", "cuts", "opt [s]", "greedy [s]"],
+        rows,
+        title=f"Figure 6 — {workload}: time vs #cuts (3-level trees)",
+    )
+    assert rows

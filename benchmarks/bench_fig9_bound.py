@@ -1,0 +1,51 @@
+"""Figure 9: compression time as a function of the bound B.
+
+Paper shape: Opt VVS is insensitive to the bound (the DP always fills
+its tables), while the greedy gets *faster* as the bound loosens — it
+stops as soon as ML(S) reaches |P|_M − B.
+"""
+
+import pytest
+
+from repro.algorithms.greedy import greedy_vvs
+from repro.algorithms.optimal import optimal_vvs
+from benchmarks import common
+
+#: Fractions of the feasible compression range (1.0 = maximal squeeze).
+FRACTIONS = [0.9, 0.7, 0.5, 0.3, 0.1]
+TREE_FANOUTS = (8,)
+
+
+def _series(workload):
+    provenance = common.workload_provenance(workload)
+    tree = common.workload_tree(workload, TREE_FANOUTS).clean(
+        provenance.variables
+    )
+    rows = []
+    for fraction in FRACTIONS:
+        bound = common.feasible_bound(provenance, tree, fraction)
+        opt_seconds, _ = common.timed(
+            optimal_vvs, provenance, tree, bound, clean=False
+        )
+        greedy_seconds, _ = common.timed(
+            greedy_vvs, provenance, common.forest_of(tree), bound, clean=False
+        )
+        rows.append(
+            [workload, bound, f"{opt_seconds:.4f}", f"{greedy_seconds:.4f}"]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("workload", common.WORKLOADS)
+def test_fig9(benchmark, workload):
+    rows = benchmark.pedantic(_series, args=(workload,), rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    common.emit(
+        f"fig9_{workload}",
+        ["workload", "bound", "opt [s]", "greedy [s]"],
+        rows,
+        title=f"Figure 9 — {workload}: compression time vs bound",
+    )
+    # Bounds increase along the series (fractions decrease).
+    bounds = [row[1] for row in rows]
+    assert bounds == sorted(bounds)

@@ -1,0 +1,79 @@
+"""Micro-benchmarks for the core primitives (statistical, multi-round).
+
+Not a paper figure — these isolate the building blocks the figures
+compose: the §4.1 loss index, abstraction application, valuation, and
+the greedy working state. Regressions here explain regressions there.
+"""
+
+from repro.algorithms.greedy import greedy_vvs
+from repro.algorithms.optimal import optimal_vvs, optimal_vvs_naive
+from repro.core.abstraction import LossIndex, abstract_counts
+from repro.core.parser import parse
+from benchmarks import common
+
+TREE_FANOUTS = (8,)
+
+
+def _workload():
+    provenance = common.workload_provenance("telephony")
+    tree = common.workload_tree("telephony", TREE_FANOUTS).clean(
+        provenance.variables
+    )
+    return provenance, tree
+
+
+def test_loss_index_build(benchmark):
+    provenance, tree = _workload()
+    index = benchmark(LossIndex, provenance, tree)
+    assert index.max_ml >= 0
+
+
+def test_abstract_counts_root_cut(benchmark):
+    provenance, tree = _workload()
+    mapping = common.forest_of(tree).root_vvs().mapping()
+    size, granularity = benchmark(abstract_counts, provenance, mapping)
+    assert size <= provenance.num_monomials
+
+
+def test_full_valuation(benchmark):
+    provenance, _ = _workload()
+    assignment = {var: 0.9 for var in provenance.variables}
+    values = benchmark(provenance.evaluate, assignment)
+    assert len(values) == len(provenance)
+
+
+def test_polynomial_parse(benchmark):
+    text = " + ".join(f"{i + 1}*x{i % 7}*y{i % 5}" for i in range(200))
+    polynomial = benchmark(parse, text)
+    assert polynomial.num_monomials <= 200
+
+
+def test_optimal_vvs_end_to_end(benchmark):
+    provenance, tree = _workload()
+    bound = common.feasible_bound(provenance, tree)
+    result = benchmark(optimal_vvs, provenance, tree, bound, clean=False)
+    assert result.abstracted_size <= bound
+
+
+def test_greedy_vvs_end_to_end(benchmark):
+    provenance, tree = _workload()
+    bound = common.feasible_bound(provenance, tree)
+    result = benchmark(
+        greedy_vvs, provenance, common.forest_of(tree), bound, clean=False
+    )
+    assert result.abstracted_size <= bound
+
+
+def test_ablation_naive_vs_optimized_dp(benchmark):
+    """The §4.1 optimizations' gain: the literal pseudo-code version.
+
+    Compare this entry's timing against ``test_optimal_vvs_end_to_end``
+    — the gap is what the hash-table ML index + sparse tables buy.
+    """
+    provenance, tree = _workload()
+    bound = common.feasible_bound(provenance, tree)
+    result = benchmark.pedantic(
+        optimal_vvs_naive, args=(provenance, tree, bound),
+        kwargs={"clean": False}, rounds=2, iterations=1,
+    )
+    assert result.abstracted_size <= bound

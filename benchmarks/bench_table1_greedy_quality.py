@@ -1,0 +1,75 @@
+"""Table 1: greedy accuracy and runtime speedup vs Opt VVS, per tree type.
+
+Paper shape: type 1 (2-level) trees are solved optimally by the greedy
+in (almost) all cases — their middle nodes are interchangeable; deeper
+trees lose accuracy, and the loss is worse on the workloads with many
+polynomials (Q10, running example) which are "more sensitive to
+'locally' greedy selection". Accuracy = VL_opt / VL_greedy; speedup =
+1 − t_greedy / t_opt.
+"""
+
+import pytest
+
+from repro.algorithms.greedy import greedy_vvs
+from repro.algorithms.optimal import optimal_vvs
+from benchmarks import common
+
+
+def _accuracy(optimal_vl, greedy_vl):
+    if greedy_vl == 0:
+        return 100.0
+    return 100.0 * optimal_vl / greedy_vl
+
+
+def _series(workload):
+    provenance = common.workload_provenance(workload)
+    rows = []
+    for tree_type in range(1, 8):
+        # The largest configuration of the type that survives clamping.
+        fanouts = common.scaled_fanouts(
+            common.catalog_fanouts(tree_type)[-1]
+        )
+        tree = common.workload_tree(workload, fanouts).clean(
+            provenance.variables
+        )
+        if tree is None:
+            continue
+        bound = common.feasible_bound(provenance, tree)
+        opt_seconds, optimal = common.timed(
+            optimal_vvs, provenance, tree, bound, clean=False
+        )
+        greedy_seconds, greedy = common.timed(
+            greedy_vvs, provenance, common.forest_of(tree), bound, clean=False
+        )
+        accuracy = _accuracy(optimal.variable_loss, greedy.variable_loss)
+        speedup = 100.0 * (1.0 - greedy_seconds / opt_seconds) if opt_seconds else 0.0
+        rows.append(
+            [
+                workload,
+                tree_type,
+                str(fanouts),
+                optimal.variable_loss,
+                greedy.variable_loss,
+                f"{accuracy:.2f}%",
+                f"{speedup:.1f}%",
+            ]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("workload", common.WORKLOADS)
+def test_table1(benchmark, workload):
+    rows = benchmark.pedantic(_series, args=(workload,), rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    common.emit(
+        f"table1_{workload}",
+        ["workload", "tree type", "fanouts", "VL opt", "VL greedy",
+         "accuracy", "runtime speedup"],
+        rows,
+        title=f"Table 1 — {workload}: greedy accuracy and speedup",
+    )
+    assert rows
+    # Soundness: greedy can never lose FEWER variables than the optimum
+    # while meeting the bound, so accuracy is capped at 100%.
+    for row in rows:
+        assert float(row[5].rstrip("%")) <= 100.0 + 1e-9

@@ -1,0 +1,64 @@
+"""Inducing abstraction trees from the provenance itself (extension).
+
+The paper assumes the analyst supplies abstraction trees (from
+ontologies or by hand). This example profiles a provenance set, induces
+a compatible abstraction forest automatically from variable
+co-occurrence, and compares the induced forest's compression against
+the hand-made semantic trees on the telephony workload.
+
+Run:  python examples/auto_trees.py
+"""
+
+from repro.algorithms import greedy_vvs
+from repro.core import AbstractionForest
+from repro.core.statistics import profile
+from repro.util import format_table
+from repro.workloads.induction import induce_forest
+from repro.workloads.telephony import TelephonyBenchmark
+
+
+def main():
+    bench = TelephonyBenchmark(
+        customers=200, num_plans=16, months=12, zip_pool=25, seed=13
+    )
+    provenance = bench.provenance()
+
+    report = profile(provenance)
+    print(f"profile: {report.num_polynomials} polynomials, "
+          f"{report.num_monomials} monomials, "
+          f"{report.num_variables} variables, shape '{report.shape}'")
+
+    # Hand-made semantic trees (what the paper assumes exists).
+    semantic = AbstractionForest(
+        [bench.plans_abstraction_tree((4,)), bench.months_abstraction_tree()]
+    )
+    # Induced from the data (what this extension provides).
+    induced = induce_forest(provenance)
+    print(f"\ninduced forest: {len(induced)} trees over "
+          f"{sorted(len(tree.leaf_labels) for tree in induced)} leaves "
+          "(conflict coloring separated the parameter domains)")
+
+    bound = provenance.num_monomials // 2
+    rows = []
+    for name, forest in [("semantic", semantic), ("induced", induced)]:
+        result = greedy_vvs(provenance, forest, bound)
+        rows.append([
+            name,
+            bound,
+            result.abstracted_size,
+            result.variable_loss,
+            result.abstracted_granularity,
+        ])
+    print()
+    print(format_table(
+        ["trees", "bound", "|P↓S|_M", "VL", "granularity kept"],
+        rows,
+        title="Hand-made vs induced abstraction trees (greedy, same bound)",
+    ))
+    print("\nNote: induced trees optimize *compressibility*; semantic trees "
+          "guarantee the groups are MEANINGFUL to an analyst. Use induction "
+          "when no ontology exists, then edit.")
+
+
+if __name__ == "__main__":
+    main()

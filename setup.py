@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools lacks PEP 660 support (editable
+installs then fall back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""repro — reproduction of "Hypothetical Reasoning via Provenance Abstraction".
+
+(Deutch, Moskovitch, Rinetzky; SIGMOD 2019 / arXiv:2007.05400)
+
+The package provides:
+
+* ``repro.core`` — provenance polynomials, abstraction trees/forests,
+  valid variable sets, loss measures, valuations;
+* ``repro.algorithms`` — the paper's optimal single-tree DP
+  (Algorithm 1), the multi-tree greedy (Algorithm 2), the brute-force
+  baseline and the Ainy-et-al. competitor;
+* ``repro.semiring`` + ``repro.engine`` — a K-relation query engine
+  that *produces* provenance polynomials from SPJU + aggregate queries;
+* ``repro.scenarios`` — hypothetical ("what-if") reasoning over raw and
+  abstracted provenance, plus the §6 sampling-based online pipeline;
+* ``repro.workloads`` — the telephony running example, a scaled TPC-H
+  generator with queries Q1/Q5/Q10, and abstraction-tree generators;
+* ``repro.hardness`` — the Appendix A NP-hardness machinery, executable.
+
+Quickstart::
+
+    from repro import (AbstractionForest, AbstractionTree, optimal_vvs,
+                       parse_set)
+    polys = parse_set(["2*b1*m1 + 3*b1*m3 + 4*b2*m1 + 5*b2*m3"])
+    tree = AbstractionTree.from_nested(("SB", ["b1", "b2"]))
+    result = optimal_vvs(polys, tree, bound=2)
+    print(result.vvs, result.abstracted_size, result.variable_loss)
+"""
+
+from repro.core import (
+    AbstractionForest,
+    AbstractionTree,
+    CompatibilityError,
+    LossIndex,
+    Monomial,
+    NonUniformError,
+    ParseError,
+    Polynomial,
+    PolynomialSet,
+    TreeNode,
+    ValidVariableSet,
+    Valuation,
+    abstract,
+    abstract_counts,
+    monomial_loss,
+    parse,
+    parse_set,
+    variable_loss,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Monomial",
+    "Polynomial",
+    "PolynomialSet",
+    "AbstractionTree",
+    "TreeNode",
+    "AbstractionForest",
+    "ValidVariableSet",
+    "CompatibilityError",
+    "LossIndex",
+    "abstract",
+    "abstract_counts",
+    "monomial_loss",
+    "variable_loss",
+    "Valuation",
+    "NonUniformError",
+    "parse",
+    "parse_set",
+    "ParseError",
+    "optimal_vvs",
+    "greedy_vvs",
+    "brute_force_vvs",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy imports to keep `import repro` light and cycle-free.
+    if name == "optimal_vvs":
+        from repro.algorithms.optimal import optimal_vvs
+
+        return optimal_vvs
+    if name == "greedy_vvs":
+        from repro.algorithms.greedy import greedy_vvs
+
+        return greedy_vvs
+    if name == "brute_force_vvs":
+        from repro.algorithms.brute_force import brute_force_vvs
+
+        return brute_force_vvs
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,40 @@
+"""Abstraction-selection algorithms (§3 of the paper).
+
+* :func:`~repro.algorithms.optimal.optimal_vvs` — Algorithm 1, the
+  optimal PTIME dynamic program for a single abstraction tree;
+* :func:`~repro.algorithms.greedy.greedy_vvs` — Algorithm 2, the greedy
+  heuristic for forests (the general problem is NP-hard);
+* :func:`~repro.algorithms.brute_force.brute_force_vvs` — exhaustive cut
+  enumeration, the paper's baseline;
+* :func:`~repro.algorithms.competitor.summarize` — the Ainy et al.
+  (CIKM 2015) pairwise-merge summarization used as the external
+  comparison in Figure 12;
+* :func:`~repro.algorithms.decision.exists_precise` — Definition 10's
+  decision problem (exact DP for one tree, enumeration otherwise).
+"""
+
+from repro.algorithms.brute_force import TooManyCutsError, brute_force_vvs
+from repro.algorithms.competitor import CompetitorResult, TreeOracle, summarize
+from repro.algorithms.decision import exists_precise, precise_pairs
+from repro.algorithms.exact import SearchBudgetExceededError, exact_forest_vvs
+from repro.algorithms.greedy import GreedyStep, greedy_vvs
+from repro.algorithms.optimal import optimal_vvs, optimal_vvs_naive
+from repro.algorithms.result import AbstractionResult, InfeasibleBoundError
+
+__all__ = [
+    "optimal_vvs",
+    "optimal_vvs_naive",
+    "greedy_vvs",
+    "GreedyStep",
+    "brute_force_vvs",
+    "TooManyCutsError",
+    "exact_forest_vvs",
+    "SearchBudgetExceededError",
+    "summarize",
+    "CompetitorResult",
+    "TreeOracle",
+    "exists_precise",
+    "precise_pairs",
+    "AbstractionResult",
+    "InfeasibleBoundError",
+]

@@ -1,0 +1,86 @@
+"""The decision problem (Definition 10): does a *precise* VVS exist?
+
+Given ``P``, a compatible forest ``T``, a size ``B`` and a granularity
+``K``, decide whether some VVS ``S`` satisfies ``|P↓S|_M = B`` **and**
+``|P↓S|_V = K`` exactly. Proposition 11 shows this NP-hard for forests
+(the reduction lives in :mod:`repro.hardness`); for a single tree it is
+polynomial via an exact two-dimensional dynamic program over
+``(ML, VL)`` pairs — the same additivity argument as Algorithm 1, but
+without Pareto pruning (both coordinates are pinned, so dominated
+entries may still be the only precise ones).
+"""
+
+from __future__ import annotations
+
+from repro.core.abstraction import LossIndex, abstract_counts, ensure_set
+from repro.core.forest import AbstractionForest
+from repro.core.tree import AbstractionTree
+from repro.algorithms.brute_force import TooManyCutsError
+
+__all__ = ["exists_precise", "precise_pairs"]
+
+
+def precise_pairs(polynomials, tree):
+    """All achievable ``(ML, VL)`` pairs for cuts of a single tree.
+
+    Exact DP: a leaf achieves ``{(0, 0)}``; an internal node achieves
+    the sumset of its children's pair sets, plus its own
+    ``(ml(v), vl(v))`` singleton. Single-tree additivity makes the
+    sumset exact.
+    """
+    polynomials = ensure_set(polynomials)
+    index = LossIndex(polynomials, tree)
+
+    order = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        stack.extend(node.children)
+
+    pairs = {}
+    for node in reversed(order):
+        label = node.label
+        if node.is_leaf:
+            pairs[label] = {(0, 0)}
+            continue
+        combined = {(0, 0)}
+        for child in node.children:
+            child_pairs = pairs[child.label]
+            combined = {
+                (ml_a + ml_b, vl_a + vl_b)
+                for ml_a, vl_a in combined
+                for ml_b, vl_b in child_pairs
+            }
+        combined.add((index.ml(label), index.vl(label)))
+        pairs[label] = combined
+    return pairs[tree.root.label]
+
+
+def exists_precise(polynomials, forest, size, granularity, *, max_cuts=1_000_000):
+    """Decide Definition 10: is there a VVS with ``|P↓S|_M = size`` and
+    ``|P↓S|_V = granularity``?
+
+    Single-tree forests use the exact polynomial DP; multi-tree forests
+    fall back to brute-force enumeration (the problem is NP-hard, and
+    the hardness tests rely on exactly this exhaustive behaviour),
+    guarded by ``max_cuts``.
+    """
+    polynomials = ensure_set(polynomials)
+    if isinstance(forest, AbstractionForest) and len(forest.trees) == 1:
+        forest = forest.trees[0]
+    if isinstance(forest, AbstractionTree):
+        target = (
+            polynomials.num_monomials - size,
+            polynomials.num_variables - granularity,
+        )
+        return target in precise_pairs(polynomials, forest)
+
+    num_cuts = forest.count_cuts()
+    if num_cuts > max_cuts:
+        raise TooManyCutsError(num_cuts, max_cuts)
+    for vvs in forest.iter_cuts():
+        achieved = abstract_counts(polynomials, vvs.mapping())
+        if achieved == (size, granularity):
+            return True
+    return False

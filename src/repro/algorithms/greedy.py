@@ -1,0 +1,262 @@
+"""Algorithm 2 — greedy valid variable selection for forests (§3.2).
+
+The multi-tree optimization problem is NP-hard (Proposition 11 /
+Appendix A), so the paper proposes a greedy heuristic: start from the
+identity cut (all leaves), and repeatedly replace a set of sibling nodes
+by their parent, always choosing the *candidate* parent (a node all of
+whose children are currently chosen) that entails the minimal variable
+loss, until the provenance is small enough or no candidate remains.
+
+A subtlety the paper's Example 15 exposes: with multiple trees the
+cumulative monomial loss is **not** the sum of per-tree losses — merges
+compose across trees (after months collapse into a quarter, the two
+business plans sit in *one* monomial pair instead of two). The
+implementation therefore maintains a *working state*: the polynomials
+abstracted by the current cut, with an inverted variable→monomial index,
+and applies each chosen candidate incrementally. This also matches the
+paper's complexity claim of ``O(n · |P|_M)`` work per candidate
+application.
+
+Tie-breaking: candidates are compared by (minimal incremental VL,
+maximal incremental ML, label) — the ML tie-break reproduces Example 15,
+where ``q1`` (VL 1, ML 7) is preferred over ``SB`` (VL 1, ML 2).
+"""
+
+from __future__ import annotations
+
+from repro.core.abstraction import ensure_set
+from repro.core.forest import AbstractionForest, ValidVariableSet
+from repro.core.tree import AbstractionTree
+from repro.algorithms.result import AbstractionResult
+
+__all__ = ["greedy_vvs", "GreedyStep"]
+
+
+class GreedyStep:
+    """One iteration of the greedy loop (kept in ``result.trace``)."""
+
+    __slots__ = ("chosen", "delta_ml", "delta_vl", "cumulative_ml", "cumulative_vl")
+
+    def __init__(self, chosen, delta_ml, delta_vl, cumulative_ml, cumulative_vl):
+        self.chosen = chosen
+        self.delta_ml = delta_ml
+        self.delta_vl = delta_vl
+        self.cumulative_ml = cumulative_ml
+        self.cumulative_vl = cumulative_vl
+
+    def __repr__(self):
+        return (
+            f"GreedyStep({self.chosen!r}, dML={self.delta_ml}, "
+            f"dVL={self.delta_vl}, ML={self.cumulative_ml}, VL={self.cumulative_vl})"
+        )
+
+
+class _WorkingState:
+    """The polynomials under the current cut, updatable in place.
+
+    * ``polys`` — one ``set`` of monomial keys per polynomial, where a
+      key is a sorted tuple of ``(variable, exponent)`` pairs with leaf
+      variables replaced by their current group representative;
+    * ``index`` — representative/variable → set of ``(poly, key)`` pairs
+      for every monomial the variable occurs in.
+
+    Merging sibling groups into a parent rewrites exactly the indexed
+    monomials; identical rewrites collapse, which is the monomial loss.
+    """
+
+    __slots__ = ("polys", "index")
+
+    def __init__(self, polynomials):
+        self.polys = []
+        self.index = {}
+        for poly_number, polynomial in enumerate(polynomials):
+            keys = set()
+            for monomial in polynomial.monomials:
+                key = monomial.powers
+                keys.add(key)
+                for var, _ in key:
+                    self.index.setdefault(var, set()).add((poly_number, key))
+            self.polys.append(keys)
+
+    @property
+    def size(self):
+        """``|P↓S|_M`` under the current cut."""
+        return sum(len(keys) for keys in self.polys)
+
+    @property
+    def granularity(self):
+        """``|P↓S|_V`` under the current cut."""
+        return sum(1 for entries in self.index.values() if entries)
+
+    def present(self, variable):
+        """Does ``variable`` occur in the current abstracted polynomials?"""
+        return bool(self.index.get(variable))
+
+    def _rewrites(self, group, parent):
+        """Yield ``(poly, old_key, new_key)`` for merging ``group``→``parent``.
+
+        Forest compatibility guarantees a monomial holds at most one
+        variable of the tree, hence exactly one member of ``group``.
+        """
+        members = set(group)
+        seen = set()
+        for member in group:
+            for entry in self.index.get(member, ()):
+                if entry in seen:
+                    continue
+                seen.add(entry)
+                poly_number, key = entry
+                new_key = tuple(
+                    sorted(
+                        (parent if var in members else var, exp)
+                        for var, exp in key
+                    )
+                )
+                yield poly_number, key, new_key
+
+    def simulate_merge(self, group, parent):
+        """Incremental ML of merging ``group`` into ``parent`` (no mutation)."""
+        per_poly_old = {}
+        per_poly_new = {}
+        for poly_number, _, new_key in self._rewrites(group, parent):
+            per_poly_old[poly_number] = per_poly_old.get(poly_number, 0) + 1
+            per_poly_new.setdefault(poly_number, set()).add(new_key)
+        loss = 0
+        for poly_number, count in per_poly_old.items():
+            survivors = per_poly_new[poly_number]
+            # A rewrite may also collide with an untouched monomial that
+            # already equals the new key (possible only if parent == an
+            # existing variable, which compatibility rules out) — so the
+            # survivor count is just the distinct rewritten keys.
+            loss += count - len(survivors)
+        return loss
+
+    def apply_merge(self, group, parent):
+        """Merge ``group`` into ``parent``; return the monomial loss."""
+        rewrites = list(self._rewrites(group, parent))
+        loss = 0
+        for poly_number, old_key, new_key in rewrites:
+            keys = self.polys[poly_number]
+            keys.discard(old_key)
+            if new_key in keys:
+                loss += 1
+            else:
+                keys.add(new_key)
+            # Re-index every variable of the rewritten monomial.
+            for var, _ in old_key:
+                entries = self.index.get(var)
+                if entries is not None:
+                    entries.discard((poly_number, old_key))
+            for var, _ in new_key:
+                self.index.setdefault(var, set()).add((poly_number, new_key))
+        for member in set(group):
+            if member != parent:
+                self.index.pop(member, None)
+        return loss
+
+
+def greedy_vvs(polynomials, forest, bound, *, clean=True, ml_tie_break=True):
+    """Greedy multi-tree abstraction (Algorithm 2).
+
+    :param polynomials: a :class:`Polynomial` or :class:`PolynomialSet`.
+    :param forest: an :class:`AbstractionForest` (a single
+        :class:`AbstractionTree` is accepted and wrapped).
+    :param bound: desired maximum number of monomials ``B``.
+    :param clean: apply footnote 1 before running.
+    :param ml_tie_break: break VL ties by simulating each tied
+        candidate's monomial loss and preferring the largest (the
+        Example 15 behaviour). Disabling it breaks ties by label only —
+        cheaper per round, possibly more rounds and worse cuts; the
+        ablation benchmark quantifies the trade.
+
+    Unlike :func:`repro.algorithms.optimal.optimal_vvs`, the greedy
+    never raises for an unreachable bound — it abstracts as far as the
+    forest allows and returns the final cut (check
+    ``result.abstracted_size`` against your bound), mirroring the
+    paper's "while ML(S) < k and C ≠ ∅" loop, which simply terminates
+    when candidates run out.
+
+    >>> from repro.core.parser import parse_set
+    >>> polys = parse_set(["2*b1*m1 + 3*b1*m3 + 4*b2*m1 + 5*b2*m3"])
+    >>> tree = AbstractionTree.from_nested(("SB", ["b1", "b2"]))
+    >>> result = greedy_vvs(polys, tree, bound=2)
+    >>> sorted(result.vvs.labels), result.abstracted_size
+    (['SB'], 2)
+    """
+    polynomials = ensure_set(polynomials)
+    if isinstance(forest, AbstractionTree):
+        forest = AbstractionForest([forest])
+    if bound < 1:
+        raise ValueError(f"bound must be >= 1, got {bound}")
+    if clean:
+        forest = forest.clean(polynomials)
+
+    total_monomials = polynomials.num_monomials
+    total_variables = polynomials.num_variables
+    k = total_monomials - bound
+
+    state = _WorkingState(polynomials)
+    selected = set(forest.leaf_labels)
+    trace = []
+
+    # Candidate set: nodes whose children are all currently selected.
+    candidates = set()
+    trees = {}
+    for tree in forest:
+        for label in tree.labels:
+            trees[label] = tree
+            node = tree.node(label)
+            if node.children and all(
+                child.label in selected for child in node.children
+            ):
+                candidates.add(label)
+
+    cumulative_ml = 0
+    cumulative_vl = 0
+    while cumulative_ml < k and candidates:
+        # rank = (delta_vl, -delta_ml, label): minimal variable loss
+        # first, then maximal monomial loss (Example 15), then label for
+        # determinism ("ties are broken arbitrarily" in the paper).
+        best = None
+        for label in sorted(candidates):
+            children = trees[label].children(label)
+            present = sum(1 for child in children if state.present(child))
+            delta_vl = max(0, present - 1)
+            if best is not None and delta_vl > best[0]:
+                continue
+            if ml_tie_break:
+                delta_ml = state.simulate_merge(children, label)
+            else:
+                delta_ml = 0
+            rank = (delta_vl, -delta_ml, label)
+            if best is None or rank < best:
+                best = rank
+        delta_vl, _, chosen = best
+        tree = trees[chosen]
+        children = tree.children(chosen)
+        loss = state.apply_merge(children, chosen)
+        candidates.discard(chosen)
+        selected.difference_update(children)
+        selected.add(chosen)
+        cumulative_ml += loss
+        cumulative_vl += delta_vl
+        trace.append(
+            GreedyStep(chosen, loss, delta_vl, cumulative_ml, cumulative_vl)
+        )
+        parent = tree.parent(chosen)
+        if parent is not None and all(
+            child in selected for child in tree.children(parent)
+        ):
+            candidates.add(parent)
+
+    vvs = ValidVariableSet(forest, frozenset(selected), _validated=True)
+    size = state.size
+    granularity = state.granularity
+    return AbstractionResult(
+        vvs=vvs,
+        monomial_loss=total_monomials - size,
+        variable_loss=total_variables - granularity,
+        abstracted_size=size,
+        abstracted_granularity=granularity,
+        trace=trace,
+    )

@@ -1,0 +1,189 @@
+"""Command-line interface: compress, inspect, and valuate provenance files.
+
+The paper's deployment story (§1, "Offline vs. Online Compression") is
+file-shaped: provenance is computed once, compressed, then shipped to
+analysts. This CLI is that pipeline::
+
+    python -m repro inspect  provenance.json
+    python -m repro compress provenance.json forest.json \
+        --bound 500 --algorithm greedy --output compressed.json \
+        --vvs-output cut.json
+    python -m repro valuate  compressed.json --set q1=0.8 --set Business=1.1
+    python -m repro decide   provenance.json forest.json --size 4 --granularity 5
+
+Files are the JSON produced by :mod:`repro.core.serialize` (tagged
+``polynomial_set`` / ``forest`` payloads).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.algorithms.brute_force import brute_force_vvs
+from repro.algorithms.greedy import greedy_vvs
+from repro.algorithms.optimal import optimal_vvs
+from repro.algorithms.result import InfeasibleBoundError
+from repro.algorithms.decision import exists_precise
+from repro.core import serialize
+from repro.core.forest import AbstractionForest
+from repro.core.polynomial import PolynomialSet
+from repro.core.valuation import Valuation
+
+__all__ = ["main"]
+
+_ALGORITHMS = {
+    "optimal": optimal_vvs,
+    "greedy": greedy_vvs,
+    "brute-force": brute_force_vvs,
+}
+
+
+def _load(path, expected):
+    with open(path) as handle:
+        payload = serialize.loads(handle.read())
+    if not isinstance(payload, expected):
+        raise SystemExit(
+            f"{path}: expected a {expected.__name__}, "
+            f"got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _cmd_inspect(args):
+    from repro.core.statistics import profile
+
+    provenance = _load(args.provenance, PolynomialSet)
+    report = profile(provenance)
+    print(f"polynomials:        {report.num_polynomials}")
+    print(f"monomials (|P|_M):  {report.num_monomials}")
+    print(f"variables (|P|_V):  {report.num_variables}")
+    if report.num_polynomials:
+        print(f"largest polynomial: {report.max_polynomial_size} monomials")
+        print(f"smallest polynomial:{report.min_polynomial_size:>5} monomials")
+        print(f"average size:       {report.mean_polynomial_size:.2f} monomials")
+        print(f"max degree:         {report.max_monomial_degree}")
+        print(f"workload shape:     {report.shape}")
+        top = ", ".join(
+            f"{name} ({count})" for name, count in report.top_variables(5)
+        )
+        print(f"top variables:      {top}")
+    print(f"serialized bytes:   {serialize.serialized_size(provenance)}")
+    return 0
+
+
+def _cmd_compress(args):
+    provenance = _load(args.provenance, PolynomialSet)
+    forest = _load(args.forest, AbstractionForest)
+    algorithm = _ALGORITHMS[args.algorithm]
+    if args.algorithm == "optimal" and len(forest.trees) != 1:
+        raise SystemExit(
+            "the optimal algorithm handles exactly one tree "
+            "(the multi-tree problem is NP-hard); use --algorithm greedy"
+        )
+    target = forest.trees[0] if args.algorithm == "optimal" else forest
+    try:
+        result = algorithm(provenance, target, args.bound)
+    except InfeasibleBoundError as error:
+        raise SystemExit(f"infeasible: {error}")
+    abstracted = result.apply(provenance)
+    print(f"selected VVS:  {sorted(result.vvs.labels)}")
+    print(f"size:          {provenance.num_monomials} -> {result.abstracted_size}")
+    print(f"granularity:   {provenance.num_variables} -> "
+          f"{result.abstracted_granularity}")
+    if result.abstracted_size > args.bound:
+        print(f"WARNING: bound {args.bound} not reached "
+              "(no adequate VVS exists; returned the best cut found)")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(serialize.dumps(abstracted))
+        print(f"wrote compressed provenance to {args.output}")
+    if args.vvs_output:
+        with open(args.vvs_output, "w") as handle:
+            json.dump(serialize.vvs_to_dict(result.vvs), handle, sort_keys=True)
+        print(f"wrote VVS to {args.vvs_output}")
+    return 0
+
+
+def _parse_assignment(settings):
+    assignment = {}
+    for setting in settings:
+        if "=" not in setting:
+            raise SystemExit(f"--set expects name=value, got {setting!r}")
+        name, _, value = setting.partition("=")
+        try:
+            assignment[name] = float(value)
+        except ValueError:
+            raise SystemExit(f"value of {name!r} is not a number: {value!r}")
+    return assignment
+
+
+def _cmd_valuate(args):
+    provenance = _load(args.provenance, PolynomialSet)
+    valuation = Valuation(_parse_assignment(args.set))
+    for index, value in enumerate(valuation.evaluate(provenance)):
+        print(f"polynomial[{index}] = {value}")
+    return 0
+
+
+def _cmd_decide(args):
+    provenance = _load(args.provenance, PolynomialSet)
+    forest = _load(args.forest, AbstractionForest)
+    answer = exists_precise(
+        provenance, forest, args.size, args.granularity
+    )
+    print("precise abstraction exists" if answer
+          else "no precise abstraction")
+    return 0 if answer else 1
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Provenance abstraction toolkit (SIGMOD'19 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    inspect = commands.add_parser("inspect", help="report provenance measures")
+    inspect.add_argument("provenance")
+    inspect.set_defaults(run=_cmd_inspect)
+
+    compress = commands.add_parser("compress", help="select and apply a VVS")
+    compress.add_argument("provenance")
+    compress.add_argument("forest")
+    compress.add_argument("--bound", type=int, required=True,
+                          help="maximum number of monomials B")
+    compress.add_argument("--algorithm", choices=sorted(_ALGORITHMS),
+                          default="greedy")
+    compress.add_argument("--output", help="write P↓S here (JSON)")
+    compress.add_argument("--vvs-output", help="write the chosen cut here")
+    compress.set_defaults(run=_cmd_compress)
+
+    valuate = commands.add_parser("valuate", help="apply a what-if scenario")
+    valuate.add_argument("provenance")
+    valuate.add_argument("--set", action="append", default=[],
+                         metavar="VAR=VALUE",
+                         help="assign a value (repeatable; default 1.0)")
+    valuate.set_defaults(run=_cmd_valuate)
+
+    decide = commands.add_parser(
+        "decide", help="Definition 10: does a precise VVS exist?"
+    )
+    decide.add_argument("provenance")
+    decide.add_argument("forest")
+    decide.add_argument("--size", type=int, required=True)
+    decide.add_argument("--granularity", type=int, required=True)
+    decide.set_defaults(run=_cmd_decide)
+
+    return parser
+
+
+def main(argv=None):
+    """Entry point: parse ``argv`` and dispatch to a subcommand."""
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Core provenance model: polynomials, abstraction trees, VVSs, losses.
+
+This package implements §2 of the paper — the data model everything else
+builds on:
+
+* :class:`~repro.core.polynomial.Polynomial` /
+  :class:`~repro.core.polynomial.PolynomialSet` — provenance polynomials
+  and multisets thereof, with the paper's size (``|P|_M``) and
+  granularity (``|P|_V``) measures;
+* :class:`~repro.core.tree.AbstractionTree` /
+  :class:`~repro.core.forest.AbstractionForest` — user-provided
+  hierarchies over variables;
+* :class:`~repro.core.forest.ValidVariableSet` — a cut per tree
+  (Definition 4), i.e., a concrete choice of abstraction;
+* :func:`~repro.core.abstraction.abstract` and the loss measures
+  ``ML``/``VL`` plus the §4.1 :class:`~repro.core.abstraction.LossIndex`;
+* :class:`~repro.core.valuation.Valuation` — hypothetical scenarios.
+"""
+
+from repro.core.abstraction import (
+    LossIndex,
+    abstract,
+    abstract_counts,
+    monomial_loss,
+    variable_loss,
+)
+from repro.core.forest import (
+    AbstractionForest,
+    CompatibilityError,
+    ValidVariableSet,
+)
+from repro.core.parser import ParseError, parse, parse_set
+from repro.core.polynomial import Monomial, Polynomial, PolynomialSet
+from repro.core.statistics import ProvenanceProfile, profile, variable_cooccurrence
+from repro.core.tree import AbstractionTree, TreeNode
+from repro.core.valuation import NonUniformError, Valuation
+
+__all__ = [
+    "Monomial",
+    "Polynomial",
+    "PolynomialSet",
+    "AbstractionTree",
+    "TreeNode",
+    "AbstractionForest",
+    "ValidVariableSet",
+    "CompatibilityError",
+    "LossIndex",
+    "abstract",
+    "abstract_counts",
+    "monomial_loss",
+    "variable_loss",
+    "Valuation",
+    "NonUniformError",
+    "parse",
+    "parse_set",
+    "ParseError",
+    "profile",
+    "ProvenanceProfile",
+    "variable_cooccurrence",
+]

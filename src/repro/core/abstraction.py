@@ -1,0 +1,237 @@
+"""Applying abstractions and measuring their losses (§2.3, §4.1).
+
+Central notions:
+
+* ``abstract(P, S)`` — the abstracted provenance ``P↓S``.
+* ``monomial_loss`` / ``variable_loss`` — the paper's ``ML``/``VL``:
+  ``ML_P(S) = |P|_M − |P↓S|_M`` and ``VL_P(S) = |P|_V − |P↓S|_V``.
+* :class:`LossIndex` — the §4.1 optimization: a single pass over the
+  polynomials builds, for every leaf ``l`` of a tree and polynomial
+  ``P``, the set ``D_P[l]`` of *residual* monomials (the monomial with
+  ``l`` replaced by a sentinel that preserves the exponent). The
+  monomial loss of any tree node ``v`` with descendant leaves
+  ``l₀..l_m`` is then ``Σ_P (Σᵢ|D_P[lᵢ]| − |⋃ᵢ D_P[lᵢ]|)`` — computed
+  bottom-up for *all* nodes without re-traversing the polynomials.
+
+Single-tree additivity (the key insight behind Algorithm 1): because a
+compatible monomial holds at most one variable of the tree, the sets of
+monomials merged by incomparable nodes are disjoint, so ``ML``/``VL`` of
+a cut is the *sum* of per-node losses. This does **not** hold across
+multiple trees (Example 15) — the greedy algorithm therefore maintains
+a working state instead (see :mod:`repro.algorithms.greedy`).
+"""
+
+from __future__ import annotations
+
+from repro.core.forest import ValidVariableSet
+from repro.core.polynomial import Polynomial, PolynomialSet
+
+__all__ = [
+    "abstract",
+    "monomial_loss",
+    "variable_loss",
+    "abstract_counts",
+    "LossIndex",
+]
+
+#: Sentinel replacing the tree variable inside residual keys. The null
+#: character cannot be produced by the polynomial parser or generators,
+#: so it never collides with a real variable name.
+_SENTINEL = "\x00"
+
+
+def ensure_set(polynomials):
+    """Normalize a :class:`Polynomial` to a singleton :class:`PolynomialSet`."""
+    if isinstance(polynomials, PolynomialSet):
+        return polynomials
+    if isinstance(polynomials, Polynomial):
+        return PolynomialSet([polynomials])
+    raise TypeError(f"expected Polynomial(Set), got {type(polynomials).__name__}")
+
+
+def abstract(polynomials, vvs):
+    """Compute ``P↓S`` for a polynomial or a multiset of polynomials."""
+    if not isinstance(vvs, ValidVariableSet):
+        raise TypeError(f"expected ValidVariableSet, got {type(vvs).__name__}")
+    return polynomials.substitute(vvs.mapping())
+
+
+def monomial_loss(polynomials, vvs):
+    """``ML_P(S) = |P|_M − |P↓S|_M`` (Example 6: ML(S1)=4, ML(S5)=6)."""
+    polynomials = ensure_set(polynomials)
+    size, _ = abstract_counts(polynomials, vvs.mapping())
+    return polynomials.num_monomials - size
+
+
+def variable_loss(polynomials, vvs):
+    """``VL_P(S) = |P|_V − |P↓S|_V`` (Example 6: VL(S1)=2, VL(S5)=3)."""
+    polynomials = ensure_set(polynomials)
+    _, granularity = abstract_counts(polynomials, vvs.mapping())
+    return polynomials.num_variables - granularity
+
+
+def _substituted_key(monomial, mapping):
+    """The identity of ``monomial.substitute(mapping)`` as a plain tuple.
+
+    Avoids constructing :class:`Monomial` objects in counting loops.
+    """
+    acc = {}
+    for var, exp in monomial.powers:
+        target = mapping.get(var, var)
+        acc[target] = acc.get(target, 0) + exp
+    return tuple(sorted(acc.items()))
+
+
+def abstract_counts(polynomials, mapping):
+    """``(|P↓S|_M, |P↓S|_V)`` without materializing ``P↓S``.
+
+    ``mapping`` is a leaf→representative dict as produced by
+    :meth:`repro.core.forest.ValidVariableSet.mapping`.
+    """
+    polynomials = ensure_set(polynomials)
+    total_monomials = 0
+    variables = set()
+    for polynomial in polynomials:
+        keys = set()
+        for monomial in polynomial.monomials:
+            key = _substituted_key(monomial, mapping)
+            keys.add(key)
+        total_monomials += len(keys)
+        for key in keys:
+            for var, _ in key:
+                variables.add(var)
+    return total_monomials, len(variables)
+
+
+class LossIndex:
+    """Per-node ``ML``/``VL`` for one abstraction tree (§4.1).
+
+    Built in a single pass over the polynomials plus one bottom-up tree
+    traversal. For every node label ``v`` it records:
+
+    * ``ml(v)`` — monomials lost by abstracting exactly the subtree of
+      ``v`` into ``v`` (i.e., by the VVS that picks ``v`` and leaves the
+      rest of the tree at its leaves);
+    * ``vl(v)`` — variables lost by the same choice:
+      ``max(0, (#leaves under v occurring in P) − 1)``;
+    * ``leaves_present(v)`` — how many leaves under ``v`` occur in ``P``.
+
+    Because of single-tree additivity, for any cut ``C`` of the tree,
+    ``ML(C) = Σ_{v∈C} ml(v)`` and ``VL(C) = Σ_{v∈C} vl(v)`` — exposed as
+    :meth:`ml_of_cut` / :meth:`vl_of_cut`.
+
+    >>> from repro.core.parser import parse_set
+    >>> from repro.core.tree import AbstractionTree
+    >>> polys = parse_set(["2*b1*m1 + 3*b1*m3 + 4*b2*m1 + 5*b2*m3 + 6*e*m1"])
+    >>> tree = AbstractionTree.from_nested(("B", [("SB", ["b1", "b2"]), "e"]))
+    >>> index = LossIndex(polys, tree)
+    >>> index.ml("SB")          # b1/b2 pairs on m1 and on m3 merge
+    2
+    >>> index.ml("B")           # plus the e*m1 / SB*m1 merge
+    3
+    >>> index.vl("SB"), index.vl("B")
+    (1, 2)
+    """
+
+    __slots__ = ("tree", "_ml", "_vl", "_present", "_leaf_count")
+
+    def __init__(self, polynomials, tree):
+        polynomials = ensure_set(polynomials)
+        self.tree = tree
+        self._ml = {}
+        self._vl = {}
+        self._present = {}
+        self._leaf_count = {}
+        leaf_labels = tree.leaf_labels
+        # leaf → {polynomial index → set of residual keys}
+        residuals = {leaf: {} for leaf in leaf_labels}
+        for poly_index, polynomial in enumerate(polynomials):
+            for monomial in polynomial.monomials:
+                leaf = None
+                for var, _ in monomial.powers:
+                    if var in leaf_labels:
+                        leaf = var
+                        break  # compatibility: at most one per monomial
+                if leaf is None:
+                    continue
+                key = _substituted_key(monomial, {leaf: _SENTINEL})
+                residuals[leaf].setdefault(poly_index, set()).add(key)
+        self._build(tree.root, residuals)
+
+    def _build(self, root, residuals):
+        # Iterative post-order traversal; merged residual dicts flow up.
+        merged = {}  # label -> {poly -> set}, deleted once consumed by parent
+        totals = {}  # label -> Σ|D_P[l]| over leaves below
+        stack = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if not expanded:
+                stack.append((node, True))
+                for child in node.children:
+                    stack.append((child, False))
+                continue
+            label = node.label
+            if node.is_leaf:
+                per_poly = residuals.get(label, {})
+                total = sum(len(keys) for keys in per_poly.values())
+                merged[label] = per_poly
+                totals[label] = total
+                self._ml[label] = 0
+                self._present[label] = 1 if total else 0
+                self._leaf_count[label] = 1
+            else:
+                union = {}
+                total = 0
+                present = 0
+                leaf_count = 0
+                for child in node.children:
+                    child_sets = merged.pop(child.label)
+                    total += totals.pop(child.label)
+                    present += self._present[child.label]
+                    leaf_count += self._leaf_count[child.label]
+                    for poly_index, keys in child_sets.items():
+                        existing = union.get(poly_index)
+                        if existing is None:
+                            union[poly_index] = keys
+                        else:
+                            if len(existing) < len(keys):
+                                union[poly_index], keys = keys, existing
+                            union[poly_index].update(keys)
+                distinct = sum(len(keys) for keys in union.values())
+                merged[label] = union
+                totals[label] = total
+                self._ml[label] = total - distinct
+                self._present[label] = present
+                self._leaf_count[label] = leaf_count
+            self._vl[label] = max(0, self._present[label] - 1)
+
+    # ------------------------------------------------------------- queries
+
+    def ml(self, label):
+        """Monomial loss of abstracting the subtree of ``label`` into it."""
+        return self._ml[label]
+
+    def vl(self, label):
+        """Variable loss of abstracting the subtree of ``label`` into it."""
+        return self._vl[label]
+
+    def leaves_present(self, label):
+        """How many leaves under ``label`` occur in the polynomials."""
+        return self._present[label]
+
+    def leaf_count(self, label):
+        """How many leaves the subtree of ``label`` holds (present or not)."""
+        return self._leaf_count[label]
+
+    def ml_of_cut(self, labels):
+        """``ML`` of a cut of this tree (single-tree additivity)."""
+        return sum(self._ml[label] for label in labels)
+
+    def vl_of_cut(self, labels):
+        """``VL`` of a cut of this tree (single-tree additivity)."""
+        return sum(self._vl[label] for label in labels)
+
+    @property
+    def max_ml(self):
+        """The largest achievable monomial loss (the root's)."""
+        return self._ml[self.tree.root.label]

@@ -1,0 +1,137 @@
+"""A small parser for the textual polynomial notation used in the paper.
+
+Accepts expressions such as ``"220.8*p1*m1 + 240*p1*m3"`` or
+``"x^2*y - 3"``. The grammar (whitespace-insensitive)::
+
+    polynomial := ['+'|'-'] term (('+'|'-') term)*
+    term       := factor ('*' factor)*
+    factor     := NUMBER | VARIABLE ['^' INTEGER]
+
+Variables are ``[A-Za-z_][A-Za-z0-9_]*``; numbers are ints or floats.
+Numbers multiply into the coefficient; repeated variables multiply
+exponents. ``parse`` is the inverse of ``str(Polynomial)`` up to term
+ordering and float formatting.
+"""
+
+import re
+
+from repro.core.polynomial import Monomial, Polynomial
+
+__all__ = ["parse", "parse_set", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised when a polynomial string cannot be parsed."""
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d+|\d+|\.\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op>[-+*^()])"
+    r")"
+)
+
+
+def _tokenize(text):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = match.end()
+        if match.group("number") is not None:
+            literal = match.group("number")
+            tokens.append(("number", float(literal) if "." in literal else int(literal)))
+        elif match.group("name") is not None:
+            tokens.append(("name", match.group("name")))
+        else:
+            tokens.append(("op", match.group("op")))
+    tokens.append(("end", None))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self):
+        return self.tokens[self.index]
+
+    def advance(self):
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect_op(self, op):
+        kind, value = self.advance()
+        if kind != "op" or value != op:
+            raise ParseError(f"expected {op!r}, got {value!r}")
+
+    def parse_polynomial(self):
+        terms = []
+        sign = 1
+        kind, value = self.peek()
+        if kind == "op" and value in "+-":
+            self.advance()
+            sign = -1 if value == "-" else 1
+        terms.append(self.parse_term(sign))
+        while True:
+            kind, value = self.peek()
+            if kind == "op" and value in "+-":
+                self.advance()
+                terms.append(self.parse_term(-1 if value == "-" else 1))
+            else:
+                break
+        kind, value = self.peek()
+        if kind != "end":
+            raise ParseError(f"trailing input starting at {value!r}")
+        return Polynomial.from_terms(terms)
+
+    def parse_term(self, sign):
+        coefficient = sign
+        powers = {}
+        while True:
+            kind, value = self.advance()
+            if kind == "number":
+                coefficient *= value
+            elif kind == "name":
+                exponent = 1
+                next_kind, next_value = self.peek()
+                if next_kind == "op" and next_value == "^":
+                    self.advance()
+                    exp_kind, exp_value = self.advance()
+                    if exp_kind != "number" or not isinstance(exp_value, int):
+                        raise ParseError("exponent must be a positive integer")
+                    exponent = exp_value
+                powers[value] = powers.get(value, 0) + exponent
+            else:
+                raise ParseError(f"expected number or variable, got {value!r}")
+            kind, value = self.peek()
+            if kind == "op" and value == "*":
+                self.advance()
+                continue
+            break
+        return coefficient, Monomial(powers.items())
+
+
+def parse(text):
+    """Parse a single polynomial.
+
+    >>> p = parse("2*x^2*y + 3*y - 1")
+    >>> p.num_monomials
+    3
+    >>> p.coefficient(Monomial.of(("x", 2), "y"))
+    2
+    """
+    return _Parser(_tokenize(text)).parse_polynomial()
+
+
+def parse_set(texts):
+    """Parse an iterable of polynomial strings into a PolynomialSet."""
+    from repro.core.polynomial import PolynomialSet
+
+    return PolynomialSet(parse(text) for text in texts)

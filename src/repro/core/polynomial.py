@@ -1,0 +1,480 @@
+"""Provenance polynomials (§2.1 of the paper).
+
+A *provenance polynomial* is a sum of monomials; each monomial is a
+product of a numeric coefficient and indeterminates ("variables"), each
+raised to a positive integer exponent. Polynomials arise here in two
+settings (both supported, see ``repro.engine``):
+
+1. semiring annotations of SPJU query results over tuple variables
+   (Green et al.'s ``N[X]``), and
+2. parameterized aggregate values, where the plus of the polynomial is
+   the aggregate and variables scale chosen cells (the paper's running
+   example).
+
+The paper measures a polynomial ``P`` by
+
+* its *size* ``|P|_M`` — the number of monomials, and
+* its *granularity* ``|P|_V`` — the number of distinct variables,
+
+and lifts both point-wise to (multi)sets of polynomials. This module
+implements :class:`Monomial`, :class:`Polynomial`, and
+:class:`PolynomialSet` with exactly those measures, plus the variable
+substitution primitive that provenance abstraction is built on.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Monomial", "Polynomial", "PolynomialSet"]
+
+
+class Monomial:
+    """An immutable product of variables raised to positive exponents.
+
+    The coefficient is *not* part of the monomial — polynomials map
+    monomials to coefficients, mirroring the paper's implementation note
+    (§4.1: "Python's dictionaries for the polynomials").
+
+    ``powers`` is a sorted tuple of ``(variable, exponent)`` pairs with
+    ``exponent >= 1``; variables are strings.
+
+    >>> m = Monomial.of(("x", 2), "y")
+    >>> str(m)
+    'x^2*y'
+    >>> m.degree
+    3
+    >>> m.exponent("x")
+    2
+    """
+
+    __slots__ = ("powers", "_hash")
+
+    #: The empty monomial (the constant term's monomial).
+    ONE: "Monomial"
+
+    def __init__(self, powers=()):
+        items = tuple(sorted((str(v), int(e)) for v, e in powers))
+        for var, exp in items:
+            if exp < 1:
+                raise ValueError(f"exponent of {var!r} must be >= 1, got {exp}")
+        seen = set()
+        for var, _ in items:
+            if var in seen:
+                raise ValueError(f"duplicate variable {var!r}; use Monomial.of")
+            seen.add(var)
+        object.__setattr__(self, "powers", items)
+        object.__setattr__(self, "_hash", hash(items))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Monomial is immutable")
+
+    @classmethod
+    def of(cls, *factors):
+        """Build a monomial from variables and ``(variable, exponent)`` pairs.
+
+        Repeated variables multiply (exponents add):
+
+        >>> str(Monomial.of("x", "y", "x"))
+        'x^2*y'
+        """
+        acc = {}
+        for factor in factors:
+            if isinstance(factor, tuple):
+                var, exp = factor
+            else:
+                var, exp = factor, 1
+            acc[str(var)] = acc.get(str(var), 0) + int(exp)
+        return cls(acc.items())
+
+    @property
+    def variables(self):
+        """The set of variables occurring in this monomial."""
+        return frozenset(var for var, _ in self.powers)
+
+    @property
+    def degree(self):
+        """Total degree (sum of exponents)."""
+        return sum(exp for _, exp in self.powers)
+
+    def exponent(self, variable):
+        """The exponent of ``variable`` (0 if absent)."""
+        for var, exp in self.powers:
+            if var == variable:
+                return exp
+        return 0
+
+    def __contains__(self, variable):
+        return any(var == variable for var, _ in self.powers)
+
+    def __iter__(self):
+        """Iterate over ``(variable, exponent)`` pairs in sorted order."""
+        return iter(self.powers)
+
+    def __len__(self):
+        return len(self.powers)
+
+    def __mul__(self, other):
+        if not isinstance(other, Monomial):
+            return NotImplemented
+        acc = dict(self.powers)
+        for var, exp in other.powers:
+            acc[var] = acc.get(var, 0) + exp
+        return Monomial(acc.items())
+
+    def substitute(self, mapping):
+        """Rename variables via ``mapping``; unmapped variables stay intact.
+
+        If two variables map to the same target their exponents combine:
+
+        >>> str(Monomial.of("a", "b").substitute({"a": "g", "b": "g"}))
+        'g^2'
+        """
+        acc = {}
+        for var, exp in self.powers:
+            target = mapping.get(var, var)
+            acc[target] = acc.get(target, 0) + exp
+        return Monomial(acc.items())
+
+    def evaluate(self, assignment, default=1.0):
+        """The numeric value of the monomial under ``assignment``.
+
+        Variables absent from ``assignment`` take ``default`` — the
+        neutral "scenario leaves this parameter unchanged" semantics.
+        """
+        value = 1.0
+        for var, exp in self.powers:
+            value *= assignment.get(var, default) ** exp
+        return value
+
+    def __eq__(self, other):
+        return isinstance(other, Monomial) and self.powers == other.powers
+
+    def __lt__(self, other):
+        if not isinstance(other, Monomial):
+            return NotImplemented
+        return self.powers < other.powers
+
+    def __hash__(self):
+        return self._hash
+
+    def __str__(self):
+        if not self.powers:
+            return "1"
+        parts = []
+        for var, exp in self.powers:
+            parts.append(var if exp == 1 else f"{var}^{exp}")
+        return "*".join(parts)
+
+    def __repr__(self):
+        return f"Monomial({self.powers!r})"
+
+
+Monomial.ONE = Monomial()
+
+
+class Polynomial:
+    """A provenance polynomial: a finite map from monomials to coefficients.
+
+    Coefficients may be ``int``, ``float`` or ``fractions.Fraction``.
+    Zero-coefficient terms are dropped on construction, so ``|P|_M`` is
+    always the count of *surviving* monomials.
+
+    >>> p = Polynomial({Monomial.of("x"): 2, Monomial.of("y"): 3})
+    >>> p.num_monomials, p.num_variables
+    (2, 2)
+    """
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms=None):
+        acc = {}
+        if terms:
+            items = terms.items() if isinstance(terms, dict) else terms
+            for monomial, coeff in items:
+                if not isinstance(monomial, Monomial):
+                    raise TypeError(f"expected Monomial, got {type(monomial).__name__}")
+                if coeff == 0:
+                    continue
+                new = acc.get(monomial, 0) + coeff
+                if new == 0:
+                    acc.pop(monomial, None)
+                else:
+                    acc[monomial] = new
+        self.terms = acc
+
+    @classmethod
+    def zero(cls):
+        """The empty polynomial (0)."""
+        return cls()
+
+    @classmethod
+    def constant(cls, value):
+        """A constant polynomial ``value``."""
+        return cls({Monomial.ONE: value})
+
+    @classmethod
+    def variable(cls, name, coefficient=1):
+        """The polynomial ``coefficient * name``."""
+        return cls({Monomial.of(name): coefficient})
+
+    @classmethod
+    def from_terms(cls, terms):
+        """Build from an iterable of ``(coefficient, Monomial)`` pairs."""
+        return cls((monomial, coeff) for coeff, monomial in terms)
+
+    # ---------------------------------------------------------------- sizes
+
+    @property
+    def monomials(self):
+        """``M(P)`` — the monomials of this polynomial (a view)."""
+        return self.terms.keys()
+
+    @property
+    def num_monomials(self):
+        """``|P|_M`` — the number of monomials."""
+        return len(self.terms)
+
+    @property
+    def variables(self):
+        """``V(P)`` — the set of variables occurring in ``P``."""
+        out = set()
+        for monomial in self.terms:
+            out.update(monomial.variables)
+        return out
+
+    @property
+    def num_variables(self):
+        """``|P|_V`` — the granularity (number of distinct variables)."""
+        return len(self.variables)
+
+    def coefficient(self, monomial):
+        """The coefficient of ``monomial`` (0 if absent)."""
+        return self.terms.get(monomial, 0)
+
+    # ----------------------------------------------------------- arithmetic
+
+    def __add__(self, other):
+        if isinstance(other, (int, float)):
+            other = Polynomial.constant(other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        acc = dict(self.terms)
+        for monomial, coeff in other.terms.items():
+            new = acc.get(monomial, 0) + coeff
+            if new == 0:
+                acc.pop(monomial, None)
+            else:
+                acc[monomial] = new
+        result = Polynomial.zero()
+        result.terms = acc
+        return result
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        result = Polynomial.zero()
+        result.terms = {m: -c for m, c in self.terms.items()}
+        return result
+
+    def __sub__(self, other):
+        if isinstance(other, (int, float)):
+            other = Polynomial.constant(other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self + (-other)
+
+    def __mul__(self, other):
+        if isinstance(other, (int, float)):
+            if other == 0:
+                return Polynomial.zero()
+            result = Polynomial.zero()
+            result.terms = {m: c * other for m, c in self.terms.items()}
+            return result
+        if isinstance(other, Monomial):
+            result = Polynomial.zero()
+            result.terms = {m * other: c for m, c in self.terms.items()}
+            return result
+        if isinstance(other, Polynomial):
+            acc = {}
+            for m1, c1 in self.terms.items():
+                for m2, c2 in other.terms.items():
+                    m = m1 * m2
+                    new = acc.get(m, 0) + c1 * c2
+                    if new == 0:
+                        acc.pop(m, None)
+                    else:
+                        acc[m] = new
+            result = Polynomial.zero()
+            result.terms = acc
+            return result
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    # --------------------------------------------------------- provenance ops
+
+    def substitute(self, mapping):
+        """``P↓S`` workhorse: rename variables, merging equal monomials.
+
+        Coefficients of monomials that become identical are summed —
+        this is exactly how abstraction shrinks ``|P|_M``.
+
+        >>> p = Polynomial.from_terms(
+        ...     [(2, Monomial.of("m1", "x")), (3, Monomial.of("m3", "x"))])
+        >>> str(p.substitute({"m1": "q1", "m3": "q1"}))
+        '5*q1*x'
+        """
+        acc = {}
+        for monomial, coeff in self.terms.items():
+            new_monomial = monomial.substitute(mapping)
+            new = acc.get(new_monomial, 0) + coeff
+            if new == 0:
+                acc.pop(new_monomial, None)
+            else:
+                acc[new_monomial] = new
+        result = Polynomial.zero()
+        result.terms = acc
+        return result
+
+    def evaluate(self, assignment, default=1.0):
+        """Value of ``P`` under a (hypothetical-scenario) assignment.
+
+        Unassigned variables default to ``default`` (1.0 = "unchanged").
+        """
+        total = 0.0
+        for monomial, coeff in self.terms.items():
+            total += coeff * monomial.evaluate(assignment, default)
+        return total
+
+    def restricted_to(self, variables):
+        """The sub-polynomial of monomials that only use ``variables``."""
+        variables = set(variables)
+        return Polynomial(
+            (m, c) for m, c in self.terms.items() if m.variables <= variables
+        )
+
+    # ------------------------------------------------------------- equality
+
+    def __eq__(self, other):
+        return isinstance(other, Polynomial) and self.terms == other.terms
+
+    def __hash__(self):
+        return hash(frozenset(self.terms.items()))
+
+    def almost_equal(self, other, tolerance=1e-9):
+        """Structural equality with per-coefficient float ``tolerance``."""
+        if set(self.terms) != set(other.terms):
+            return False
+        return all(
+            abs(self.terms[m] - other.terms[m]) <= tolerance for m in self.terms
+        )
+
+    def __iter__(self):
+        """Iterate over ``(coefficient, Monomial)`` pairs, sorted by monomial."""
+        for monomial in sorted(self.terms):
+            yield self.terms[monomial], monomial
+
+    def __len__(self):
+        return len(self.terms)
+
+    def __bool__(self):
+        return bool(self.terms)
+
+    def __str__(self):
+        if not self.terms:
+            return "0"
+        chunks = []
+        for coeff, monomial in self:
+            sign = "-" if coeff < 0 else "+"
+            magnitude = abs(coeff)
+            if not monomial.powers:
+                body = f"{magnitude}"
+            elif magnitude == 1:
+                body = str(monomial)
+            else:
+                body = f"{magnitude}*{monomial}"
+            if not chunks:
+                chunks.append(body if sign == "+" else f"-{body}")
+            else:
+                chunks.append(f"{sign} {body}")
+        return " ".join(chunks)
+
+    def __repr__(self):
+        return f"Polynomial.parse({str(self)!r})"
+
+
+class PolynomialSet:
+    """A multiset of polynomials — the provenance of a whole query result.
+
+    The paper's measures lift point-wise: ``|P|_M`` sums monomial counts
+    and ``V(P)`` / ``|P|_V`` union variables.
+
+    >>> ps = PolynomialSet([Polynomial.variable("x"), Polynomial.variable("x")])
+    >>> ps.num_monomials, ps.num_variables
+    (2, 1)
+    """
+
+    __slots__ = ("polynomials",)
+
+    def __init__(self, polynomials=None):
+        self.polynomials = list(polynomials) if polynomials else []
+        for p in self.polynomials:
+            if not isinstance(p, Polynomial):
+                raise TypeError(f"expected Polynomial, got {type(p).__name__}")
+
+    def append(self, polynomial):
+        """Add one polynomial to the multiset."""
+        if not isinstance(polynomial, Polynomial):
+            raise TypeError(f"expected Polynomial, got {type(polynomial).__name__}")
+        self.polynomials.append(polynomial)
+
+    @property
+    def num_monomials(self):
+        """``|P|_M`` summed over the multiset."""
+        return sum(p.num_monomials for p in self.polynomials)
+
+    @property
+    def variables(self):
+        """``V(P)`` — union of per-polynomial variable sets."""
+        out = set()
+        for p in self.polynomials:
+            out.update(p.variables)
+        return out
+
+    @property
+    def num_variables(self):
+        """``|P|_V`` — number of distinct variables across the multiset."""
+        return len(self.variables)
+
+    def substitute(self, mapping):
+        """Point-wise substitution (``P↓S`` lifted to the multiset)."""
+        return PolynomialSet(p.substitute(mapping) for p in self.polynomials)
+
+    def evaluate(self, assignment, default=1.0):
+        """Point-wise valuation; returns one value per polynomial."""
+        return [p.evaluate(assignment, default) for p in self.polynomials]
+
+    def __iter__(self):
+        return iter(self.polynomials)
+
+    def __len__(self):
+        return len(self.polynomials)
+
+    def __getitem__(self, index):
+        return self.polynomials[index]
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, PolynomialSet)
+            and self.polynomials == other.polynomials
+        )
+
+    def almost_equal(self, other, tolerance=1e-9):
+        """Point-wise :meth:`Polynomial.almost_equal`."""
+        if len(self) != len(other):
+            return False
+        return all(
+            a.almost_equal(b, tolerance) for a, b in zip(self, other)
+        )
+
+    def __repr__(self):
+        return f"PolynomialSet({self.polynomials!r})"

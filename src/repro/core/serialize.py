@@ -1,0 +1,149 @@
+"""JSON serialization for provenance artifacts.
+
+The paper's use case ships pre-computed provenance from a capture site
+to analysts (§1, "Offline vs. Online Compression"); serialized size is
+the communication/storage cost that abstraction reduces. This module
+provides a stable JSON round-trip for polynomials, trees, forests and
+VVSs, plus byte-size accounting used by the experiment harness.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.forest import AbstractionForest, ValidVariableSet
+from repro.core.polynomial import Monomial, Polynomial, PolynomialSet
+from repro.core.tree import AbstractionTree
+
+__all__ = [
+    "polynomial_to_dict",
+    "polynomial_from_dict",
+    "polynomial_set_to_dict",
+    "polynomial_set_from_dict",
+    "tree_to_dict",
+    "tree_from_dict",
+    "forest_to_dict",
+    "forest_from_dict",
+    "vvs_to_dict",
+    "vvs_from_dict",
+    "dumps",
+    "loads",
+    "serialized_size",
+]
+
+
+def polynomial_to_dict(polynomial):
+    """``{"terms": [[coeff, [[var, exp], ...]], ...]}`` (sorted, stable)."""
+    return {
+        "terms": [
+            [coeff, [[var, exp] for var, exp in monomial.powers]]
+            for coeff, monomial in polynomial
+        ]
+    }
+
+
+def polynomial_from_dict(data):
+    """Inverse of :func:`polynomial_to_dict`."""
+
+    return Polynomial(
+        (Monomial(powers), coeff) for coeff, powers in data["terms"]
+    )
+
+
+def polynomial_set_to_dict(polynomials):
+    """``{"polynomials": [...]}`` — one entry per polynomial."""
+
+    return {"polynomials": [polynomial_to_dict(p) for p in polynomials]}
+
+
+def polynomial_set_from_dict(data):
+    """Inverse of :func:`polynomial_set_to_dict`."""
+
+    return PolynomialSet(polynomial_from_dict(d) for d in data["polynomials"])
+
+
+def tree_to_dict(tree):
+    """Nested ``{"label": ..., "children": [...]}`` (leaves omit children)."""
+
+    def build(node):
+        if node.is_leaf:
+            return {"label": node.label}
+        return {"label": node.label, "children": [build(c) for c in node.children]}
+
+    return build(tree.root)
+
+
+def tree_from_dict(data):
+    """Inverse of :func:`tree_to_dict`."""
+
+    def build(spec):
+        if "children" not in spec:
+            return spec["label"]
+        return (spec["label"], [build(c) for c in spec["children"]])
+
+    return AbstractionTree.from_nested(build(data))
+
+
+def forest_to_dict(forest):
+    """``{"trees": [...]}`` — one nested dict per tree."""
+
+    return {"trees": [tree_to_dict(t) for t in forest]}
+
+
+def forest_from_dict(data):
+    """Inverse of :func:`forest_to_dict`."""
+
+    return AbstractionForest([tree_from_dict(t) for t in data["trees"]])
+
+
+def vvs_to_dict(vvs):
+    """``{"labels": [...]}`` — the cut's chosen labels, sorted."""
+
+    return {"labels": sorted(vvs.labels)}
+
+
+def vvs_from_dict(data, forest):
+    """Rebuild (and re-validate) a VVS against ``forest``."""
+
+    return ValidVariableSet(forest, frozenset(data["labels"]))
+
+
+_TO_DICT = {
+    Polynomial: ("polynomial", polynomial_to_dict),
+    PolynomialSet: ("polynomial_set", polynomial_set_to_dict),
+    AbstractionTree: ("tree", tree_to_dict),
+    AbstractionForest: ("forest", forest_to_dict),
+}
+
+_FROM_DICT = {
+    "polynomial": polynomial_from_dict,
+    "polynomial_set": polynomial_set_from_dict,
+    "tree": tree_from_dict,
+    "forest": forest_from_dict,
+}
+
+
+def dumps(obj):
+    """Serialize a provenance artifact to a tagged JSON string.
+
+    >>> loads(dumps(Polynomial.variable("x"))) == Polynomial.variable("x")
+    True
+    """
+    for cls, (tag, encode) in _TO_DICT.items():
+        if isinstance(obj, cls):
+            return json.dumps({"kind": tag, "data": encode(obj)}, sort_keys=True)
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def loads(text):
+    """Inverse of :func:`dumps`."""
+    envelope = json.loads(text)
+    kind = envelope.get("kind")
+    if kind not in _FROM_DICT:
+        raise ValueError(f"unknown payload kind {kind!r}")
+    return _FROM_DICT[kind](envelope["data"])
+
+
+def serialized_size(obj):
+    """Size in bytes of the JSON form — the paper's storage/shipping cost."""
+    return len(dumps(obj).encode("utf-8"))

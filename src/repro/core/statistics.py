@@ -1,0 +1,127 @@
+"""Provenance profiling: the measurements that drive abstraction choices.
+
+Before choosing trees and bounds, an analyst needs to know what the
+provenance looks like: how sizes distribute over polynomials (the paper
+contrasts Q1's "8 polynomials of 11265 monomials" with Q10's "993306
+polynomials averaging 15.78"), which variables occur where, and how
+densely variables co-occur (dense co-occurrence = compressible). The
+CLI's ``inspect`` command and the tree-induction module build on these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.abstraction import ensure_set
+
+__all__ = ["ProvenanceProfile", "profile", "variable_cooccurrence"]
+
+
+@dataclass
+class ProvenanceProfile:
+    """Summary statistics of a polynomial multiset."""
+
+    num_polynomials: int
+    num_monomials: int
+    num_variables: int
+    min_polynomial_size: int
+    max_polynomial_size: int
+    mean_polynomial_size: float
+    max_monomial_degree: int
+    variable_frequency: dict = field(default_factory=dict)
+
+    @property
+    def shape(self):
+        """The paper's informal taxonomy: which workload family is this?
+
+        "few-large" (Q1/Q5-like: compression pays) vs "many-small"
+        (Q10-like: little to merge) vs "balanced".
+        """
+        if self.num_polynomials == 0:
+            return "empty"
+        if self.mean_polynomial_size >= 8 * max(1, self.num_polynomials):
+            return "few-large"
+        if (
+            self.num_polynomials >= 4 * self.mean_polynomial_size
+            and self.mean_polynomial_size <= 32
+        ):
+            return "many-small"
+        return "balanced"
+
+    def top_variables(self, count=10):
+        """The ``count`` most frequent variables as (name, occurrences)."""
+        ranked = sorted(
+            self.variable_frequency.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:count]
+
+
+def profile(polynomials):
+    """Compute a :class:`ProvenanceProfile`.
+
+    >>> from repro.core.parser import parse_set
+    >>> p = profile(parse_set(["2*a*x + 3*b*x", "a*y^2"]))
+    >>> p.num_polynomials, p.num_monomials, p.num_variables
+    (2, 3, 4)
+    >>> p.max_monomial_degree
+    3
+    >>> p.variable_frequency["a"]
+    2
+    """
+    polynomials = ensure_set(polynomials)
+    sizes = [p.num_monomials for p in polynomials]
+    frequency = {}
+    max_degree = 0
+    for polynomial in polynomials:
+        for monomial in polynomial.monomials:
+            max_degree = max(max_degree, monomial.degree)
+            for var, _ in monomial.powers:
+                frequency[var] = frequency.get(var, 0) + 1
+    return ProvenanceProfile(
+        num_polynomials=len(polynomials),
+        num_monomials=polynomials.num_monomials,
+        num_variables=polynomials.num_variables,
+        min_polynomial_size=min(sizes) if sizes else 0,
+        max_polynomial_size=max(sizes) if sizes else 0,
+        mean_polynomial_size=(sum(sizes) / len(sizes)) if sizes else 0.0,
+        max_monomial_degree=max_degree,
+        variable_frequency=frequency,
+    )
+
+
+def variable_cooccurrence(polynomials, variables=None):
+    """Residual-context counts: how mergeable is each variable pair?
+
+    For variables ``u``, ``v``, counts the residual monomial contexts
+    (the monomial with the variable removed, per polynomial) that
+    *both* share — exactly the number of monomial pairs that would merge
+    if ``u`` and ``v`` were grouped (and nothing else changed). This is
+    the affinity the tree-induction module clusters on.
+
+    Returns ``{(u, v): shared_contexts}`` with ``u < v``.
+    """
+    polynomials = ensure_set(polynomials)
+    if variables is not None:
+        variables = set(variables)
+    # variable -> set of (poly index, residual key)
+    contexts = {}
+    for poly_number, polynomial in enumerate(polynomials):
+        for monomial in polynomial.monomials:
+            for var, exp in monomial.powers:
+                if variables is not None and var not in variables:
+                    continue
+                residual = tuple(
+                    sorted(
+                        [("\x00", exp)]
+                        + [(v, e) for v, e in monomial.powers if v != var]
+                    )
+                )
+                contexts.setdefault(var, set()).add((poly_number, residual))
+    pairs = {}
+    names = sorted(contexts)
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            shared = len(contexts[u] & contexts[v])
+            if shared:
+                pairs[(u, v)] = shared
+    return pairs

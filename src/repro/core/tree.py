@@ -1,0 +1,311 @@
+"""Abstraction trees (§2.2).
+
+An *abstraction tree* is a rooted tree with uniquely-labelled nodes.
+Leaves are labelled with provenance variables; internal nodes are
+labelled with *meta-variables* that do not occur in the polynomials.
+Replacing all leaves below an internal node by that node's label is the
+elementary "abstraction" step; a full abstraction is a *cut* in the tree
+(see :mod:`repro.core.forest` for valid variable sets).
+
+The module also implements:
+
+* ``clean`` — the paper's footnote 1: leaves that do not occur in the
+  polynomials are removed, and internal nodes left with a single child
+  are spliced out (Example 13's answer depends on this).
+* ``count_cuts`` / ``iter_cuts`` — the number of valid variable sets of
+  a tree is ``1`` for a leaf and ``1 + Π_children count`` for an
+  internal node; Table 2 of the paper tabulates exactly these values.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TreeNode", "AbstractionTree"]
+
+
+class TreeNode:
+    """A node of an abstraction tree."""
+
+    __slots__ = ("label", "children", "parent")
+
+    def __init__(self, label, children=None):
+        self.label = str(label)
+        self.children = list(children) if children else []
+        self.parent = None
+        for child in self.children:
+            child.parent = self
+
+    @property
+    def is_leaf(self):
+        return not self.children
+
+    def add_child(self, node):
+        node.parent = self
+        self.children.append(node)
+        return node
+
+    def __repr__(self):
+        return f"TreeNode({self.label!r}, {len(self.children)} children)"
+
+
+class AbstractionTree:
+    """A rooted, uniquely-labelled abstraction tree.
+
+    Construction is most convenient via :meth:`from_nested`, which takes
+    a nested spec — a string for a leaf, or ``(label, [children])``:
+
+    >>> t = AbstractionTree.from_nested(
+    ...     ("Year", [("q1", ["m1", "m2", "m3"]), ("q2", ["m4", "m5", "m6"])]))
+    >>> sorted(t.leaf_labels)
+    ['m1', 'm2', 'm3', 'm4', 'm5', 'm6']
+    >>> t.count_cuts()
+    5
+    """
+
+    __slots__ = ("root", "nodes")
+
+    def __init__(self, root):
+        self.root = root
+        self.nodes = {}
+        self._index(root)
+
+    def _index(self, node):
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.label in self.nodes:
+                raise ValueError(f"duplicate node label {current.label!r}")
+            self.nodes[current.label] = current
+            stack.extend(current.children)
+
+    @classmethod
+    def from_nested(cls, spec):
+        """Build a tree from a nested spec (str leaf or ``(label, children)``)."""
+        return cls(cls._build(spec))
+
+    @staticmethod
+    def _build(spec):
+        if isinstance(spec, str):
+            return TreeNode(spec)
+        if isinstance(spec, tuple) and len(spec) == 2:
+            label, children = spec
+            return TreeNode(label, [AbstractionTree._build(c) for c in children])
+        raise TypeError(f"bad tree spec: {spec!r}")
+
+    # -------------------------------------------------------------- queries
+
+    def __contains__(self, label):
+        return label in self.nodes
+
+    def node(self, label):
+        """The node with the given label (KeyError if absent)."""
+        return self.nodes[label]
+
+    @property
+    def labels(self):
+        """``V(T)`` — all node labels (variables and meta-variables)."""
+        return set(self.nodes)
+
+    @property
+    def leaves(self):
+        """Leaf nodes in depth-first order (deterministic)."""
+        out = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node)
+            else:
+                stack.extend(reversed(node.children))
+        return out
+
+    @property
+    def leaf_labels(self):
+        """``L(T)`` — the labels of the leaves."""
+        return {node.label for node in self.leaves}
+
+    def is_leaf(self, label):
+        """Is ``label`` a leaf of this tree?"""
+        return self.nodes[label].is_leaf
+
+    def parent(self, label):
+        """The parent label of ``label`` (None for the root)."""
+        node = self.nodes[label].parent
+        return node.label if node else None
+
+    def children(self, label):
+        """The child labels of ``label``."""
+        return [child.label for child in self.nodes[label].children]
+
+    def ancestors(self, label, include_self=False):
+        """Labels on the path from ``label`` to the root (root last)."""
+        out = [label] if include_self else []
+        node = self.nodes[label].parent
+        while node is not None:
+            out.append(node.label)
+            node = node.parent
+        return out
+
+    def descendants(self, label, include_self=False):
+        """All labels strictly below ``label`` (plus itself if requested)."""
+        out = [label] if include_self else []
+        stack = list(self.nodes[label].children)
+        while stack:
+            node = stack.pop()
+            out.append(node.label)
+            stack.extend(node.children)
+        return out
+
+    def is_descendant(self, lower, upper):
+        """The paper's ``lower ≤_T upper`` (reflexive descendant relation)."""
+        if lower not in self.nodes or upper not in self.nodes:
+            return False
+        node = self.nodes[lower]
+        while node is not None:
+            if node.label == upper:
+                return True
+            node = node.parent
+        return False
+
+    def leaves_under(self, label):
+        """Leaf labels in the subtree rooted at ``label``."""
+        node = self.nodes[label]
+        if node.is_leaf:
+            return [node.label]
+        out = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                out.append(current.label)
+            else:
+                stack.extend(reversed(current.children))
+        return out
+
+    def lca(self, label_a, label_b):
+        """Lowest common ancestor of two labels."""
+        ancestors_a = set(self.ancestors(label_a, include_self=True))
+        node = self.nodes[label_b]
+        while node is not None:
+            if node.label in ancestors_a:
+                return node.label
+            node = node.parent
+        raise ValueError(f"{label_a!r} and {label_b!r} share no ancestor")
+
+    @property
+    def size(self):
+        """Number of nodes (``n`` in the paper's complexity bound)."""
+        return len(self.nodes)
+
+    @property
+    def height(self):
+        """Length (in edges) of the longest root-to-leaf path."""
+
+        def depth(node):
+            if node.is_leaf:
+                return 0
+            return 1 + max(depth(child) for child in node.children)
+
+        return depth(self.root)
+
+    @property
+    def width(self):
+        """Maximum fan-out (``w`` in the paper's complexity bound)."""
+        return max(
+            (len(node.children) for node in self.nodes.values()),
+            default=0,
+        )
+
+    # ------------------------------------------------------- cut machinery
+
+    def count_cuts(self):
+        """The number of valid variable sets of this tree.
+
+        ``count(leaf) = 1``; ``count(v) = 1 + Π count(child)``. These are
+        exactly the "VVS" column values of the paper's Table 2.
+        """
+
+        def count(node):
+            if node.is_leaf:
+                return 1
+            product = 1
+            for child in node.children:
+                product *= count(child)
+            return 1 + product
+
+        return count(self.root)
+
+    def iter_cuts(self):
+        """Yield every cut of the tree as a frozenset of labels.
+
+        The number of cuts is exponential in general — callers should
+        consult :meth:`count_cuts` first (the brute-force baseline does).
+        """
+
+        def cuts(node):
+            yield frozenset([node.label])
+            if node.is_leaf:
+                return
+            # Cartesian product of children cuts, streamed.
+            def product(children):
+                if not children:
+                    yield frozenset()
+                    return
+                head, tail = children[0], children[1:]
+                for head_cut in cuts(head):
+                    for tail_cut in product(tail):
+                        yield head_cut | tail_cut
+
+            yield from product(node.children)
+
+        return cuts(self.root)
+
+    # -------------------------------------------------------------- cleaning
+
+    def clean(self, variables):
+        """Footnote 1: restrict the tree to leaves in ``variables``.
+
+        Removes absent leaves, then recursively removes internal nodes
+        left childless and splices internal nodes left with exactly one
+        child (the child survives, as in Example 13 where ``Standard``
+        collapses to ``p1`` and ``Year`` to ``q1``).
+
+        Returns a new tree, or ``None`` if no leaf survives.
+        """
+        variables = set(variables)
+
+        def rebuild(node):
+            if node.is_leaf:
+                return TreeNode(node.label) if node.label in variables else None
+            kept = [c for c in (rebuild(child) for child in node.children) if c]
+            if not kept:
+                return None
+            if len(kept) == 1:
+                return kept[0]
+            return TreeNode(node.label, kept)
+
+        new_root = rebuild(self.root)
+        return AbstractionTree(new_root) if new_root is not None else None
+
+    def copy(self):
+        """A structural deep copy."""
+
+        def rebuild(node):
+            return TreeNode(node.label, [rebuild(child) for child in node.children])
+
+        return AbstractionTree(rebuild(self.root))
+
+    def to_nested(self):
+        """Inverse of :meth:`from_nested`."""
+
+        def build(node):
+            if node.is_leaf:
+                return node.label
+            return (node.label, [build(child) for child in node.children])
+
+        return build(self.root)
+
+    def __repr__(self):
+        return (
+            f"AbstractionTree(root={self.root.label!r}, size={self.size}, "
+            f"leaves={len(self.leaves)})"
+        )

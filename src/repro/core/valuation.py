@@ -1,0 +1,101 @@
+"""Valuations: assigning values to provenance variables (§1, §2.1).
+
+A hypothetical scenario is applied by valuating the variables of a
+provenance polynomial and computing the resulting number. The central
+semantic fact about abstraction (tested property): if a valuation is
+*uniform on the groups* of a VVS — every leaf below a chosen node gets
+the same value — then valuating ``P↓S`` under the lifted valuation
+yields exactly the same result as valuating ``P``. Scenarios that are
+not group-uniform are the "loss of accuracy" the paper trades for size.
+"""
+
+from __future__ import annotations
+
+from repro.core.polynomial import Polynomial, PolynomialSet
+
+__all__ = ["Valuation", "NonUniformError"]
+
+
+class NonUniformError(ValueError):
+    """Raised when lifting a valuation that is not uniform on a VVS."""
+
+
+class Valuation:
+    """A (partial) assignment of numeric values to variables.
+
+    Unassigned variables default to ``default`` (1.0, i.e., a
+    multiplicative scenario that leaves the parameter unchanged).
+
+    >>> v = Valuation({"m1": 0.8, "m3": 0.8})
+    >>> v["m1"], v["p1"]
+    (0.8, 1.0)
+    """
+
+    __slots__ = ("assignment", "default")
+
+    def __init__(self, assignment=None, default=1.0):
+        self.assignment = dict(assignment) if assignment else {}
+        self.default = default
+
+    @classmethod
+    def uniform(cls, variables, value, default=1.0):
+        """Assign ``value`` to every variable in ``variables``."""
+        return cls({var: value for var in variables}, default=default)
+
+    def __getitem__(self, variable):
+        return self.assignment.get(variable, self.default)
+
+    def __contains__(self, variable):
+        return variable in self.assignment
+
+    def set(self, variable, value):
+        """Assign ``value`` to ``variable`` (chainable)."""
+        self.assignment[variable] = value
+        return self
+
+    def evaluate(self, polynomials):
+        """Value(s) of a polynomial or multiset under this valuation."""
+        if isinstance(polynomials, Polynomial):
+            return polynomials.evaluate(self.assignment, self.default)
+        if isinstance(polynomials, PolynomialSet):
+            return polynomials.evaluate(self.assignment, self.default)
+        raise TypeError(f"expected Polynomial(Set), got {type(polynomials).__name__}")
+
+    # ------------------------------------------------- abstraction interface
+
+    def is_uniform_on(self, vvs):
+        """True iff all leaves below each chosen node share one value."""
+        for label in vvs.labels:
+            group = vvs.group(label)
+            if len(group) <= 1:
+                continue
+            values = {self[leaf] for leaf in group}
+            if len(values) > 1:
+                return False
+        return True
+
+    def lift(self, vvs):
+        """The valuation on meta-variables induced by this one.
+
+        Each chosen node gets the (unique) value of its group's leaves.
+        Raises :class:`NonUniformError` if the valuation is not uniform
+        on the VVS — in that case abstraction genuinely loses the
+        scenario and there is no faithful lifting.
+        """
+        lifted = dict(self.assignment)
+        for label in vvs.labels:
+            group = vvs.group(label)
+            values = {self[leaf] for leaf in group}
+            if len(values) > 1:
+                raise NonUniformError(
+                    f"leaves of {label!r} receive distinct values {sorted(values)}"
+                )
+            for leaf in group:
+                lifted.pop(leaf, None)
+            (value,) = values
+            if value != self.default:
+                lifted[label] = value
+        return Valuation(lifted, default=self.default)
+
+    def __repr__(self):
+        return f"Valuation({self.assignment!r}, default={self.default!r})"

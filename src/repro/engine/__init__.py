@@ -1,0 +1,38 @@
+"""A provenance-aware relational engine (K-relations, SPJU + aggregates).
+
+This is the substrate that *produces* the provenance polynomials the
+abstraction framework consumes — the paper assumes such a capture layer
+exists (it cites commercial/academic engines); here it is implemented
+from scratch: semiring-annotated relations, positive relational algebra,
+and SUM-style aggregates that emit parameterized polynomials.
+"""
+
+from repro.engine.aggregates import AggregateResult, aggregate_sum, evaluate_aggregate
+from repro.engine.operators import extend, join, project, rename, select, union
+from repro.engine.provenance import bucket_variable, column_variable, combine_params
+from repro.engine.query import Query
+from repro.engine.schema import Schema, SchemaError
+from repro.engine.sql import SqlError, execute as execute_sql, parse_sql
+from repro.engine.table import Relation
+
+__all__ = [
+    "Relation",
+    "Schema",
+    "SchemaError",
+    "Query",
+    "execute_sql",
+    "parse_sql",
+    "SqlError",
+    "select",
+    "project",
+    "join",
+    "union",
+    "rename",
+    "extend",
+    "aggregate_sum",
+    "AggregateResult",
+    "evaluate_aggregate",
+    "bucket_variable",
+    "column_variable",
+    "combine_params",
+]

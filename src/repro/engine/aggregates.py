@@ -1,0 +1,146 @@
+"""Group-by aggregates with provenance polynomials (§2.1, setting 2).
+
+For a SUM aggregate, each contributing row adds one term
+
+    value(row) · annotation(row) · Π params(row)
+
+to its group's polynomial: ``value`` is the aggregated number,
+``annotation`` is the row's ``N[X]`` annotation (1 for unannotated
+relations), and ``params`` are the analyst-chosen scenario variables
+placed on cells (the ``p1``/``m1`` of the running example, the
+``si``/``pj`` of the TPC-H workload). Valuating all variables at 1
+recovers the plain SQL answer; other valuations answer what-ifs.
+
+``MIN``/``MAX``/other commutative aggregates reuse the same symbolic
+construction — the paper's model interprets the polynomial's ``+`` *as*
+the aggregate operation. :func:`evaluate_aggregate` therefore takes the
+combining function used at valuation time.
+"""
+
+from __future__ import annotations
+
+from repro.core.polynomial import Monomial, Polynomial, PolynomialSet
+
+__all__ = ["aggregate_sum", "AggregateResult", "evaluate_aggregate"]
+
+
+class AggregateResult:
+    """The result of a provenance-aware group-by aggregate.
+
+    Maps group keys (tuples of group-by values) to provenance
+    polynomials; iteration order is sorted by group key so output is
+    deterministic.
+
+    >>> from repro.engine.table import Relation
+    >>> r = Relation.from_rows(["zip", "amount"], [(1, 10.0), (1, 5.0), (2, 7.0)])
+    >>> result = aggregate_sum(r, ["zip"], "amount")
+    >>> result.value((1,)), result.value((2,))
+    (15.0, 7.0)
+    """
+
+    __slots__ = ("group_columns", "groups")
+
+    def __init__(self, group_columns, groups):
+        self.group_columns = tuple(group_columns)
+        self.groups = dict(groups)
+
+    def __iter__(self):
+        """Iterate ``(group_key, polynomial)`` sorted by key."""
+        for key in sorted(self.groups, key=repr):
+            yield key, self.groups[key]
+
+    def __len__(self):
+        return len(self.groups)
+
+    def __getitem__(self, key):
+        return self.groups[tuple(key) if not isinstance(key, tuple) else key]
+
+    def polynomial(self, key):
+        """The provenance polynomial of one group."""
+        return self.groups[key]
+
+    @property
+    def polynomials(self):
+        """All group polynomials as a :class:`PolynomialSet` (sorted)."""
+        return PolynomialSet(polynomial for _, polynomial in self)
+
+    def value(self, key, valuation=None):
+        """The aggregate value of a group under a valuation (default: 1)."""
+        polynomial = self.groups[key]
+        if valuation is None:
+            return polynomial.evaluate({})
+        return valuation.evaluate(polynomial)
+
+    def values(self, valuation=None):
+        """``{group_key: value}`` under a valuation (default: all 1)."""
+        return {key: self.value(key, valuation) for key in self.groups}
+
+
+def aggregate_sum(relation, group_by, value, params=None):
+    """Provenance-aware ``SELECT group_by, SUM(value) … GROUP BY group_by``.
+
+    :param relation: an annotated or plain :class:`Relation`.
+    :param group_by: list of grouping column names.
+    :param value: a column name or ``fn(row_dict) -> number``.
+    :param params: optional ``fn(row_dict) -> iterable of variable
+        names`` placing scenario variables on this row's contribution
+        (may also yield ``(name, exponent)`` pairs).
+    """
+    group_positions = [relation.schema.index(c) for c in group_by]
+    if isinstance(value, str):
+        value_position = relation.schema.index(value)
+        extract = None
+    else:
+        value_position = None
+        extract = value
+
+    groups = {}
+    for row, annotation in relation:
+        if extract is None:
+            amount = row[value_position]
+        else:
+            amount = extract(relation.schema.row_to_dict(row))
+        if params is None:
+            monomial = Monomial.ONE
+        else:
+            monomial = Monomial.of(*params(relation.schema.row_to_dict(row)))
+        contribution = _contribution(amount, annotation, monomial)
+        key = tuple(row[p] for p in group_positions)
+        if key in groups:
+            groups[key] = groups[key] + contribution
+        else:
+            groups[key] = contribution
+    return AggregateResult(group_by, groups)
+
+
+def _contribution(amount, annotation, monomial):
+    """``amount · annotation · monomial`` as a polynomial."""
+    if isinstance(annotation, Polynomial):
+        return (annotation * amount) * monomial
+    # Numeric annotation (bag multiplicity): fold it into the coefficient.
+    return Polynomial({monomial: amount * annotation})
+
+
+def evaluate_aggregate(polynomial, assignment, combine=None, default=1.0):
+    """Valuate an aggregate polynomial, with ``+`` read as ``combine``.
+
+    ``combine=None`` means SUM (ordinary polynomial evaluation); pass
+    ``min``/``max`` for the other commutative aggregates of §2.1.
+
+    >>> from repro.core.parser import parse
+    >>> p = parse("3*x + 5*y")
+    >>> evaluate_aggregate(p, {"x": 1.0, "y": 1.0}, combine=min)
+    3.0
+    """
+    if combine is None:
+        return polynomial.evaluate(assignment, default)
+    terms = [
+        coeff * monomial.evaluate(assignment, default)
+        for monomial, coeff in polynomial.terms.items()
+    ]
+    if not terms:
+        raise ValueError("cannot combine an empty polynomial with min/max")
+    result = terms[0]
+    for term in terms[1:]:
+        result = combine(result, term)
+    return result

@@ -1,0 +1,146 @@
+"""Positive relational algebra over K-relations (SPJU).
+
+Annotation propagation follows the semiring model exactly:
+
+* selection keeps annotations;
+* projection ⊕-combines annotations of tuples that collapse;
+* join ⊗-multiplies the matched tuples' annotations;
+* union ⊕-combines annotations of equal tuples.
+
+Difference/negation is deliberately absent — semirings have no minus,
+which is also why the paper's model covers SPJU (+ aggregates).
+"""
+
+from __future__ import annotations
+
+from repro.engine.schema import Schema, SchemaError
+from repro.engine.table import Relation
+
+__all__ = ["select", "project", "join", "union", "rename", "extend"]
+
+
+def _require_same_semiring(left, right):
+    if left.semiring is not right.semiring:
+        raise ValueError(
+            f"semiring mismatch: {left.semiring.name} vs {right.semiring.name}"
+        )
+
+
+def select(relation, predicate):
+    """``σ_predicate`` — keep rows whose dict satisfies ``predicate``."""
+    out = Relation(relation.schema, semiring=relation.semiring, name=relation.name)
+    for row, annotation in relation:
+        if predicate(relation.schema.row_to_dict(row)):
+            out.add(row, annotation)
+    return out
+
+
+def project(relation, columns):
+    """``π_columns`` — project, ⊕-combining collapsing rows."""
+    schema = relation.schema.project(columns)
+    positions = [relation.schema.index(c) for c in columns]
+    out = Relation(schema, semiring=relation.semiring)
+    for row, annotation in relation:
+        out.add(tuple(row[p] for p in positions), annotation)
+    return out
+
+
+def rename(relation, mapping):
+    """``ρ`` — rename columns via ``mapping`` (old → new)."""
+    for column in mapping:
+        relation.schema.index(column)
+    out = Relation(
+        relation.schema.rename(mapping),
+        semiring=relation.semiring,
+        name=relation.name,
+    )
+    for row, annotation in relation:
+        out.add(row, annotation)
+    return out
+
+
+def extend(relation, column, fn):
+    """Add a computed column ``fn(row_dict)`` (annotation-preserving).
+
+    Not part of classic SPJU but needed by aggregate workloads (e.g.
+    TPC-H's ``l_extendedprice * (1 - l_discount)``).
+    """
+    if column in relation.schema:
+        raise SchemaError(f"column {column!r} already exists")
+    schema = Schema(relation.schema.columns + (column,))
+    out = Relation(schema, semiring=relation.semiring)
+    for row, annotation in relation:
+        value = fn(relation.schema.row_to_dict(row))
+        out.add(row + (value,), annotation)
+    return out
+
+
+def _normalize_on(on):
+    """Accept ``"col"``, ``("l", "r")``, or lists thereof."""
+    if isinstance(on, str):
+        return [(on, on)]
+    if isinstance(on, tuple) and len(on) == 2 and all(isinstance(c, str) for c in on):
+        return [on]
+    pairs = []
+    for item in on:
+        if isinstance(item, str):
+            pairs.append((item, item))
+        else:
+            left, right = item
+            pairs.append((left, right))
+    if not pairs:
+        raise ValueError("join requires at least one column pair")
+    return pairs
+
+
+def join(left, right, on):
+    """``⋈`` — equi-join; matched annotations ⊗-multiply.
+
+    ``on`` names the join columns: a single name (same on both sides),
+    a ``(left, right)`` pair, or a list of either. The output schema is
+    the left schema followed by the right's non-join columns.
+    """
+    _require_same_semiring(left, right)
+    pairs = _normalize_on(on)
+    left_positions = [left.schema.index(l) for l, _ in pairs]
+    right_positions = [right.schema.index(r) for _, r in pairs]
+    right_join_cols = {r for _, r in pairs}
+    right_keep = [
+        (position, column)
+        for position, column in enumerate(right.schema.columns)
+        if column not in right_join_cols
+    ]
+    schema = left.schema.concat(right.schema, drop_from_other=right_join_cols)
+
+    # Hash join: index the smaller side.
+    index = {}
+    for row, annotation in right:
+        key = tuple(row[p] for p in right_positions)
+        index.setdefault(key, []).append((row, annotation))
+
+    semiring = left.semiring
+    out = Relation(schema, semiring=semiring)
+    for row, annotation in left:
+        key = tuple(row[p] for p in left_positions)
+        for right_row, right_annotation in index.get(key, ()):
+            combined = semiring.times(annotation, right_annotation)
+            out.add(
+                row + tuple(right_row[p] for p, _ in right_keep),
+                combined,
+            )
+    return out
+
+
+def union(left, right):
+    """``∪`` — same-schema union; equal tuples' annotations ⊕-combine."""
+    _require_same_semiring(left, right)
+    if left.schema != right.schema:
+        raise SchemaError(
+            f"union schemas differ: {left.schema!r} vs {right.schema!r}"
+        )
+    out = Relation(left.schema, semiring=left.semiring)
+    for row, annotation in left:
+        out.add(row, annotation)
+    for row, annotation in right:
+        out.add(row, annotation)
+    return out

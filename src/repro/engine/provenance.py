@@ -1,0 +1,65 @@
+"""Provenance parameterization policies.
+
+Where variables get placed decides which hypothetical scenarios the
+stored provenance can answer (§2.1 lists the two settings):
+
+1. *tuple variables* — one fresh variable per base tuple
+   (:meth:`repro.engine.table.Relation.with_tuple_variables`); Boolean
+   valuations answer existence what-ifs;
+2. *cell parameters* — variables multiplied onto aggregated cells; real
+   valuations answer quantitative what-ifs (price changes etc.).
+
+The helpers here build the ``params`` callables the aggregate operator
+accepts, including the paper's TPC-H policy ("we used the variable
+``si`` if the supplier key ``k mod 128 = i``, and similarly for the
+parts variable ``pj``").
+"""
+
+from __future__ import annotations
+
+__all__ = ["bucket_variable", "column_variable", "combine_params"]
+
+
+def bucket_variable(column, prefix, buckets):
+    """``row → f"{prefix}{row[column] % buckets}"`` (the TPC-H policy).
+
+    >>> fn = bucket_variable("SUPPKEY", "s", 128)
+    >>> fn({"SUPPKEY": 130})
+    's2'
+    """
+
+    def param(row):
+        return f"{prefix}{row[column] % buckets}"
+
+    return param
+
+
+def column_variable(column, prefix=""):
+    """``row → f"{prefix}{row[column]}"`` — one variable per value.
+
+    The running example's month variables are ``column_variable("Mo",
+    "m")``: month 3 contributes through ``m3``.
+    """
+
+    def param(row):
+        return f"{prefix}{row[column]}"
+
+    return param
+
+
+def combine_params(*parts):
+    """Combine per-variable policies into one ``params`` callable.
+
+    Each part is a ``row → variable-name`` callable; the combination
+    returns the list the aggregate expects.
+
+    >>> params = combine_params(column_variable("Plan", "plan_"),
+    ...                         column_variable("Mo", "m"))
+    >>> params({"Plan": "A", "Mo": 3})
+    ['plan_A', 'm3']
+    """
+
+    def params(row):
+        return [part(row) for part in parts]
+
+    return params

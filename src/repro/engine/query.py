@@ -1,0 +1,98 @@
+"""A small fluent query DSL over K-relations.
+
+Examples (the paper's running-example query, §1)::
+
+    result = (Query(calls)
+              .join(cust, on=("CID", "ID"))
+              .join(plans, on=["Plan", "Mo"])
+              .group_by("Zip")
+              .sum(lambda r: r["Dur"] * r["Price"],
+                   params=lambda r: [plan_var(r["Plan"]), f"m{r['Mo']}"]))
+
+Each step evaluates eagerly and returns a new immutable wrapper, so
+intermediate results can be inspected — convenient for tests and for
+teaching how annotations propagate.
+"""
+
+from __future__ import annotations
+
+from repro.engine import operators
+from repro.engine.aggregates import aggregate_sum
+from repro.engine.table import Relation
+
+__all__ = ["Query"]
+
+
+class Query:
+    """Fluent positive-relational-algebra builder over a Relation."""
+
+    __slots__ = ("relation",)
+
+    def __init__(self, relation):
+        if isinstance(relation, Query):
+            relation = relation.relation
+        if not isinstance(relation, Relation):
+            raise TypeError(f"expected Relation, got {type(relation).__name__}")
+        self.relation = relation
+
+    def where(self, predicate):
+        """``σ`` — filter rows by ``predicate(row_dict)``."""
+        return Query(operators.select(self.relation, predicate))
+
+    def select(self, *columns):
+        """``π`` — keep (and order) the given columns."""
+        return Query(operators.project(self.relation, list(columns)))
+
+    def rename(self, mapping):
+        """``ρ`` — rename columns (old → new)."""
+        return Query(operators.rename(self.relation, mapping))
+
+    def extend(self, column, fn):
+        """Add a computed column ``fn(row_dict)``."""
+        return Query(operators.extend(self.relation, column, fn))
+
+    def join(self, other, on):
+        """``⋈`` — equi-join with a Relation or another Query."""
+        if isinstance(other, Query):
+            other = other.relation
+        return Query(operators.join(self.relation, other, on))
+
+    def union(self, other):
+        """``∪`` — same-schema union."""
+        if isinstance(other, Query):
+            other = other.relation
+        return Query(operators.union(self.relation, other))
+
+    def group_by(self, *columns):
+        """Start an aggregate; finish with ``.sum(...)``."""
+        return _GroupedQuery(self.relation, list(columns))
+
+    # ------------------------------------------------------------- results
+
+    def rows(self):
+        """The result rows as a sorted list of tuples (annotations dropped)."""
+        return sorted(self.relation.rows)
+
+    def annotated_rows(self):
+        """Sorted ``(row, annotation)`` pairs."""
+        return sorted(self.relation.rows.items(), key=lambda item: item[0])
+
+    def __len__(self):
+        return len(self.relation)
+
+    def __repr__(self):
+        return f"Query({self.relation!r})"
+
+
+class _GroupedQuery:
+    """Intermediate state between ``group_by`` and the aggregate verb."""
+
+    __slots__ = ("relation", "group_columns")
+
+    def __init__(self, relation, group_columns):
+        self.relation = relation
+        self.group_columns = group_columns
+
+    def sum(self, value, params=None):
+        """``SUM(value)`` per group with optional scenario parameters."""
+        return aggregate_sum(self.relation, self.group_columns, value, params)

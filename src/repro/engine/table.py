@@ -1,0 +1,121 @@
+"""K-relations: tables whose tuples carry semiring annotations.
+
+The semiring model (Green et al., reference [36]): a K-relation is a
+function from tuples to a commutative semiring ``K``, non-zero on
+finitely many tuples. Bag semantics is ``K = N``; full provenance is
+``K = N[X]`` with each base tuple annotated by its own variable.
+"""
+
+from __future__ import annotations
+
+from repro.core.polynomial import Polynomial
+from repro.engine.schema import Schema, SchemaError
+from repro.semiring.polynomial_semiring import PROVENANCE
+from repro.semiring.standard import NATURAL
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A finite K-relation: ``{tuple: annotation}`` over a schema.
+
+    >>> r = Relation.from_rows(["A", "B"], [(1, "x"), (2, "y")])
+    >>> len(r), r.semiring.name
+    (2, 'natural')
+    """
+
+    __slots__ = ("schema", "rows", "semiring", "name")
+
+    def __init__(self, schema, rows=None, semiring=NATURAL, name=None):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.schema = schema
+        self.semiring = semiring
+        self.name = name
+        self.rows = {}
+        if rows:
+            for row, annotation in rows.items() if isinstance(rows, dict) else rows:
+                self.add(row, annotation)
+
+    @classmethod
+    def from_rows(cls, columns, rows, semiring=NATURAL, annotator=None, name=None):
+        """Build a relation from plain tuples.
+
+        ``annotator(row_dict, ordinal)`` supplies each tuple's
+        annotation; by default every tuple gets ``semiring.one`` (bag
+        multiplicity 1 / Boolean presence / …).
+        """
+        relation = cls(columns, semiring=semiring, name=name)
+        for ordinal, row in enumerate(rows):
+            if annotator is None:
+                annotation = semiring.one
+            else:
+                annotation = annotator(relation.schema.row_to_dict(row), ordinal)
+            relation.add(row, annotation)
+        return relation
+
+    def add(self, row, annotation=None):
+        """Insert (⊕-combining with any existing annotation)."""
+        row = tuple(row)
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"row of width {len(row)} does not fit schema {self.schema!r}"
+            )
+        if annotation is None:
+            annotation = self.semiring.one
+        if row in self.rows:
+            annotation = self.semiring.plus(self.rows[row], annotation)
+        if self.semiring.is_zero(annotation):
+            self.rows.pop(row, None)
+        else:
+            self.rows[row] = annotation
+
+    def annotation(self, row):
+        """The annotation of ``row`` (``zero`` when absent)."""
+        return self.rows.get(tuple(row), self.semiring.zero)
+
+    def with_tuple_variables(self, prefix="t"):
+        """Re-annotate every tuple with a fresh ``N[X]`` variable.
+
+        This is the paper's setting 1 (§2.1): variables stand for base
+        tuples, and Boolean valuations answer existence what-ifs. The
+        original multiplicity is preserved as the coefficient.
+        """
+        annotated = Relation(self.schema, semiring=PROVENANCE, name=self.name)
+        for ordinal, (row, annotation) in enumerate(sorted(self.rows.items())):
+            coefficient = annotation if isinstance(annotation, int) else 1
+            annotated.add(
+                row, Polynomial.variable(f"{prefix}{ordinal}", coefficient)
+            )
+        return annotated
+
+    # ------------------------------------------------------------ plumbing
+
+    def __iter__(self):
+        """Iterate over ``(row_tuple, annotation)`` in insertion order."""
+        return iter(self.rows.items())
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __contains__(self, row):
+        return tuple(row) in self.rows
+
+    def dicts(self):
+        """Iterate over ``(row_dict, annotation)`` pairs."""
+        for row, annotation in self.rows.items():
+            yield self.schema.row_to_dict(row), annotation
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Relation)
+            and self.schema == other.schema
+            and self.rows == other.rows
+        )
+
+    def __repr__(self):
+        label = self.name or "relation"
+        return (
+            f"Relation<{label}>({list(self.schema.columns)!r}, "
+            f"{len(self.rows)} rows, {self.semiring.name})"
+        )

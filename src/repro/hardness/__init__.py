@@ -1,0 +1,50 @@
+"""Executable NP-hardness machinery (Appendix A).
+
+Uniformly partitioned polynomials (Def. 16), flat abstractions
+(Def. 20), the closed-form counting claims (18/23), and the
+vertex-cover reduction (Lemma 29) — all materialized so the tests can
+verify the reduction in both directions against a brute-force VC
+solver.
+"""
+
+from repro.hardness.flat import claim23_counts, flat_abstraction, flat_cut
+from repro.hardness.reduction import (
+    ReductionInstance,
+    build_instance,
+    cover_to_cut,
+    cut_to_cover,
+    decide_vertex_cover_via_abstraction,
+)
+from repro.hardness.uniform import (
+    claim18_sizes,
+    meta_name,
+    uniformly_partitioned,
+    variable_name,
+)
+from repro.hardness.vertex_cover import (
+    Graph,
+    has_vertex_cover,
+    is_vertex_cover,
+    minimum_vertex_cover,
+    random_graph,
+)
+
+__all__ = [
+    "Graph",
+    "is_vertex_cover",
+    "has_vertex_cover",
+    "minimum_vertex_cover",
+    "random_graph",
+    "uniformly_partitioned",
+    "claim18_sizes",
+    "meta_name",
+    "variable_name",
+    "flat_abstraction",
+    "flat_cut",
+    "claim23_counts",
+    "ReductionInstance",
+    "build_instance",
+    "cover_to_cut",
+    "cut_to_cover",
+    "decide_vertex_cover_via_abstraction",
+]

@@ -1,0 +1,72 @@
+"""Flat abstractions (Appendix A, Definition 20) and Claim 23's counts.
+
+The flat abstraction of ``P⟨X, n, I⟩`` is the forest of ``|X|`` depth-1
+trees: metavariable ``x^(i)`` over leaves ``x^(i)_1 … x^(i)_n``. Its
+cuts pick, per tree, either the root or all leaves — so a cut is fully
+described by the set ``Y`` of chosen metavariables, and Claim 23 gives
+closed forms for ``|P↓S|_M`` and ``|P↓S|_V`` in terms of ``Y``.
+"""
+
+from __future__ import annotations
+
+from repro.core.forest import AbstractionForest, ValidVariableSet
+from repro.core.tree import AbstractionTree, TreeNode
+from repro.hardness.uniform import meta_name, variable_name
+
+__all__ = ["flat_abstraction", "flat_cut", "claim23_counts"]
+
+
+def flat_abstraction(num_meta, blowup):
+    """The flat abstraction forest of ``P⟨X, n, ·⟩`` (Definition 20).
+
+    >>> forest = flat_abstraction(4, 3)
+    >>> len(forest), forest.count_cuts()
+    (4, 16)
+    """
+    trees = []
+    for index in range(1, num_meta + 1):
+        leaves = [
+            TreeNode(variable_name(index, i)) for i in range(1, blowup + 1)
+        ]
+        trees.append(AbstractionTree(TreeNode(meta_name(index), leaves)))
+    return AbstractionForest(trees)
+
+
+def flat_cut(forest, chosen_meta_indices, num_meta, blowup):
+    """The VVS selecting the given metavariables' roots (leaves elsewhere).
+
+    ``chosen_meta_indices`` is the set ``Y`` of Claim 23 (1-based).
+    """
+    labels = set()
+    chosen = set(chosen_meta_indices)
+    for index in range(1, num_meta + 1):
+        if index in chosen:
+            labels.add(meta_name(index))
+        else:
+            labels.update(variable_name(index, i) for i in range(1, blowup + 1))
+    return ValidVariableSet(forest, frozenset(labels))
+
+
+def claim23_counts(num_meta, blowup, index_pairs, chosen_meta_indices):
+    """Claim 23's closed forms for ``(|P↓S|_M, |P↓S|_V)``.
+
+    Per pair ``(i, j) ∈ I``: 1 monomial survives if both metavariables
+    are chosen, ``n²`` if neither, ``n`` otherwise; granularity is
+    ``|Y| + (|X| − |Y|)·n``.
+
+    >>> claim23_counts(4, 3, [(1, 2), (1, 3), (2, 3), (2, 4)], {1, 3})
+    (16, 8)
+    """
+    chosen = set(chosen_meta_indices)
+    monomials = 0
+    for i, j in index_pairs:
+        in_i = i in chosen
+        in_j = j in chosen
+        if in_i and in_j:
+            monomials += 1
+        elif not in_i and not in_j:
+            monomials += blowup * blowup
+        else:
+            monomials += blowup
+    granularity = len(chosen) + (num_meta - len(chosen)) * blowup
+    return monomials, granularity

@@ -1,0 +1,65 @@
+"""Uniformly partitioned polynomials (Appendix A, Definition 16).
+
+``P⟨X, n, I⟩`` is the polynomial ``Σ_{(a,b)∈I} P^(a,b)`` with
+``P^(a,b) = Σ_{i,j∈1..n} x^(a)_i · x^(b)_j`` — a bipartite "all pairs"
+block per index pair. Claim 18 gives the closed-form sizes
+(``|P|_M = |I|·n²``, ``|P|_V = |X|·n``), which the tests check against
+the materialized polynomial.
+
+Variable naming follows the paper: metavariable ``x^(a)`` becomes the
+string ``x(a)``, its ``i``-th variable ``x(a)_i``.
+"""
+
+from __future__ import annotations
+
+from repro.core.polynomial import Monomial, Polynomial
+
+__all__ = [
+    "meta_name",
+    "variable_name",
+    "uniformly_partitioned",
+    "claim18_sizes",
+]
+
+
+def meta_name(index):
+    """The metavariable ``x^(index)`` as a string."""
+    return f"x({index})"
+
+
+def variable_name(index, i):
+    """The variable ``x^(index)_i`` as a string."""
+    return f"x({index})_{i}"
+
+
+def uniformly_partitioned(num_meta, blowup, index_pairs):
+    """Materialize ``P⟨X, n, I⟩`` (Definition 16).
+
+    :param num_meta: ``|X|`` — metavariable count (indices 1..num_meta).
+    :param blowup: ``n`` — variables per metavariable (indices 1..n).
+    :param index_pairs: ``I ⊆ {1..|X|}²`` with ``a < b`` for each pair.
+
+    >>> p = uniformly_partitioned(4, 3, [(1, 2), (1, 3), (2, 3), (2, 4)])
+    >>> p.num_monomials, p.num_variables   # Example 17 / Example 19
+    (36, 12)
+    """
+    terms = {}
+    for a, b in index_pairs:
+        if not a < b:
+            raise ValueError(f"index pair ({a}, {b}) must satisfy a < b")
+        if not (1 <= a <= num_meta and 1 <= b <= num_meta):
+            raise ValueError(f"index pair ({a}, {b}) out of range 1..{num_meta}")
+        for i in range(1, blowup + 1):
+            for j in range(1, blowup + 1):
+                monomial = Monomial.of(variable_name(a, i), variable_name(b, j))
+                terms[monomial] = terms.get(monomial, 0) + 1
+    return Polynomial(terms)
+
+
+def claim18_sizes(num_meta, blowup, index_pairs):
+    """Claim 18's closed forms: ``(|P|_M, |P|_V)``.
+
+    >>> claim18_sizes(4, 3, [(1, 2), (1, 3), (2, 3), (2, 4)])
+    (36, 12)
+    """
+    return len(set(index_pairs)) * blowup * blowup, num_meta * blowup

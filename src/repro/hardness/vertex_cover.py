@@ -1,0 +1,94 @@
+"""Vertex cover — the source problem of the Appendix A reduction.
+
+Definition 27: ``V' ⊆ V`` covers ``G`` when every edge has an endpoint
+in ``V'``. Deciding existence of a size-``k`` cover is the textbook
+NP-complete problem (Garey & Johnson, the paper's [28]).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.util.rng import derive_rng
+
+__all__ = ["Graph", "is_vertex_cover", "has_vertex_cover", "minimum_vertex_cover",
+           "random_graph"]
+
+
+class Graph:
+    """A simple undirected graph with vertices ``0..n-1``.
+
+    Self-loops are rejected (the reduction's Theorem 28 precondition).
+
+    >>> g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    >>> g.degree(1)
+    2
+    """
+
+    __slots__ = ("num_vertices", "edges")
+
+    def __init__(self, num_vertices, edges):
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be >= 0")
+        self.num_vertices = num_vertices
+        normalized = set()
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self loop on vertex {u}")
+            if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+                raise ValueError(f"edge ({u}, {v}) out of range")
+            normalized.add((min(u, v), max(u, v)))
+        self.edges = sorted(normalized)
+
+    @property
+    def vertices(self):
+        return range(self.num_vertices)
+
+    def degree(self, vertex):
+        return sum(1 for u, v in self.edges if vertex in (u, v))
+
+    def __repr__(self):
+        return f"Graph({self.num_vertices}, {len(self.edges)} edges)"
+
+
+def is_vertex_cover(graph, cover):
+    """Does ``cover`` touch every edge?"""
+    cover = set(cover)
+    return all(u in cover or v in cover for u, v in graph.edges)
+
+
+def has_vertex_cover(graph, k):
+    """Exhaustively decide a size-``k`` cover (small graphs only).
+
+    >>> has_vertex_cover(Graph(3, [(0, 1), (1, 2)]), 1)
+    True
+    """
+    if k >= graph.num_vertices:
+        return True
+    for candidate in combinations(range(graph.num_vertices), k):
+        if is_vertex_cover(graph, candidate):
+            return True
+    return False
+
+
+def minimum_vertex_cover(graph):
+    """The smallest cover, by exhaustive search."""
+    for k in range(graph.num_vertices + 1):
+        for candidate in combinations(range(graph.num_vertices), k):
+            if is_vertex_cover(graph, candidate):
+                return set(candidate)
+    return set(graph.vertices)
+
+
+def random_graph(num_vertices, edge_probability=0.5, seed=0):
+    """An Erdős–Rényi graph with at least one edge (reduction precondition)."""
+    rng = derive_rng(seed, "random_graph")
+    edges = [
+        (u, v)
+        for u in range(num_vertices)
+        for v in range(u + 1, num_vertices)
+        if rng.random() < edge_probability
+    ]
+    if not edges and num_vertices >= 2:
+        edges = [(0, 1)]
+    return Graph(num_vertices, edges)

@@ -1,0 +1,34 @@
+"""Hypothetical reasoning over (abstracted) provenance.
+
+Scenario specification, raw-vs-abstracted speedup and accuracy analysis
+(Figure 10), and the §6 sampling-based online compression pipeline.
+"""
+
+from repro.scenarios.analysis import (
+    SpeedupReport,
+    approximate_lift,
+    assignment_speedup,
+    scenario_error,
+)
+from repro.scenarios.sampling import (
+    OnlineCompressionResult,
+    adapt_bound,
+    extrapolate_size,
+    online_compress,
+    sample_polynomials,
+)
+from repro.scenarios.scenario import Scenario, ScenarioSuite
+
+__all__ = [
+    "Scenario",
+    "ScenarioSuite",
+    "SpeedupReport",
+    "assignment_speedup",
+    "approximate_lift",
+    "scenario_error",
+    "sample_polynomials",
+    "adapt_bound",
+    "extrapolate_size",
+    "online_compress",
+    "OnlineCompressionResult",
+]

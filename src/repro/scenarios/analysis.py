@@ -1,0 +1,123 @@
+"""Raw-vs-abstracted what-if analysis: speedup and accuracy.
+
+Two quantities matter once provenance is abstracted:
+
+* **assignment speedup** (Figure 10): how much faster scenarios valuate
+  on the compressed polynomials — compression is useful precisely
+  because each analyst applies many valuations;
+* **accuracy**: scenarios uniform on the chosen groups are answered
+  *exactly* (the lifting homomorphism); non-uniform scenarios are
+  answered approximately by valuating each meta-variable at a
+  representative of its group's values — the "reasonable loss of
+  accuracy" the abstract trades for size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.valuation import Valuation
+from repro.util.timing import time_call
+
+__all__ = [
+    "SpeedupReport",
+    "assignment_speedup",
+    "approximate_lift",
+    "scenario_error",
+]
+
+
+@dataclass
+class SpeedupReport:
+    """Timing comparison of scenario application, raw vs abstracted."""
+
+    raw_seconds: float
+    abstracted_seconds: float
+    raw_size: int
+    abstracted_size: int
+
+    @property
+    def speedup_percent(self):
+        """``100 · (1 − t_abstracted / t_raw)`` (Figure 10's y-axis)."""
+        if self.raw_seconds == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.abstracted_seconds / self.raw_seconds)
+
+    @property
+    def compression_ratio(self):
+        """``|P↓S|_M / |P|_M``."""
+        if self.raw_size == 0:
+            return 1.0
+        return self.abstracted_size / self.raw_size
+
+
+def assignment_speedup(polynomials, abstracted, scenarios, vvs=None, repeat=3):
+    """Time a scenario suite on raw vs abstracted provenance.
+
+    Scenarios are lifted onto meta-variables when a ``vvs`` is given
+    (exactly, when uniform; via :func:`approximate_lift` otherwise) so
+    both sides do equivalent work.
+    """
+    raw_valuations = [s.valuation() for s in scenarios]
+    if vvs is None:
+        abstracted_valuations = raw_valuations
+    else:
+        abstracted_valuations = [
+            s.lift(vvs) if s.is_supported_by(vvs) else approximate_lift(s, vvs)
+            for s in scenarios
+        ]
+
+    def run(polys, valuations):
+        out = []
+        for valuation in valuations:
+            out.append(valuation.evaluate(polys))
+        return out
+
+    raw_seconds, _ = time_call(run, polynomials, raw_valuations, repeat=repeat)
+    abstracted_seconds, _ = time_call(
+        run, abstracted, abstracted_valuations, repeat=repeat
+    )
+    return SpeedupReport(
+        raw_seconds=raw_seconds,
+        abstracted_seconds=abstracted_seconds,
+        raw_size=polynomials.num_monomials,
+        abstracted_size=abstracted.num_monomials,
+    )
+
+
+def approximate_lift(scenario, vvs, default=1.0):
+    """Best-effort valuation on meta-variables for a non-uniform scenario.
+
+    Each group's meta-variable takes the *mean* of its leaves' values —
+    the least-squares representative. Exact when the scenario is
+    uniform on the group.
+    """
+    valuation = scenario.valuation(default)
+    lifted = dict(valuation.assignment)
+    for label in vvs.labels:
+        group = vvs.group(label)
+        values = [valuation[leaf] for leaf in group]
+        for leaf in group:
+            lifted.pop(leaf, None)
+        mean = sum(values) / len(values)
+        if mean != default:
+            lifted[label] = mean
+    return Valuation(lifted, default=default)
+
+
+def scenario_error(polynomials, abstracted, vvs, scenario):
+    """Per-polynomial relative error of the abstracted answer.
+
+    Returns a list of ``|approx − exact| / max(1, |exact|)`` values —
+    all zeros when the scenario is uniform on the VVS (the lossless
+    case, asserted by property tests).
+    """
+    exact = scenario.valuation().evaluate(polynomials)
+    if scenario.is_supported_by(vvs):
+        lifted = scenario.lift(vvs)
+    else:
+        lifted = approximate_lift(scenario, vvs)
+    approx = lifted.evaluate(abstracted)
+    return [
+        abs(a - e) / max(1.0, abs(e)) for a, e in zip(approx, exact)
+    ]

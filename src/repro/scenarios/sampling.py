@@ -1,0 +1,133 @@
+"""Online compression via sampling — the §6 future-work pipeline.
+
+The paper's proposal: instead of computing full provenance and then
+compressing, (1) generate provenance for a *sample*, (2) choose a VVS on
+the sample with an *adapted bound*, (3) generate/compress the full
+provenance directly over the chosen meta-variables. Two gaps are called
+out in §6 and implemented here with the paper's suggested heuristics:
+
+* **bound adaptation** — scale the bound by the sample-to-full
+  provenance size ratio ("the first multiplied by the second");
+* **full-size estimation** — extrapolate the full provenance size from
+  samples of increasing size (the paper cites extrapolation methods
+  [14]; we fit a low-degree polynomial with numpy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy
+
+from repro.core.abstraction import abstract_counts, ensure_set
+from repro.core.forest import AbstractionForest, ValidVariableSet
+from repro.core.polynomial import PolynomialSet
+from repro.core.tree import AbstractionTree
+from repro.algorithms.greedy import greedy_vvs
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "sample_polynomials",
+    "adapt_bound",
+    "extrapolate_size",
+    "online_compress",
+    "OnlineCompressionResult",
+]
+
+
+def sample_polynomials(polynomials, fraction, seed=0):
+    """A uniform sample of the polynomial multiset (at least one).
+
+    Uniform sampling of *output* polynomials corresponds to the §6
+    heuristic of sampling the relation holding the grouping attributes
+    (each group's polynomial is kept or dropped wholesale).
+    """
+    polynomials = ensure_set(polynomials)
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rng = derive_rng(seed, "sample_polynomials")
+    count = max(1, round(len(polynomials) * fraction))
+    indices = sorted(rng.sample(range(len(polynomials)), count))
+    return PolynomialSet([polynomials[i] for i in indices])
+
+
+def adapt_bound(bound, full_size, sample_size):
+    """§6's bound heuristic: scale by the sample/full size ratio."""
+    if full_size <= 0:
+        return bound
+    scaled = round(bound * sample_size / full_size)
+    return max(1, scaled)
+
+
+def extrapolate_size(fractions, sizes, degree=1):
+    """Estimate the full provenance size from sampled sizes.
+
+    Fits ``size ≈ poly(fraction)`` of the given degree and evaluates at
+    ``fraction = 1`` — the paper's "perform multiple samples of
+    increasing sizes … and extrapolate" heuristic.
+
+    >>> round(extrapolate_size([0.1, 0.2, 0.4], [11, 19, 42]))
+    104
+    """
+    if len(fractions) < degree + 1:
+        raise ValueError(
+            f"need at least {degree + 1} samples for degree {degree}"
+        )
+    coefficients = numpy.polyfit(fractions, sizes, degree)
+    return float(numpy.polyval(coefficients, 1.0))
+
+
+@dataclass
+class OnlineCompressionResult:
+    """Outcome of the sample-then-abstract pipeline."""
+
+    vvs: ValidVariableSet
+    sample_fraction: float
+    sample_bound: int
+    requested_bound: int
+    achieved_size: int
+    achieved_granularity: int
+
+    @property
+    def within_bound(self):
+        return self.achieved_size <= self.requested_bound
+
+
+def online_compress(
+    polynomials,
+    forest,
+    bound,
+    fraction=0.1,
+    seed=0,
+    algorithm=greedy_vvs,
+):
+    """Choose a VVS on a sample; apply it to the full provenance.
+
+    ``algorithm`` is any ``(polynomials, forest, bound) → result`` — the
+    greedy by default (works for forests); pass
+    :func:`repro.algorithms.optimal.optimal_vvs` for single trees.
+
+    The returned VVS is chosen *without ever compressing the full set*,
+    which is the online pipeline's entire point; ``achieved_size``
+    reports how well the sample's choice transfers.
+    """
+    polynomials = ensure_set(polynomials)
+    if isinstance(forest, AbstractionTree):
+        forest = AbstractionForest([forest])
+    sample = sample_polynomials(polynomials, fraction, seed)
+    sample_bound = adapt_bound(
+        bound, polynomials.num_monomials, sample.num_monomials
+    )
+    # Clean against the FULL variable set so the sample's VVS remains
+    # valid for the full provenance (the sample may miss variables).
+    cleaned = forest.clean(polynomials)
+    result = algorithm(sample, cleaned, sample_bound, clean=False)
+    size, granularity = abstract_counts(polynomials, result.vvs.mapping())
+    return OnlineCompressionResult(
+        vvs=result.vvs,
+        sample_fraction=fraction,
+        sample_bound=sample_bound,
+        requested_bound=bound,
+        achieved_size=size,
+        achieved_granularity=granularity,
+    )

@@ -1,0 +1,101 @@
+"""Hypothetical scenarios: named, composable parameter changes.
+
+A scenario is a multiplicative change to scenario variables — "what if
+the ppm of all plans decreased by 20% in March?" is
+``Scenario("march-discount", {"m3": 0.8})``. Applying a scenario to a
+provenance polynomial (rather than re-running the query) is the whole
+point of provisioning (§1).
+"""
+
+from __future__ import annotations
+
+from repro.core.valuation import Valuation
+
+__all__ = ["Scenario", "ScenarioSuite"]
+
+
+class Scenario:
+    """A named assignment of multipliers to scenario variables.
+
+    >>> s = Scenario("q1-discount", {"m1": 0.8, "m2": 0.8, "m3": 0.8})
+    >>> s.valuation()["m2"]
+    0.8
+    """
+
+    __slots__ = ("name", "changes")
+
+    def __init__(self, name, changes):
+        self.name = str(name)
+        self.changes = dict(changes)
+
+    @classmethod
+    def uniform(cls, name, variables, multiplier):
+        """The same multiplier on every listed variable.
+
+        >>> Scenario.uniform("all-up", ["a", "b"], 1.1).changes
+        {'a': 1.1, 'b': 1.1}
+        """
+        return cls(name, {var: multiplier for var in variables})
+
+    def valuation(self, default=1.0):
+        """The scenario as a :class:`~repro.core.valuation.Valuation`."""
+        return Valuation(self.changes, default=default)
+
+    def compose(self, other, name=None):
+        """Apply both scenarios (multipliers multiply on overlap)."""
+        changes = dict(self.changes)
+        for var, multiplier in other.changes.items():
+            changes[var] = changes.get(var, 1.0) * multiplier
+        return Scenario(name or f"{self.name}+{other.name}", changes)
+
+    def evaluate(self, polynomials):
+        """Value(s) of the provenance under this scenario."""
+        return self.valuation().evaluate(polynomials)
+
+    def is_supported_by(self, vvs):
+        """Can the abstracted provenance answer this scenario exactly?
+
+        True iff the scenario is uniform on every group of the VVS —
+        the formal version of "the abstraction supports the anticipated
+        hypothetical scenarios".
+        """
+        return self.valuation().is_uniform_on(vvs)
+
+    def lift(self, vvs, default=1.0):
+        """The scenario on meta-variables (raises if unsupported)."""
+        return self.valuation(default).lift(vvs)
+
+    def __repr__(self):
+        return f"Scenario({self.name!r}, {len(self.changes)} changes)"
+
+
+class ScenarioSuite:
+    """An ordered collection of scenarios evaluated together.
+
+    The paper's use case sends compressed provenance to analysts who
+    each run *multiple* scenarios — suites are what the Figure 10
+    assignment-speedup experiment times.
+    """
+
+    __slots__ = ("scenarios",)
+
+    def __init__(self, scenarios=None):
+        self.scenarios = list(scenarios) if scenarios else []
+
+    def add(self, scenario):
+        self.scenarios.append(scenario)
+        return self
+
+    def __iter__(self):
+        return iter(self.scenarios)
+
+    def __len__(self):
+        return len(self.scenarios)
+
+    def evaluate(self, polynomials):
+        """``{scenario name: value(s)}`` over the provenance."""
+        return {s.name: s.evaluate(polynomials) for s in self.scenarios}
+
+    def supported_by(self, vvs):
+        """The sub-suite the abstraction answers exactly."""
+        return ScenarioSuite([s for s in self.scenarios if s.is_supported_by(vvs)])

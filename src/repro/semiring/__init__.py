@@ -1,0 +1,51 @@
+"""Semiring substrate (Green et al., the paper's reference [36]).
+
+Standard semirings, the universal polynomial semiring ``N[X]``, and the
+homomorphisms that specialize stored provenance to concrete scenarios.
+"""
+
+from repro.semiring.base import Semiring
+from repro.semiring.homomorphism import Homomorphism, evaluate_in
+from repro.semiring.polynomial_semiring import PROVENANCE, PolynomialSemiring
+from repro.semiring.standard import (
+    BOOLEAN,
+    FUZZY,
+    LINEAGE,
+    NATURAL,
+    REAL,
+    TROPICAL,
+    VITERBI,
+    WHY,
+    BooleanSemiring,
+    FuzzySemiring,
+    LineageSemiring,
+    NaturalSemiring,
+    RealSemiring,
+    TropicalSemiring,
+    ViterbiSemiring,
+    WhySemiring,
+)
+
+__all__ = [
+    "Semiring",
+    "Homomorphism",
+    "evaluate_in",
+    "PolynomialSemiring",
+    "PROVENANCE",
+    "BooleanSemiring",
+    "NaturalSemiring",
+    "RealSemiring",
+    "TropicalSemiring",
+    "ViterbiSemiring",
+    "FuzzySemiring",
+    "LineageSemiring",
+    "WhySemiring",
+    "BOOLEAN",
+    "NATURAL",
+    "REAL",
+    "TROPICAL",
+    "VITERBI",
+    "FUZZY",
+    "LINEAGE",
+    "WHY",
+]

@@ -1,0 +1,84 @@
+"""Commutative semirings — the algebraic substrate of K-relations.
+
+Green, Karvounarakis & Tannen (PODS 2007, the paper's reference [36])
+annotate database tuples with elements of a commutative semiring
+``(K, ⊕, ⊗, 0, 1)``; positive relational algebra then combines
+annotations: joins multiply, unions/projections add. The provenance
+polynomials this repository abstracts are the elements of the *free*
+(universal) semiring ``N[X]``; evaluating them in another semiring (via
+:mod:`repro.semiring.homomorphism`) specializes provenance to set/bag
+semantics, trust, cost, probability, …
+
+A semiring here is an object with ``zero``, ``one``, ``plus`` and
+``times`` — plain and explicit, per the style guide, rather than any
+metaclass magic.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Semiring"]
+
+
+class Semiring:
+    """Base class for commutative semirings.
+
+    Subclasses must provide ``zero``, ``one`` attributes and
+    ``plus``/``times`` methods. The base class supplies n-ary folds and
+    a generic natural-number embedding (``n ↦ 1 ⊕ … ⊕ 1``), which
+    subclasses override when a faster embedding exists.
+    """
+
+    #: Human-readable name used in reprs and error messages.
+    name = "semiring"
+
+    zero = None
+    one = None
+
+    def plus(self, a, b):
+        raise NotImplementedError
+
+    def times(self, a, b):
+        raise NotImplementedError
+
+    def sum(self, values):
+        """``⊕``-fold of an iterable (``zero`` for an empty one)."""
+        total = self.zero
+        for value in values:
+            total = self.plus(total, value)
+        return total
+
+    def product(self, values):
+        """``⊗``-fold of an iterable (``one`` for an empty one)."""
+        total = self.one
+        for value in values:
+            total = self.times(total, value)
+        return total
+
+    def power(self, value, exponent):
+        """``value ⊗ … ⊗ value`` (``exponent`` times; ``one`` for 0)."""
+        if exponent < 0:
+            raise ValueError(f"exponent must be >= 0, got {exponent}")
+        result = self.one
+        for _ in range(exponent):
+            result = self.times(result, value)
+        return result
+
+    def from_int(self, n):
+        """Embed a natural number: ``n ↦ Σⁿ 1``.
+
+        This is the unique semiring homomorphism from ``N`` and is what
+        lets integer polynomial coefficients evaluate anywhere.
+        """
+        if n < 0:
+            raise ValueError(f"cannot embed negative {n} into a semiring")
+        result = self.zero
+        for _ in range(n):
+            result = self.plus(result, self.one)
+        return result
+
+    def is_zero(self, value):
+        """Annotation-is-absent test (used to drop tuples)."""
+        return value == self.zero
+
+    def __repr__(self):
+        return f"<{self.name}>"

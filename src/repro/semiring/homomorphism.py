@@ -1,0 +1,81 @@
+"""Semiring homomorphisms: specializing provenance polynomials.
+
+The factorization property of ``N[X]`` (Green et al.): any assignment
+``X → K`` into a commutative semiring ``K`` extends uniquely to a
+semiring homomorphism ``N[X] → K``. Concretely, a polynomial
+``Σ cᵢ · Πⱼ xⱼ^eⱼ`` evaluates to ``⊕ᵢ (from_int(cᵢ) ⊗ ⊗ⱼ σ(xⱼ)^eⱼ)``.
+
+This is the bridge between the abstraction framework (which manipulates
+polynomials symbolically) and concrete hypothetical scenarios: Boolean
+assignments answer tuple-deletion what-ifs, real assignments answer the
+paper's price-change what-ifs, and so on — all from the *same* stored
+provenance.
+"""
+
+from __future__ import annotations
+
+from repro.core.polynomial import Polynomial, PolynomialSet
+
+__all__ = ["evaluate_in", "Homomorphism"]
+
+
+def evaluate_in(polynomial, semiring, assignment, default=None):
+    """Evaluate ``polynomial`` in ``semiring`` under ``assignment``.
+
+    :param assignment: mapping variable → semiring element.
+    :param default: value for unassigned variables; defaults to
+        ``semiring.one`` (the neutral "unchanged"/"present" choice).
+
+    >>> from repro.core.parser import parse
+    >>> from repro.semiring.standard import BOOLEAN, NATURAL
+    >>> p = parse("x*y + 2*z")
+    >>> evaluate_in(p, BOOLEAN, {"x": True, "y": False, "z": False})
+    False
+    >>> evaluate_in(p, NATURAL, {"x": 3, "y": 2, "z": 5})
+    16
+    """
+    if default is None:
+        default = semiring.one
+    total = semiring.zero
+    for monomial, coeff in polynomial.terms.items():
+        if isinstance(coeff, float) and not coeff.is_integer():
+            raise ValueError(
+                f"coefficient {coeff} is not a natural number; generic "
+                "semiring evaluation applies to N[X] provenance"
+            )
+        term = semiring.from_int(int(coeff))
+        for var, exp in monomial.powers:
+            value = assignment.get(var, default)
+            term = semiring.times(term, semiring.power(value, exp))
+        total = semiring.plus(total, term)
+    return total
+
+
+class Homomorphism:
+    """A reusable ``N[X] → K`` homomorphism (fixed semiring + assignment).
+
+    >>> from repro.core.parser import parse
+    >>> from repro.semiring.standard import TROPICAL
+    >>> h = Homomorphism(TROPICAL, {"x": 2.0, "y": 3.0})
+    >>> h(parse("x*y + x"))
+    2.0
+    """
+
+    __slots__ = ("semiring", "assignment", "default")
+
+    def __init__(self, semiring, assignment, default=None):
+        self.semiring = semiring
+        self.assignment = dict(assignment)
+        self.default = semiring.one if default is None else default
+
+    def __call__(self, polynomials):
+        if isinstance(polynomials, Polynomial):
+            return evaluate_in(
+                polynomials, self.semiring, self.assignment, self.default
+            )
+        if isinstance(polynomials, PolynomialSet):
+            return [
+                evaluate_in(p, self.semiring, self.assignment, self.default)
+                for p in polynomials
+            ]
+        raise TypeError(f"expected Polynomial(Set), got {type(polynomials).__name__}")

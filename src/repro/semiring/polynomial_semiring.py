@@ -1,0 +1,52 @@
+"""``N[X]`` — provenance polynomials as the universal semiring.
+
+The free commutative semiring over the variable set ``X``: elements are
+:class:`~repro.core.polynomial.Polynomial` values with natural-number
+coefficients; ``⊕``/``⊗`` are polynomial addition and multiplication.
+Green et al. (the paper's [36], and [35] for the hierarchy) show this is
+the most informative annotation domain — the engine in
+:mod:`repro.engine` annotates with it by default, producing exactly the
+provenance polynomials the abstraction framework consumes.
+"""
+
+from __future__ import annotations
+
+from repro.core.polynomial import Monomial, Polynomial
+from repro.semiring.base import Semiring
+
+__all__ = ["PolynomialSemiring", "PROVENANCE"]
+
+
+class PolynomialSemiring(Semiring):
+    """The free semiring ``N[X]`` over variable annotations."""
+
+    name = "N[X]"
+    zero = Polynomial.zero()
+    one = Polynomial.constant(1)
+
+    def plus(self, a, b):
+        return a + b
+
+    def times(self, a, b):
+        return a * b
+
+    def from_int(self, n):
+        if n < 0:
+            raise ValueError(f"cannot embed negative {n} into a semiring")
+        return Polynomial.constant(n) if n else Polynomial.zero()
+
+    def is_zero(self, value):
+        return not value
+
+    @staticmethod
+    def variable(name):
+        """The generator ``x ∈ X`` as an annotation."""
+        return Polynomial.variable(name)
+
+    @staticmethod
+    def monomial(*factors):
+        """Annotation ``x·y·…`` from variable names/(name, exp) pairs."""
+        return Polynomial({Monomial.of(*factors): 1})
+
+
+PROVENANCE = PolynomialSemiring()

@@ -1,0 +1,217 @@
+"""The standard semirings of the provenance literature.
+
+Each instance witnesses one point of Green's specialization hierarchy:
+``N[X]`` (our :class:`~repro.core.polynomial.Polynomial`) is universal,
+and evaluating it in any semiring below recovers the corresponding
+classical provenance notion:
+
+* :data:`BOOLEAN` — set semantics / possibility;
+* :data:`NATURAL` — bag semantics (multiplicities);
+* :data:`TROPICAL` — min-cost derivations;
+* :data:`VITERBI` — best-derivation probability;
+* :data:`FUZZY` — fuzzy membership;
+* :data:`LINEAGE` — which base tuples matter (a set of variables);
+* :data:`WHY` — witness bases (sets of sets of variables).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.semiring.base import Semiring
+
+__all__ = [
+    "BooleanSemiring",
+    "NaturalSemiring",
+    "RealSemiring",
+    "TropicalSemiring",
+    "ViterbiSemiring",
+    "FuzzySemiring",
+    "LineageSemiring",
+    "WhySemiring",
+    "BOOLEAN",
+    "NATURAL",
+    "REAL",
+    "TROPICAL",
+    "VITERBI",
+    "FUZZY",
+    "LINEAGE",
+    "WHY",
+]
+
+
+class BooleanSemiring(Semiring):
+    """``({False, True}, ∨, ∧)`` — set semantics."""
+
+    name = "boolean"
+    zero = False
+    one = True
+
+    def plus(self, a, b):
+        return a or b
+
+    def times(self, a, b):
+        return a and b
+
+    def from_int(self, n):
+        if n < 0:
+            raise ValueError(f"cannot embed negative {n} into a semiring")
+        return n > 0
+
+
+class NaturalSemiring(Semiring):
+    """``(N, +, ×)`` — bag semantics."""
+
+    name = "natural"
+    zero = 0
+    one = 1
+
+    def plus(self, a, b):
+        return a + b
+
+    def times(self, a, b):
+        return a * b
+
+    def from_int(self, n):
+        if n < 0:
+            raise ValueError(f"cannot embed negative {n} into a semiring")
+        return n
+
+
+class RealSemiring(Semiring):
+    """``(R≥0, +, ×)`` — expectations, scores, aggregate values."""
+
+    name = "real"
+    zero = 0.0
+    one = 1.0
+
+    def plus(self, a, b):
+        return a + b
+
+    def times(self, a, b):
+        return a * b
+
+    def from_int(self, n):
+        if n < 0:
+            raise ValueError(f"cannot embed negative {n} into a semiring")
+        return float(n)
+
+
+class TropicalSemiring(Semiring):
+    """``(R∪{∞}, min, +)`` — cheapest-derivation cost."""
+
+    name = "tropical"
+    zero = math.inf
+    one = 0.0
+
+    def plus(self, a, b):
+        return min(a, b)
+
+    def times(self, a, b):
+        return a + b
+
+    def from_int(self, n):
+        if n < 0:
+            raise ValueError(f"cannot embed negative {n} into a semiring")
+        return math.inf if n == 0 else 0.0
+
+
+class ViterbiSemiring(Semiring):
+    """``([0,1], max, ×)`` — most-likely derivation."""
+
+    name = "viterbi"
+    zero = 0.0
+    one = 1.0
+
+    def plus(self, a, b):
+        return max(a, b)
+
+    def times(self, a, b):
+        return a * b
+
+    def from_int(self, n):
+        if n < 0:
+            raise ValueError(f"cannot embed negative {n} into a semiring")
+        return 0.0 if n == 0 else 1.0
+
+
+class FuzzySemiring(Semiring):
+    """``([0,1], max, min)`` — fuzzy membership."""
+
+    name = "fuzzy"
+    zero = 0.0
+    one = 1.0
+
+    def plus(self, a, b):
+        return max(a, b)
+
+    def times(self, a, b):
+        return min(a, b)
+
+    def from_int(self, n):
+        if n < 0:
+            raise ValueError(f"cannot embed negative {n} into a semiring")
+        return 0.0 if n == 0 else 1.0
+
+
+class LineageSemiring(Semiring):
+    """Sets of contributing variables; ``⊕ = ⊗ = ∪`` with a distinct 0.
+
+    ``zero`` is ``None`` (no derivation at all), distinct from the empty
+    set (a derivation using no base tuples).
+    """
+
+    name = "lineage"
+    zero = None
+    one = frozenset()
+
+    def plus(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a | b
+
+    def times(self, a, b):
+        if a is None or b is None:
+            return None
+        return a | b
+
+    def from_int(self, n):
+        if n < 0:
+            raise ValueError(f"cannot embed negative {n} into a semiring")
+        return None if n == 0 else frozenset()
+
+
+class WhySemiring(Semiring):
+    """Why-provenance: sets of witness sets.
+
+    ``⊕`` unions the witness collections, ``⊗`` pairs them
+    (``{a ∪ b | a ∈ A, b ∈ B}``). Elements are frozensets of frozensets
+    of variable names.
+    """
+
+    name = "why"
+    zero = frozenset()
+    one = frozenset([frozenset()])
+
+    def plus(self, a, b):
+        return a | b
+
+    def times(self, a, b):
+        return frozenset(x | y for x in a for y in b)
+
+    def from_int(self, n):
+        if n < 0:
+            raise ValueError(f"cannot embed negative {n} into a semiring")
+        return self.zero if n == 0 else self.one
+
+
+BOOLEAN = BooleanSemiring()
+NATURAL = NaturalSemiring()
+REAL = RealSemiring()
+TROPICAL = TropicalSemiring()
+VITERBI = ViterbiSemiring()
+FUZZY = FuzzySemiring()
+LINEAGE = LineageSemiring()
+WHY = WhySemiring()

@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic RNG, timing helpers, table formatting."""
+
+from repro.util.rng import derive_rng, derive_seed
+from repro.util.tables import format_table
+from repro.util.timing import Timer, time_call
+
+__all__ = ["derive_rng", "derive_seed", "format_table", "Timer", "time_call"]

@@ -1,0 +1,42 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows/series the paper reports;
+this module renders them as aligned ASCII tables so ``pytest -s`` output
+is directly readable (and diffable across runs).
+"""
+
+__all__ = ["format_table"]
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers, rows, title=None):
+    """Render ``rows`` (iterable of iterables) under ``headers``.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], ["x", 3]]))
+    a | b
+    --+----
+    1 | 2.5
+    x | 3
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

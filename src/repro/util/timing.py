@@ -1,0 +1,53 @@
+"""Small timing helpers used by the experiment harness.
+
+``pytest-benchmark`` drives the microbenchmarks; these helpers serve the
+experiment *tables* (paper figures report wall-clock seconds of whole
+algorithm runs, which we measure directly).
+"""
+
+import time
+
+__all__ = ["Timer", "time_call"]
+
+
+class Timer:
+    """Context manager measuring wall-clock time.
+
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    499500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.elapsed = time.perf_counter() - self._start
+        return False
+
+
+def time_call(fn, *args, repeat=1, **kwargs):
+    """Call ``fn`` ``repeat`` times; return ``(best_seconds, last_result)``.
+
+    The *minimum* over repeats is reported, following the usual
+    microbenchmark advice (minimum is the least noisy location estimate
+    for a deterministic computation).
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    best = None
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result

@@ -1,0 +1,44 @@
+"""Benchmark workloads: telephony running example, TPC-H, tree catalog."""
+
+from repro.workloads.induction import induce_forest, induce_tree
+from repro.workloads.random_polys import (
+    random_compatible_instance,
+    random_polynomials,
+)
+from repro.workloads.telephony import (
+    TelephonyBenchmark,
+    example13_polynomials,
+    figure1_database,
+    figure1_plan_variables,
+    months_tree,
+    plans_tree,
+    revenue_by_zip,
+)
+from repro.workloads.trees import (
+    TREE_CATALOG,
+    binary_tree,
+    catalog_tree,
+    layered_tree,
+    random_tree,
+    table2_rows,
+)
+
+__all__ = [
+    "TelephonyBenchmark",
+    "figure1_database",
+    "figure1_plan_variables",
+    "example13_polynomials",
+    "plans_tree",
+    "months_tree",
+    "revenue_by_zip",
+    "layered_tree",
+    "catalog_tree",
+    "binary_tree",
+    "random_tree",
+    "TREE_CATALOG",
+    "table2_rows",
+    "random_polynomials",
+    "random_compatible_instance",
+    "induce_tree",
+    "induce_forest",
+]

@@ -1,0 +1,92 @@
+"""Synthetic provenance generators for tests and micro-benchmarks.
+
+Generates polynomial multisets that are *compatible by construction*
+with a set of variable pools: each monomial draws at most one variable
+from each pool, so any forest whose trees partition single pools is
+compatible (§2.2's requirement).
+"""
+
+from __future__ import annotations
+
+from repro.core.polynomial import Monomial, Polynomial, PolynomialSet
+from repro.util.rng import derive_rng
+
+__all__ = ["random_polynomials", "random_compatible_instance"]
+
+
+def random_polynomials(
+    num_polynomials,
+    monomials_per_polynomial,
+    variable_pools,
+    seed=0,
+    extra_variables=0,
+    coefficient_range=(1, 100),
+):
+    """A random compatible PolynomialSet.
+
+    :param variable_pools: list of variable-name lists; each monomial
+        uses at most one variable per pool (drawn with probability 0.9).
+    :param extra_variables: number of free variables outside any pool
+        (sprinkled in with probability 0.5 each monomial — these model
+        the non-abstracted indeterminates of real provenance).
+
+    >>> ps = random_polynomials(3, 5, [["a", "b"], ["x", "y"]], seed=1)
+    >>> len(ps)
+    3
+    >>> all(p.num_monomials <= 5 for p in ps)
+    True
+    """
+    rng = derive_rng(seed, "random_polynomials")
+    free = [f"w{i}" for i in range(extra_variables)]
+    low, high = coefficient_range
+    polynomials = []
+    for _ in range(num_polynomials):
+        polynomial = Polynomial.zero()
+        for _ in range(monomials_per_polynomial):
+            factors = []
+            for pool in variable_pools:
+                if pool and rng.random() < 0.9:
+                    factors.append(pool[rng.randrange(len(pool))])
+            if free and rng.random() < 0.5:
+                factors.append(free[rng.randrange(len(free))])
+            coefficient = rng.randint(low, high)
+            polynomial = polynomial + Polynomial(
+                {Monomial.of(*factors): coefficient}
+            )
+        polynomials.append(polynomial)
+    return PolynomialSet(polynomials)
+
+
+def random_compatible_instance(
+    seed=0,
+    num_trees=2,
+    leaves_per_tree=8,
+    num_polynomials=4,
+    monomials_per_polynomial=12,
+    max_fanout=3,
+):
+    """A random ``(polynomials, forest)`` pair, compatible by construction.
+
+    Convenience for property-based tests: returns the polynomial set and
+    an :class:`~repro.core.forest.AbstractionForest` whose trees cover
+    disjoint variable pools actually used by the polynomials.
+    """
+    from repro.core.forest import AbstractionForest
+    from repro.workloads.trees import random_tree
+
+    pools = [
+        [f"t{t}v{i}" for i in range(leaves_per_tree)] for t in range(num_trees)
+    ]
+    polynomials = random_polynomials(
+        num_polynomials, monomials_per_polynomial, pools, seed=seed
+    )
+    trees = []
+    for number, pool in enumerate(pools):
+        present = [v for v in pool if v in polynomials.variables]
+        if not present:
+            continue
+        trees.append(
+            random_tree(present, seed=seed + number, max_fanout=max_fanout,
+                        prefix=f"T{number}")
+        )
+    return polynomials, AbstractionForest(trees)

@@ -1,0 +1,275 @@
+"""The telephony-company benchmark (the paper's running example, §4.2).
+
+Two entry points:
+
+* :func:`figure1_database` — the exact database fragment of Figure 1
+  (with customer 1's January duration at 552 minutes so the aggregate
+  reproduces the paper's ``220.8·p1·m1`` monomial; the figure prints
+  522, an arithmetic slip in the paper — see DESIGN.md);
+* :class:`TelephonyBenchmark` — the scaled generator of §4.2: for each
+  customer "select randomly one of 128 possible plans, 5 digit zip code
+  and the total number of calls durations for each month", prices
+  "parametrized by month and plan (by 12 and 128 variables
+  respectively)".
+"""
+
+from __future__ import annotations
+
+from repro.core.parser import parse_set
+from repro.core.tree import AbstractionTree
+from repro.engine.query import Query
+from repro.engine.table import Relation
+from repro.util.rng import derive_rng
+from repro.workloads.trees import layered_tree
+
+__all__ = [
+    "figure1_database",
+    "figure1_plan_variables",
+    "example13_polynomials",
+    "plans_tree",
+    "months_tree",
+    "revenue_by_zip",
+    "TelephonyBenchmark",
+]
+
+# ---------------------------------------------------------------------------
+# The Figure 1 / Examples 1-15 fragment.
+# ---------------------------------------------------------------------------
+
+#: Plan → parameter variable, per Example 13's naming.
+_FIGURE1_PLAN_VARS = {
+    "A": "p1",
+    "B": "p2",
+    "F1": "f1",
+    "F2": "f2",
+    "F3": "f3",
+    "Y1": "y1",
+    "Y2": "y2",
+    "V": "v",
+    "SB1": "b1",
+    "SB2": "b2",
+    "E": "e",
+}
+
+
+def figure1_plan_variables():
+    """The plan→variable naming of Examples 2/13 (copy)."""
+    return dict(_FIGURE1_PLAN_VARS)
+
+
+def figure1_database():
+    """The Figure 1 fragment as three relations (Cust, Calls, Plans)."""
+    cust = Relation.from_rows(
+        ["ID", "Plan", "Zip"],
+        [
+            (1, "A", 10001),
+            (2, "F1", 10001),
+            (3, "SB1", 10002),
+            (4, "Y1", 10001),
+            (5, "V", 10001),
+            (6, "E", 10002),
+            (7, "SB2", 10002),
+        ],
+        name="Cust",
+    )
+    calls = Relation.from_rows(
+        ["CID", "Mo", "Dur"],
+        [
+            # January (the figure prints 522 for customer 1; 552 matches
+            # the polynomial 220.8 = 552 * 0.4 used throughout the paper).
+            (1, 1, 552),
+            (2, 1, 364),
+            (3, 1, 779),
+            (4, 1, 253),
+            (5, 1, 168),
+            (6, 1, 1044),
+            (7, 1, 697),
+            # March
+            (1, 3, 480),
+            (2, 3, 327),
+            (3, 3, 805),
+            (4, 3, 290),
+            (5, 3, 121),
+            (6, 3, 1130),
+            (7, 3, 671),
+        ],
+        name="Calls",
+    )
+    plans = Relation.from_rows(
+        ["Plan", "Mo", "Price"],
+        [
+            ("A", 1, 0.4),
+            ("F1", 1, 0.35),
+            ("Y1", 1, 0.3),
+            ("V", 1, 0.25),
+            ("SB1", 1, 0.1),
+            ("SB2", 1, 0.1),
+            ("E", 1, 0.05),
+            ("A", 3, 0.5),
+            ("F1", 3, 0.35),
+            ("Y1", 3, 0.25),
+            ("V", 3, 0.2),
+            ("SB1", 3, 0.1),
+            ("SB2", 3, 0.15),
+            ("E", 3, 0.05),
+        ],
+        name="Plans",
+    )
+    return cust, calls, plans
+
+
+def example13_polynomials():
+    """``{P1, P2}`` of Example 13, exactly as printed."""
+    return parse_set(
+        [
+            "220.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 + "
+            "75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3",
+            "77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + "
+            "69.7*b2*m1 + 100.65*b2*m3",
+        ]
+    )
+
+
+def plans_tree():
+    """The plans abstraction tree of Figure 2."""
+    return AbstractionTree.from_nested(
+        (
+            "Plans",
+            [
+                ("Standard", ["p1", "p2"]),
+                ("Special", [("Y", ["y1", "y2", "y3"]), ("F", ["f1", "f2"]), "v"]),
+                ("Business", [("SB", ["b1", "b2"]), "e"]),
+            ],
+        )
+    )
+
+
+def months_tree():
+    """The months/quarters abstraction tree of Figure 3."""
+    quarters = []
+    for quarter in range(4):
+        months = [f"m{quarter * 3 + i}" for i in (1, 2, 3)]
+        quarters.append((f"q{quarter + 1}", months))
+    return AbstractionTree.from_nested(("Year", quarters))
+
+
+def revenue_by_zip(cust, calls, plans, plan_variable=None):
+    """The running-example query (§1) with plan/month parameterization.
+
+    ``plan_variable`` maps a plan name to its scenario variable
+    (defaults to the Figure 1 naming for known plans, identity
+    otherwise). Returns an :class:`~repro.engine.aggregates.AggregateResult`
+    whose group polynomials are the paper's revenue provenance.
+    """
+    if plan_variable is None:
+        mapping = _FIGURE1_PLAN_VARS
+
+        def plan_variable(plan):
+            return mapping.get(plan, str(plan))
+
+    return (
+        Query(calls)
+        .join(cust, on=("CID", "ID"))
+        .join(plans, on=["Plan", "Mo"])
+        .group_by("Zip")
+        .sum(
+            lambda row: row["Dur"] * row["Price"],
+            params=lambda row: [plan_variable(row["Plan"]), f"m{row['Mo']}"],
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# The scaled benchmark generator (§4.2).
+# ---------------------------------------------------------------------------
+
+
+class TelephonyBenchmark:
+    """Randomly populated telephony database + its provenance (§4.2).
+
+    :param customers: number of customers (the paper sweeps 10K–5M).
+    :param num_plans: distinct calling plans (paper: 128).
+    :param months: billing months (paper: 12).
+    :param zip_pool: how many distinct zip codes to draw from — this is
+        the number of result polynomials (paper: ~100,000; scale it with
+        ``customers`` to keep groups non-trivial).
+    :param seed: deterministic generator seed.
+
+    >>> bench = TelephonyBenchmark(customers=50, zip_pool=5, seed=7)
+    >>> provenance = bench.provenance()
+    >>> len(provenance) <= 5 and provenance.num_monomials > 0
+    True
+    """
+
+    def __init__(self, customers=1000, num_plans=128, months=12, zip_pool=100, seed=0):
+        self.customers = customers
+        self.num_plans = num_plans
+        self.months = months
+        self.zip_pool = zip_pool
+        self.seed = seed
+        self._relations = None
+
+    @property
+    def plan_names(self):
+        return [f"P{i}" for i in range(self.num_plans)]
+
+    def plan_variable(self, plan):
+        """Plan ``Pi`` is parameterized by variable ``pi``."""
+        return f"p{plan[1:]}"
+
+    @property
+    def plan_variables(self):
+        return [f"p{i}" for i in range(self.num_plans)]
+
+    @property
+    def month_variables(self):
+        return [f"m{i}" for i in range(1, self.months + 1)]
+
+    def relations(self):
+        """Generate (Cust, Calls, Plans) — cached, deterministic."""
+        if self._relations is not None:
+            return self._relations
+        plan_rng = derive_rng(self.seed, "plans")
+        cust_rng = derive_rng(self.seed, "customers")
+        call_rng = derive_rng(self.seed, "calls")
+
+        plan_rows = []
+        for plan in self.plan_names:
+            for month in range(1, self.months + 1):
+                price = round(plan_rng.uniform(0.05, 0.5), 2)
+                plan_rows.append((plan, month, price))
+        plans = Relation.from_rows(["Plan", "Mo", "Price"], plan_rows, name="Plans")
+
+        cust_rows = []
+        call_rows = []
+        for cid in range(1, self.customers + 1):
+            plan = self.plan_names[cust_rng.randrange(self.num_plans)]
+            zip_code = 10000 + cust_rng.randrange(self.zip_pool)
+            cust_rows.append((cid, plan, zip_code))
+            for month in range(1, self.months + 1):
+                duration = call_rng.randint(0, 1500)
+                call_rows.append((cid, month, duration))
+        cust = Relation.from_rows(["ID", "Plan", "Zip"], cust_rows, name="Cust")
+        calls = Relation.from_rows(["CID", "Mo", "Dur"], call_rows, name="Calls")
+        self._relations = (cust, calls, plans)
+        return self._relations
+
+    def provenance(self):
+        """Run the revenue query; one polynomial per zip code."""
+        cust, calls, plans = self.relations()
+        result = revenue_by_zip(cust, calls, plans, self.plan_variable)
+        return result.polynomials
+
+    def plans_abstraction_tree(self, fanouts=(8,)):
+        """A layered tree over the ``num_plans`` plan variables."""
+        return layered_tree(self.plan_variables, fanouts, prefix="plans")
+
+    def months_abstraction_tree(self):
+        """Quarter tree over the month variables (Figure 3 shape)."""
+        if self.months % 3 != 0:
+            return layered_tree(self.month_variables, (1,), prefix="months")
+        quarters = []
+        for quarter in range(self.months // 3):
+            months = [f"m{quarter * 3 + i}" for i in (1, 2, 3)]
+            quarters.append((f"q{quarter + 1}", months))
+        return AbstractionTree.from_nested(("Year", quarters))

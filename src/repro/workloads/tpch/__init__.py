@@ -1,0 +1,36 @@
+"""Scaled TPC-H workload: deterministic dbgen + parameterized queries."""
+
+from repro.workloads.tpch.generator import NATIONS, REGIONS, TPCHDatabase, generate
+from repro.workloads.tpch.queries import (
+    PART_BUCKETS,
+    SUPPLIER_BUCKETS,
+    part_tree,
+    part_variables,
+    q1_pricing_summary,
+    q3_shipping_priority,
+    q5_local_supplier_volume,
+    q6_forecast_revenue,
+    q10_returned_items,
+    query_provenance,
+    supplier_tree,
+    supplier_variables,
+)
+
+__all__ = [
+    "generate",
+    "TPCHDatabase",
+    "REGIONS",
+    "NATIONS",
+    "SUPPLIER_BUCKETS",
+    "PART_BUCKETS",
+    "supplier_variables",
+    "part_variables",
+    "supplier_tree",
+    "part_tree",
+    "q1_pricing_summary",
+    "q3_shipping_priority",
+    "q5_local_supplier_volume",
+    "q6_forecast_revenue",
+    "q10_returned_items",
+    "query_provenance",
+]

@@ -1,0 +1,334 @@
+"""A deterministic, scaled-down TPC-H data generator.
+
+The paper evaluates on TPC-H (reference [2]) at 1–10 GB. This module
+generates the same eight-table schema with the standard cardinality
+ratios (supplier : part : customer : orders : lineitem =
+10K : 200K : 150K : 1.5M : ~6M per scale factor), but runs comfortably
+at small scale factors in pure Python. Value distributions follow the
+spec's shapes (uniform keys, 1992–1998 dates, 0–10% discounts,
+return-flag logic) without the spec's text grammar — the provenance
+*shape* (which is all the abstraction experiments consume) is governed
+by key distributions, not by comment strings.
+
+Everything is seeded: the same ``(scale_factor, seed)`` always produces
+the same database, so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.table import Relation
+from repro.util.rng import derive_rng
+
+__all__ = ["TPCHDatabase", "generate", "REGIONS", "NATIONS"]
+
+#: The five TPC-H regions.
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: The 25 TPC-H nations as (name, region index).
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIPMODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+_BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+_TYPES = [
+    f"{a} {b} {c}"
+    for a in ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+    for b in ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+    for c in ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+]
+
+#: TPC-H's "current date" used by the return-flag rule.
+_CURRENT_DATE = 19950617
+
+
+def _date(year, month, day):
+    return year * 10000 + month * 100 + day
+
+
+def _random_date(rng, start_year=1992, end_year=1998):
+    return _date(rng.randint(start_year, end_year), rng.randint(1, 12), rng.randint(1, 28))
+
+
+def _add_days(date, rng, low, high):
+    """Shift an integer date by a random number of days, coarsely.
+
+    Day arithmetic stays within 1..28 to keep the encoding trivially
+    valid; month/year carry as needed. Precision beyond "a few weeks
+    later" is irrelevant to the workloads.
+    """
+    year, rest = divmod(date, 10000)
+    month, day = divmod(rest, 100)
+    day += rng.randint(low, high)
+    while day > 28:
+        day -= 28
+        month += 1
+        if month > 12:
+            month = 1
+            year += 1
+    return _date(year, month, day)
+
+
+@dataclass
+class TPCHDatabase:
+    """The eight generated relations plus the scale they were built at."""
+
+    scale_factor: float
+    seed: int
+    region: Relation
+    nation: Relation
+    supplier: Relation
+    part: Relation
+    partsupp: Relation
+    customer: Relation
+    orders: Relation
+    lineitem: Relation
+
+    @property
+    def tables(self):
+        """Name → relation, in schema order."""
+        return {
+            "region": self.region,
+            "nation": self.nation,
+            "supplier": self.supplier,
+            "part": self.part,
+            "partsupp": self.partsupp,
+            "customer": self.customer,
+            "orders": self.orders,
+            "lineitem": self.lineitem,
+        }
+
+    @property
+    def total_rows(self):
+        return sum(len(t) for t in self.tables.values())
+
+    def __repr__(self):
+        counts = ", ".join(f"{k}={len(v)}" for k, v in self.tables.items())
+        return f"TPCHDatabase(sf={self.scale_factor}, {counts})"
+
+
+def generate(scale_factor=0.01, seed=0):
+    """Generate a :class:`TPCHDatabase` at the given scale factor.
+
+    Cardinalities follow the TPC-H ratios with sensible minimums so even
+    tiny scale factors yield a usable database.
+
+    >>> db = generate(scale_factor=0.001, seed=1)
+    >>> len(db.region), len(db.nation)
+    (5, 25)
+    >>> len(db.lineitem) > len(db.orders) > len(db.customer)
+    True
+    """
+    num_suppliers = max(10, round(10_000 * scale_factor))
+    num_parts = max(20, round(200_000 * scale_factor))
+    num_customers = max(15, round(150_000 * scale_factor))
+    num_orders = max(30, round(1_500_000 * scale_factor))
+
+    region = Relation.from_rows(
+        ["R_REGIONKEY", "R_NAME"],
+        list(enumerate(REGIONS)),
+        name="region",
+    )
+    nation = Relation.from_rows(
+        ["N_NATIONKEY", "N_NAME", "N_REGIONKEY"],
+        [(key, name, region_key) for key, (name, region_key) in enumerate(NATIONS)],
+        name="nation",
+    )
+
+    rng = derive_rng(seed, "supplier")
+    supplier = Relation.from_rows(
+        ["S_SUPPKEY", "S_NAME", "S_NATIONKEY", "S_ACCTBAL"],
+        [
+            (
+                key,
+                f"Supplier#{key:09d}",
+                rng.randrange(len(NATIONS)),
+                round(rng.uniform(-999.99, 9999.99), 2),
+            )
+            for key in range(1, num_suppliers + 1)
+        ],
+        name="supplier",
+    )
+
+    rng = derive_rng(seed, "part")
+    part = Relation.from_rows(
+        ["P_PARTKEY", "P_NAME", "P_BRAND", "P_TYPE", "P_SIZE", "P_RETAILPRICE"],
+        [
+            (
+                key,
+                f"part {key}",
+                _BRANDS[rng.randrange(len(_BRANDS))],
+                _TYPES[rng.randrange(len(_TYPES))],
+                rng.randint(1, 50),
+                round(900 + (key % 1000) + rng.uniform(0, 100), 2),
+            )
+            for key in range(1, num_parts + 1)
+        ],
+        name="part",
+    )
+
+    def part_supplier(part_key, index):
+        """The TPC-H spec's supplier-of-part formula (4.2.3).
+
+        ``(partkey + index·(S/4 + (partkey−1)/S)) mod S + 1`` — the
+        second term decorrelates supplier and part keys, which matters
+        here: the (sᵢ, pⱼ) bucket pairs of the provenance must spread
+        rather than sit on a diagonal.
+        """
+        spread = num_suppliers // 4 + (part_key - 1) // num_suppliers
+        return (part_key + index * spread) % num_suppliers + 1
+
+    rng = derive_rng(seed, "partsupp")
+    partsupp_rows = []
+    for part_key in range(1, num_parts + 1):
+        for offset in range(4):
+            supp_key = part_supplier(part_key, offset)
+            partsupp_rows.append(
+                (
+                    part_key,
+                    supp_key,
+                    rng.randint(1, 9999),
+                    round(rng.uniform(1.0, 1000.0), 2),
+                )
+            )
+    partsupp = Relation.from_rows(
+        ["PS_PARTKEY", "PS_SUPPKEY", "PS_AVAILQTY", "PS_SUPPLYCOST"],
+        partsupp_rows,
+        name="partsupp",
+    )
+
+    rng = derive_rng(seed, "customer")
+    customer = Relation.from_rows(
+        ["C_CUSTKEY", "C_NAME", "C_NATIONKEY", "C_ACCTBAL", "C_MKTSEGMENT"],
+        [
+            (
+                key,
+                f"Customer#{key:09d}",
+                rng.randrange(len(NATIONS)),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                _SEGMENTS[rng.randrange(len(_SEGMENTS))],
+            )
+            for key in range(1, num_customers + 1)
+        ],
+        name="customer",
+    )
+
+    order_rng = derive_rng(seed, "orders")
+    line_rng = derive_rng(seed, "lineitem")
+    order_rows = []
+    line_rows = []
+    part_price = {row[0]: row[5] for row, _ in part}
+    for order_key in range(1, num_orders + 1):
+        cust_key = order_rng.randint(1, num_customers)
+        order_date = _random_date(order_rng)
+        num_lines = line_rng.randint(1, 7)
+        total = 0.0
+        all_filled = True
+        any_filled = False
+        for line_number in range(1, num_lines + 1):
+            part_key = line_rng.randint(1, num_parts)
+            # A lineitem buys from one of the part's four suppliers.
+            supp_key = part_supplier(part_key, line_rng.randint(0, 3))
+            quantity = line_rng.randint(1, 50)
+            extended = round(quantity * part_price[part_key] / 10.0, 2)
+            discount = round(line_rng.uniform(0.0, 0.10), 2)
+            tax = round(line_rng.uniform(0.0, 0.08), 2)
+            ship_date = _add_days(order_date, line_rng, 1, 121)
+            commit_date = _add_days(order_date, line_rng, 30, 90)
+            receipt_date = _add_days(ship_date, line_rng, 1, 30)
+            if receipt_date <= _CURRENT_DATE:
+                return_flag = "R" if line_rng.random() < 0.5 else "A"
+            else:
+                return_flag = "N"
+            line_status = "F" if ship_date <= _CURRENT_DATE else "O"
+            if line_status == "F":
+                any_filled = True
+            else:
+                all_filled = False
+            total += extended * (1 + tax) * (1 - discount)
+            line_rows.append(
+                (
+                    order_key,
+                    part_key,
+                    supp_key,
+                    line_number,
+                    quantity,
+                    extended,
+                    discount,
+                    tax,
+                    return_flag,
+                    line_status,
+                    ship_date,
+                    commit_date,
+                    receipt_date,
+                    _SHIPMODES[line_rng.randrange(len(_SHIPMODES))],
+                )
+            )
+        status = "F" if all_filled else ("O" if not any_filled else "P")
+        order_rows.append(
+            (
+                order_key,
+                cust_key,
+                status,
+                round(total, 2),
+                order_date,
+                _PRIORITIES[order_rng.randrange(len(_PRIORITIES))],
+                0,
+            )
+        )
+    orders = Relation.from_rows(
+        [
+            "O_ORDERKEY",
+            "O_CUSTKEY",
+            "O_ORDERSTATUS",
+            "O_TOTALPRICE",
+            "O_ORDERDATE",
+            "O_ORDERPRIORITY",
+            "O_SHIPPRIORITY",
+        ],
+        order_rows,
+        name="orders",
+    )
+    lineitem = Relation.from_rows(
+        [
+            "L_ORDERKEY",
+            "L_PARTKEY",
+            "L_SUPPKEY",
+            "L_LINENUMBER",
+            "L_QUANTITY",
+            "L_EXTENDEDPRICE",
+            "L_DISCOUNT",
+            "L_TAX",
+            "L_RETURNFLAG",
+            "L_LINESTATUS",
+            "L_SHIPDATE",
+            "L_COMMITDATE",
+            "L_RECEIPTDATE",
+            "L_SHIPMODE",
+        ],
+        line_rows,
+        name="lineitem",
+    )
+
+    return TPCHDatabase(
+        scale_factor=scale_factor,
+        seed=seed,
+        region=region,
+        nation=nation,
+        supplier=supplier,
+        part=part,
+        partsupp=partsupp,
+        customer=customer,
+        orders=orders,
+        lineitem=lineitem,
+    )

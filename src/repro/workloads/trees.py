@@ -1,0 +1,170 @@
+"""Abstraction-tree generators — the seven tree types of §4.2 / Table 2.
+
+The paper evaluates against balanced trees over 128 variables with
+layer fan-outs chosen so that the number of valid variable sets (cuts)
+sweeps from a handful to ~1.9·10¹⁹. A *layer spec* ``(f₁, …, f_k)``
+means: the root has ``f₁`` children, each of those has ``f₂`` children,
+…; the bottom internal layer splits the leaf labels evenly.
+
+``TREE_CATALOG`` reproduces the paper's Table 2 configurations exactly —
+:func:`table2_rows` recomputes the table's node and VVS counts, and the
+Table 2 benchmark prints it.
+"""
+
+from __future__ import annotations
+
+from repro.core.tree import AbstractionTree, TreeNode
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "layered_tree",
+    "TREE_CATALOG",
+    "catalog_tree",
+    "table2_rows",
+    "random_tree",
+    "binary_tree",
+]
+
+#: Layer fan-outs per paper tree type (over 128 leaves). Types 1 are
+#: 2-level trees, 2–4 are 3-level (root fan-out 2/4/8), 5–7 are 4-level.
+TREE_CATALOG = {
+    1: [(2,), (4,), (8,), (16,), (32,), (64,)],
+    2: [(2, 2), (2, 4), (2, 8), (2, 16), (2, 32)],
+    3: [(4, 2), (4, 4), (4, 8), (4, 16)],
+    4: [(8, 2), (8, 4), (8, 8)],
+    5: [(2, 2, 2), (2, 2, 4), (2, 2, 8), (2, 2, 16)],
+    6: [(2, 4, 2), (2, 4, 4), (2, 4, 8)],
+    7: [(4, 2, 2), (4, 2, 4), (4, 2, 8)],
+}
+
+
+def layered_tree(leaf_labels, fanouts, prefix="g", root_label=None):
+    """A balanced abstraction tree over ``leaf_labels``.
+
+    ``fanouts = (f₁, …, f_k)`` gives each internal layer's fan-out; the
+    product must divide the number of leaves, which are distributed
+    evenly below the bottom internal layer. Internal labels are
+    ``{prefix}_{layer}_{ordinal}``; the root is ``root_label`` or
+    ``{prefix}_root``.
+
+    >>> t = layered_tree([f"s{i}" for i in range(8)], (2, 2), prefix="sp")
+    >>> t.size, t.count_cuts()
+    (15, 26)
+    """
+    leaf_labels = list(leaf_labels)
+    total_groups = 1
+    for fanout in fanouts:
+        if fanout < 1:
+            raise ValueError(f"fan-out must be >= 1, got {fanout}")
+        total_groups *= fanout
+    if total_groups == 0 or len(leaf_labels) % total_groups != 0:
+        raise ValueError(
+            f"{len(leaf_labels)} leaves cannot split evenly into "
+            f"{total_groups} bottom groups (fanouts {fanouts})"
+        )
+    per_group = len(leaf_labels) // total_groups
+    if per_group == 0:
+        raise ValueError("more bottom groups than leaves")
+
+    counters = {}
+
+    def fresh(layer):
+        counters[layer] = counters.get(layer, 0)
+        label = f"{prefix}_{layer}_{counters[layer]}"
+        counters[layer] += 1
+        return label
+
+    def build(layer, chunk):
+        if layer == len(fanouts):
+            # Bottom: `chunk` is a list of leaf labels.
+            return [TreeNode(label) for label in chunk]
+        fanout = fanouts[layer]
+        width = len(chunk) // fanout
+        nodes = []
+        for i in range(fanout):
+            sub = chunk[i * width : (i + 1) * width]
+            children = build(layer + 1, sub)
+            nodes.append(TreeNode(fresh(layer + 1), children))
+        return nodes
+
+    children = build(0, leaf_labels)
+    root = TreeNode(root_label or f"{prefix}_root", children)
+    return AbstractionTree(root)
+
+
+def catalog_tree(tree_type, config_index, leaf_labels, prefix="g"):
+    """The ``config_index``-th Table 2 configuration of ``tree_type``.
+
+    ``leaf_labels`` defaults in the paper to 128 variables; any evenly
+    divisible count works.
+    """
+    configs = TREE_CATALOG.get(tree_type)
+    if configs is None:
+        raise ValueError(f"tree type must be 1..7, got {tree_type}")
+    fanouts = configs[config_index]
+    return layered_tree(leaf_labels, fanouts, prefix=prefix)
+
+
+def table2_rows(num_leaves=128):
+    """Recompute the paper's Table 2: (type, nodes, fanouts, #VVS).
+
+    >>> rows = table2_rows()
+    >>> [r for r in rows if r[0] == 1][0]
+    (1, 131, (2,), 5)
+    """
+    rows = []
+    leaves = [f"x{i}" for i in range(num_leaves)]
+    for tree_type, configs in TREE_CATALOG.items():
+        for fanouts in configs:
+            tree = layered_tree(leaves, fanouts)
+            rows.append((tree_type, tree.size, fanouts, tree.count_cuts()))
+    return rows
+
+
+def binary_tree(leaf_labels, prefix="g"):
+    """A (possibly padded-at-the-top) full binary tree over the leaves.
+
+    The Figure 11 experiment uses "eight (3-level) binary trees, each
+    with 16 leaf[s]": ``binary_tree`` over 16 leaves yields exactly that
+    shape when built as ``layered_tree(leaves, (2, 2))`` — this helper
+    generalizes to any power-of-two leaf count with log₂(n)−1 internal
+    layers collapsed to the paper's 3 levels via ``fanouts``.
+    """
+    leaf_labels = list(leaf_labels)
+    count = len(leaf_labels)
+    if count & (count - 1) or count < 4:
+        raise ValueError(f"binary_tree wants a power-of-two >= 4, got {count}")
+    # 3-level shape used in Figure 11: root -> 2 -> 2 -> leaves/4 each.
+    return layered_tree(leaf_labels, (2, 2), prefix=prefix)
+
+
+def random_tree(leaf_labels, seed=0, max_fanout=4, prefix="g"):
+    """A random abstraction tree (used by property-based tests).
+
+    Builds bottom-up: repeatedly groups 2..max_fanout adjacent nodes
+    until one root remains. Deterministic for a given seed.
+    """
+    rng = derive_rng(seed, f"random_tree:{prefix}")
+    nodes = [TreeNode(label) for label in leaf_labels]
+    if not nodes:
+        raise ValueError("random_tree needs at least one leaf")
+    counter = 0
+    while len(nodes) > 1:
+        grouped = []
+        i = 0
+        while i < len(nodes):
+            take = min(len(nodes) - i, rng.randint(2, max_fanout))
+            if take == 1:
+                grouped.append(nodes[i])
+                i += 1
+                continue
+            children = nodes[i : i + take]
+            grouped.append(TreeNode(f"{prefix}_n{counter}", children))
+            counter += 1
+            i += take
+        nodes = grouped
+    root = nodes[0]
+    if root.is_leaf:
+        # Single leaf: wrap so the tree still offers (trivial) structure.
+        root = TreeNode(f"{prefix}_root", [root])
+    return AbstractionTree(root)

@@ -1,0 +1,160 @@
+"""Unit tests for abstraction application, ML/VL, and the LossIndex."""
+
+import pytest
+
+from repro.core.abstraction import (
+    LossIndex,
+    abstract,
+    abstract_counts,
+    monomial_loss,
+    variable_loss,
+)
+from repro.core.forest import AbstractionForest
+from repro.core.parser import parse, parse_set
+from repro.core.tree import AbstractionTree
+
+
+@pytest.fixture
+def business_polys():
+    return parse_set(
+        ["2*b1*m1 + 3*b1*m3 + 4*b2*m1 + 5*b2*m3 + 6*e*m1 + 7*e*m3"]
+    )
+
+
+@pytest.fixture
+def business_tree():
+    return AbstractionTree.from_nested(("B", [("SB", ["b1", "b2"]), "e"]))
+
+
+class TestAbstract:
+    def test_abstract_merges_monomials(self, business_polys, business_tree):
+        forest = AbstractionForest([business_tree])
+        vvs = forest.vvs({"SB", "e"})
+        result = abstract(business_polys, vvs)
+        assert result[0] == parse("6*SB*m1 + 8*SB*m3 + 6*e*m1 + 7*e*m3")
+
+    def test_abstract_full_root(self, business_polys, business_tree):
+        forest = AbstractionForest([business_tree])
+        result = abstract(business_polys, forest.root_vvs())
+        assert result[0] == parse("12*B*m1 + 15*B*m3")
+
+    def test_abstract_identity(self, business_polys, business_tree):
+        forest = AbstractionForest([business_tree])
+        result = abstract(business_polys, forest.leaf_vvs())
+        assert result[0] == business_polys[0]
+
+    def test_abstract_rejects_non_vvs(self, business_polys):
+        with pytest.raises(TypeError):
+            abstract(business_polys, {"SB"})
+
+
+class TestLosses:
+    def test_monomial_loss(self, business_polys, business_tree):
+        forest = AbstractionForest([business_tree])
+        assert monomial_loss(business_polys, forest.vvs({"SB", "e"})) == 2
+        assert monomial_loss(business_polys, forest.root_vvs()) == 4
+        assert monomial_loss(business_polys, forest.leaf_vvs()) == 0
+
+    def test_variable_loss(self, business_polys, business_tree):
+        forest = AbstractionForest([business_tree])
+        assert variable_loss(business_polys, forest.vvs({"SB", "e"})) == 1
+        assert variable_loss(business_polys, forest.root_vvs()) == 2
+        assert variable_loss(business_polys, forest.leaf_vvs()) == 0
+
+    def test_example6_losses(self, ex13_polys, figure2_tree):
+        """Example 6: ML(S1)=4, ML(S5)=6, VL(S1)=2, VL(S5)=3 (on P1)."""
+        from repro.core.polynomial import PolynomialSet
+
+        p1_only = PolynomialSet([ex13_polys[0]])
+        forest = AbstractionForest([figure2_tree])
+        s1 = forest.vvs({"Business", "Special", "Standard"})
+        s5 = forest.vvs({"Plans"})
+        assert monomial_loss(p1_only, s1) == 4
+        assert variable_loss(p1_only, s1) == 2
+        assert monomial_loss(p1_only, s5) == 6
+        assert variable_loss(p1_only, s5) == 3
+
+    def test_abstract_counts_matches_materialized(self, ex13_polys, figure2_tree):
+        forest = AbstractionForest([figure2_tree])
+        for vvs in forest.iter_cuts():
+            materialized = abstract(ex13_polys, vvs)
+            assert abstract_counts(ex13_polys, vvs.mapping()) == (
+                materialized.num_monomials,
+                materialized.num_variables,
+            )
+
+
+class TestLossIndex:
+    def test_leaf_losses_are_zero(self, business_polys, business_tree):
+        index = LossIndex(business_polys, business_tree)
+        for leaf in ["b1", "b2", "e"]:
+            assert index.ml(leaf) == 0
+            assert index.vl(leaf) == 0
+
+    def test_internal_node_ml(self, business_polys, business_tree):
+        index = LossIndex(business_polys, business_tree)
+        assert index.ml("SB") == 2
+        assert index.ml("B") == 4
+
+    def test_internal_node_vl(self, business_polys, business_tree):
+        index = LossIndex(business_polys, business_tree)
+        assert index.vl("SB") == 1
+        assert index.vl("B") == 2
+
+    def test_max_ml_is_root(self, business_polys, business_tree):
+        index = LossIndex(business_polys, business_tree)
+        assert index.max_ml == 4
+
+    def test_cut_additivity(self, ex13_polys, figure2_tree):
+        """Single-tree additivity: ML/VL of a cut == sum of node losses."""
+        cleaned = figure2_tree.clean(ex13_polys.variables)
+        forest = AbstractionForest([cleaned])
+        index = LossIndex(ex13_polys, cleaned)
+        for vvs in forest.iter_cuts():
+            assert index.ml_of_cut(vvs.labels) == monomial_loss(ex13_polys, vvs)
+            assert index.vl_of_cut(vvs.labels) == variable_loss(ex13_polys, vvs)
+
+    def test_example13_array_entries(self, ex13_polys, figure2_tree):
+        """The per-node losses behind Example 13's arrays.
+
+        A_SB[2] = 1: abstracting SB loses 2 monomials and 1 variable.
+        A_Sp[4] = 2: abstracting Special loses 4 monomials, 2 variables.
+        """
+        cleaned = figure2_tree.clean(ex13_polys.variables)
+        index = LossIndex(ex13_polys, cleaned)
+        assert (index.ml("SB"), index.vl("SB")) == (2, 1)
+        assert (index.ml("Special"), index.vl("Special")) == (4, 2)
+        assert (index.ml("Business"), index.vl("Business")) == (4, 2)
+
+    def test_exponents_block_bad_merges(self):
+        """x²·g-leaf vs x·g-leaf residuals must not collide."""
+        polys = parse_set(["a*x^2 + b*x"])
+        tree = AbstractionTree.from_nested(("g", ["a", "b"]))
+        index = LossIndex(polys, tree)
+        assert index.ml("g") == 0  # residuals differ by exponent of x
+
+    def test_leaf_exponent_preserved(self):
+        polys = parse_set(["a^2*x + b^2*x"])
+        tree = AbstractionTree.from_nested(("g", ["a", "b"]))
+        index = LossIndex(polys, tree)
+        assert index.ml("g") == 1  # both become g^2*x
+
+    def test_mixed_leaf_exponents_do_not_merge(self):
+        polys = parse_set(["a^2*x + b*x"])
+        tree = AbstractionTree.from_nested(("g", ["a", "b"]))
+        index = LossIndex(polys, tree)
+        assert index.ml("g") == 0
+
+    def test_no_cross_polynomial_merging(self):
+        polys = parse_set(["a*x", "b*x"])
+        tree = AbstractionTree.from_nested(("g", ["a", "b"]))
+        index = LossIndex(polys, tree)
+        assert index.ml("g") == 0
+
+    def test_absent_leaves_counted_as_not_present(self):
+        polys = parse_set(["a*x"])
+        tree = AbstractionTree.from_nested(("g", ["a", "b"]))
+        index = LossIndex(polys, tree)
+        assert index.leaves_present("g") == 1
+        assert index.vl("g") == 0
+        assert index.leaf_count("g") == 2

@@ -1,0 +1,160 @@
+"""Tests for provenance-aware aggregates and the query DSL."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.core.valuation import Valuation
+from repro.engine import (
+    Query,
+    Relation,
+    aggregate_sum,
+    bucket_variable,
+    column_variable,
+    combine_params,
+    evaluate_aggregate,
+)
+
+
+@pytest.fixture
+def sales():
+    return Relation.from_rows(
+        ["region", "product", "amount"],
+        [
+            ("east", "a", 10.0),
+            ("east", "b", 5.0),
+            ("west", "a", 7.0),
+            ("west", "b", 3.0),
+            ("west", "b", 4.0),
+        ],
+    )
+
+
+class TestAggregateSum:
+    def test_plain_sum(self, sales):
+        result = aggregate_sum(sales, ["region"], "amount")
+        assert result.value(("east",)) == 15.0
+        assert result.value(("west",)) == 14.0
+
+    def test_value_function(self, sales):
+        result = aggregate_sum(sales, ["region"], lambda r: r["amount"] * 2)
+        assert result.value(("east",)) == 30.0
+
+    def test_parameterized_polynomial(self, sales):
+        result = aggregate_sum(
+            sales, ["region"], "amount", params=lambda r: [f"prod_{r['product']}"]
+        )
+        assert result.polynomial(("east",)) == parse("10.0*prod_a + 5.0*prod_b")
+
+    def test_duplicate_rows_scale_by_multiplicity(self):
+        r = Relation.from_rows(["g", "x"], [(1, 2.0), (1, 2.0)])
+        result = aggregate_sum(r, ["g"], "x")
+        assert result.value((1,)) == 4.0
+
+    def test_annotated_rows_multiply_in(self):
+        r = Relation.from_rows(["g", "x"], [(1, 2.0), (1, 3.0)]).with_tuple_variables("t")
+        result = aggregate_sum(r, ["g"], "x")
+        assert result.polynomial((1,)) == parse("2.0*t0 + 3.0*t1")
+
+    def test_empty_group_by_gives_single_group(self, sales):
+        result = aggregate_sum(sales, [], "amount")
+        assert result.value(()) == 29.0
+
+    def test_valuated_scenario(self, sales):
+        result = aggregate_sum(
+            sales, ["region"], "amount", params=lambda r: [f"prod_{r['product']}"]
+        )
+        scenario = Valuation({"prod_b": 0.5})
+        assert result.value(("west",), scenario) == 7.0 + 3.5
+
+    def test_values_dict(self, sales):
+        result = aggregate_sum(sales, ["region"], "amount")
+        assert result.values() == {("east",): 15.0, ("west",): 14.0}
+
+    def test_polynomials_property_sorted(self, sales):
+        result = aggregate_sum(sales, ["region"], "amount")
+        assert len(result.polynomials) == 2
+
+    def test_params_with_exponents(self):
+        r = Relation.from_rows(["g", "x"], [(1, 2.0)])
+        result = aggregate_sum(r, ["g"], "x", params=lambda row: [("v", 2)])
+        assert result.polynomial((1,)) == parse("2.0*v^2")
+
+
+class TestEvaluateAggregate:
+    def test_sum_default(self):
+        assert evaluate_aggregate(parse("3*x + 5"), {"x": 2.0}) == 11.0
+
+    def test_min_combine(self):
+        assert evaluate_aggregate(parse("3*x + 5*y"), {}, combine=min) == 3.0
+
+    def test_max_combine(self):
+        assert evaluate_aggregate(parse("3*x + 5*y"), {}, combine=max) == 5.0
+
+    def test_min_respects_valuation(self):
+        assert (
+            evaluate_aggregate(parse("3*x + 5*y"), {"y": 0.1}, combine=min) == 0.5
+        )
+
+    def test_empty_polynomial_with_min_rejected(self):
+        from repro.core.polynomial import Polynomial
+
+        with pytest.raises(ValueError):
+            evaluate_aggregate(Polynomial.zero(), {}, combine=min)
+
+
+class TestQueryDSL:
+    def test_where_select(self, sales):
+        q = Query(sales).where(lambda r: r["amount"] > 5).select("region")
+        assert q.rows() == [("east",), ("west",)]
+
+    def test_group_by_sum(self, sales):
+        result = Query(sales).group_by("region").sum("amount")
+        assert result.value(("east",)) == 15.0
+
+    def test_join_chain(self):
+        left = Relation.from_rows(["id", "x"], [(1, "a"), (2, "b")])
+        right = Relation.from_rows(["rid", "y"], [(1, 10), (2, 20)])
+        q = Query(left).join(right, on=("id", "rid"))
+        assert (1, "a", 10) in q.relation
+
+    def test_union(self, sales):
+        q = Query(sales).union(Query(sales))
+        assert q.relation.annotation(("east", "a", 10.0)) == 2
+
+    def test_extend_then_aggregate(self, sales):
+        result = (
+            Query(sales)
+            .extend("double", lambda r: r["amount"] * 2)
+            .group_by("region")
+            .sum("double")
+        )
+        assert result.value(("east",)) == 30.0
+
+    def test_rename(self, sales):
+        q = Query(sales).rename({"region": "zone"})
+        assert "zone" in q.relation.schema
+
+    def test_type_error_on_non_relation(self):
+        with pytest.raises(TypeError):
+            Query("not a relation")
+
+    def test_annotated_rows_helper(self, sales):
+        pairs = Query(sales).annotated_rows()
+        assert pairs[0][1] == 1
+
+
+class TestParamPolicies:
+    def test_bucket_variable(self):
+        fn = bucket_variable("SUPPKEY", "s", 128)
+        assert fn({"SUPPKEY": 128}) == "s0"
+        assert fn({"SUPPKEY": 131}) == "s3"
+
+    def test_column_variable(self):
+        fn = column_variable("Mo", "m")
+        assert fn({"Mo": 3}) == "m3"
+
+    def test_combine_params(self):
+        params = combine_params(
+            column_variable("Plan", "plan_"), column_variable("Mo", "m")
+        )
+        assert params({"Plan": "A", "Mo": 1}) == ["plan_A", "m1"]

@@ -1,0 +1,79 @@
+"""Tests for the brute-force cut enumerator."""
+
+import pytest
+
+from repro.algorithms.brute_force import TooManyCutsError, brute_force_vvs
+from repro.algorithms.result import InfeasibleBoundError
+from repro.core.forest import AbstractionForest
+from repro.core.parser import parse_set
+from repro.core.tree import AbstractionTree
+
+
+@pytest.fixture
+def instance():
+    polys = parse_set(["2*a*x + 3*b*x + 4*c*y + 5*d*y"])
+    tree = AbstractionTree.from_nested(
+        ("r", [("g1", ["a", "b"]), ("g2", ["c", "d"])])
+    )
+    return polys, tree
+
+
+class TestSearch:
+    def test_finds_minimal_vl(self, instance):
+        polys, tree = instance
+        result = brute_force_vvs(polys, tree, bound=3)
+        # Merging either g1 or g2 suffices (ML 1 each, VL 1).
+        assert result.variable_loss == 1
+        assert result.abstracted_size == 3
+
+    def test_deterministic_tie_break(self, instance):
+        polys, tree = instance
+        a = brute_force_vvs(polys, tree, bound=3)
+        b = brute_force_vvs(polys, tree, bound=3)
+        assert a.vvs.labels == b.vvs.labels
+
+    def test_exhausts_to_root(self, instance):
+        polys, tree = instance
+        result = brute_force_vvs(polys, tree, bound=2)
+        assert result.vvs.labels == frozenset({"g1", "g2"})
+        assert result.abstracted_size == 2
+
+    def test_infeasible_raises_with_min_size(self, instance):
+        polys, tree = instance
+        with pytest.raises(InfeasibleBoundError) as excinfo:
+            brute_force_vvs(polys, tree, bound=1)
+        assert excinfo.value.min_achievable_size == 2
+
+    def test_invalid_bound(self, instance):
+        polys, tree = instance
+        with pytest.raises(ValueError):
+            brute_force_vvs(polys, tree, bound=0)
+
+    def test_forest_input(self, ex13_polys, paper_forest):
+        result = brute_force_vvs(ex13_polys, paper_forest, bound=4)
+        assert result.abstracted_size <= 4
+
+    def test_example8_infeasibility(self, ex13_polys, figure3_tree):
+        """Example 8: with the months tree alone, B=3 is unreachable for P
+        (maximal compression leaves 4 monomials on P1... the paper uses the
+        single polynomial P; here both P1 and P2 leave 7)."""
+        from repro.core.polynomial import PolynomialSet
+
+        p1_only = PolynomialSet([ex13_polys[0]])
+        with pytest.raises(InfeasibleBoundError) as excinfo:
+            brute_force_vvs(p1_only, figure3_tree, bound=3)
+        assert excinfo.value.min_achievable_size == 4
+
+    def test_max_cuts_guard(self):
+        leaves = [f"x{i}" for i in range(32)]
+        polys = parse_set([" + ".join(f"2*{v}" for v in leaves)])
+        from repro.workloads.trees import layered_tree
+
+        tree = layered_tree(leaves, (16,))
+        with pytest.raises(TooManyCutsError):
+            brute_force_vvs(polys, tree, bound=16, max_cuts=1000)
+
+    def test_max_cuts_none_disables_guard(self, instance):
+        polys, tree = instance
+        result = brute_force_vvs(polys, tree, bound=3, max_cuts=None)
+        assert result.abstracted_size == 3

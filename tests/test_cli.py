@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import serialize
+from repro.core.forest import AbstractionForest
+from repro.core.tree import AbstractionTree
+from repro.workloads.telephony import example13_polynomials, plans_tree
+
+
+@pytest.fixture
+def files(tmp_path):
+    provenance_path = tmp_path / "provenance.json"
+    provenance_path.write_text(serialize.dumps(example13_polynomials()))
+    forest_path = tmp_path / "forest.json"
+    forest_path.write_text(
+        serialize.dumps(AbstractionForest([plans_tree()]))
+    )
+    return tmp_path, str(provenance_path), str(forest_path)
+
+
+class TestInspect:
+    def test_reports_measures(self, files, capsys):
+        _, provenance, _ = files
+        assert main(["inspect", provenance]) == 0
+        out = capsys.readouterr().out
+        assert "monomials (|P|_M):  14" in out
+        assert "variables (|P|_V):  9" in out
+
+    def test_wrong_payload_kind(self, files):
+        _, _, forest = files
+        with pytest.raises(SystemExit):
+            main(["inspect", forest])
+
+
+class TestCompress:
+    def test_optimal_compress_roundtrip(self, files, capsys):
+        tmp_path, provenance, forest = files
+        output = str(tmp_path / "compressed.json")
+        vvs_output = str(tmp_path / "cut.json")
+        code = main([
+            "compress", provenance, forest, "--bound", "9",
+            "--algorithm", "optimal", "--output", output,
+            "--vvs-output", vvs_output,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "14 -> 8" in out
+        compressed = serialize.loads(open(output).read())
+        assert compressed.num_monomials == 8
+        cut = json.load(open(vvs_output))
+        assert set(cut["labels"]) == {"SB", "Special", "e", "p1"}
+
+    def test_greedy_compress(self, files, capsys):
+        _, provenance, forest = files
+        assert main([
+            "compress", provenance, forest, "--bound", "9",
+            "--algorithm", "greedy",
+        ]) == 0
+        assert "size:" in capsys.readouterr().out
+
+    def test_infeasible_bound_exits(self, files):
+        _, provenance, forest = files
+        with pytest.raises(SystemExit, match="infeasible"):
+            main([
+                "compress", provenance, forest, "--bound", "1",
+                "--algorithm", "optimal",
+            ])
+
+    def test_optimal_rejects_multiple_trees(self, files, tmp_path):
+        _, provenance, _ = files
+        two_trees = tmp_path / "two.json"
+        two_trees.write_text(serialize.dumps(AbstractionForest([
+            AbstractionTree.from_nested(("A", ["p1", "p2"])),
+            AbstractionTree.from_nested(("B", ["m1", "m3"])),
+        ])))
+        with pytest.raises(SystemExit, match="NP-hard"):
+            main([
+                "compress", provenance, str(two_trees), "--bound", "9",
+                "--algorithm", "optimal",
+            ])
+
+
+class TestValuate:
+    def test_identity_valuation(self, files, capsys):
+        _, provenance, _ = files
+        assert main(["valuate", provenance]) == 0
+        out = capsys.readouterr().out
+        assert "polynomial[0] = 917.25" in out
+
+    def test_scenario_valuation(self, files, capsys):
+        _, provenance, _ = files
+        assert main(["valuate", provenance, "--set", "m1=0"]) == 0
+        out = capsys.readouterr().out
+        # Killing January leaves only the March monomials of P1.
+        assert "polynomial[0] = 451.15" in out
+
+    def test_bad_assignment_syntax(self, files):
+        _, provenance, _ = files
+        with pytest.raises(SystemExit, match="name=value"):
+            main(["valuate", provenance, "--set", "m1:0.5"])
+
+    def test_non_numeric_value(self, files):
+        _, provenance, _ = files
+        with pytest.raises(SystemExit, match="not a number"):
+            main(["valuate", provenance, "--set", "m1=abc"])
+
+
+class TestDecide:
+    def test_positive(self, files):
+        _, provenance, forest = files
+        assert main([
+            "decide", provenance, forest,
+            "--size", "8", "--granularity", "6",
+        ]) == 0
+
+    def test_negative(self, files):
+        _, provenance, forest = files
+        assert main([
+            "decide", provenance, forest,
+            "--size", "2", "--granularity", "9",
+        ]) == 1

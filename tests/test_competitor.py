@@ -1,0 +1,127 @@
+"""Tests for the Ainy-et-al. pairwise-merge competitor."""
+
+import pytest
+
+from repro.algorithms.competitor import TreeOracle, summarize
+from repro.core.forest import AbstractionForest
+from repro.core.parser import parse, parse_set
+from repro.core.tree import AbstractionTree
+
+
+@pytest.fixture
+def forest():
+    tree = AbstractionTree.from_nested(
+        ("r", [("g1", ["a", "b"]), ("g2", ["c", "d"])])
+    )
+    return AbstractionForest([tree])
+
+
+class TestOracle:
+    def test_merge_within_group(self, forest):
+        oracle = TreeOracle(forest)
+        outcome = oracle.merge((("a", 1), ("x", 1)), (("b", 1), ("x", 1)))
+        assert outcome is not None
+        merged, loss = outcome
+        assert merged == (("g1", 1), ("x", 1))
+        assert loss == 0  # g1 drags in no extra leaves beyond a, b
+
+    def test_merge_across_groups_costs_more(self, forest):
+        oracle = TreeOracle(forest)
+        merged, loss = oracle.merge((("a", 1),), (("c", 1),))
+        assert merged == (("r", 1),)
+        assert loss == 2  # r has 4 leaves; a∪c is 2; 4 - 2 = 2 extra
+
+    def test_merge_requires_equal_residual(self, forest):
+        oracle = TreeOracle(forest)
+        assert oracle.merge((("a", 1), ("x", 1)), (("b", 1), ("y", 1))) is None
+
+    def test_merge_requires_equal_exponents(self, forest):
+        oracle = TreeOracle(forest)
+        assert oracle.merge((("a", 2),), (("b", 1),)) is None
+
+    def test_merge_requires_same_tree_presence(self, forest):
+        oracle = TreeOracle(forest)
+        assert oracle.merge((("a", 1),), (("x", 1),)) is None
+
+    def test_identical_keys_not_mergeable(self, forest):
+        oracle = TreeOracle(forest)
+        assert oracle.merge((("a", 1),), (("a", 1),)) is None
+
+    def test_calls_are_counted(self, forest):
+        oracle = TreeOracle(forest)
+        oracle.merge((("a", 1),), (("b", 1),))
+        oracle.merge((("a", 1),), (("c", 1),))
+        assert oracle.calls == 2
+
+
+class TestSummarize:
+    def test_reaches_bound(self, forest):
+        polys = parse_set(["2*a*x + 3*b*x + 4*c*y + 5*d*y"])
+        result = summarize(polys, forest, bound=2)
+        assert result.abstracted_size == 2
+        assert result.converged
+
+    def test_coefficients_sum_on_merge(self, forest):
+        polys = parse_set(["2*a*x + 3*b*x"])
+        result = summarize(polys, forest, bound=1)
+        assert result.polynomials[0] == parse("5*g1*x")
+
+    def test_prefers_cheapest_merge(self, forest):
+        polys = parse_set(["2*a*x + 3*b*x + 4*c*x"])
+        result = summarize(polys, forest, bound=2)
+        # Merging a+b (loss 0) must beat merging with c (needs root).
+        assert "g1" in result.polynomials.variables
+
+    def test_stops_when_no_merge_possible(self, forest):
+        polys = parse_set(["a*x + b*y"])  # residuals differ: no merge
+        result = summarize(polys, forest, bound=1)
+        assert not result.converged
+        assert result.abstracted_size == 2
+
+    def test_does_not_merge_across_polynomials(self, forest):
+        polys = parse_set(["a*x", "b*x"])
+        result = summarize(polys, forest, bound=1)
+        assert not result.converged
+        assert len(result.polynomials) == 2
+
+    def test_loose_bound_no_merges(self, forest):
+        polys = parse_set(["a*x + b*y"])
+        result = summarize(polys, forest, bound=5)
+        assert result.merges == 0
+        assert result.polynomials == polys
+
+    def test_max_iterations_cap(self, forest):
+        polys = parse_set(["2*a*x + 3*b*x + 4*c*x + 5*d*x"])
+        result = summarize(polys, forest, bound=1, max_iterations=1)
+        assert result.merges == 1
+
+    def test_invalid_bound(self, forest):
+        with pytest.raises(ValueError):
+            summarize(parse_set(["a"]), forest, bound=0)
+
+    def test_converges_on_example13(self, ex13_polys, figure2_tree):
+        """The competitor meets the bound on the Example 13 instance.
+
+        Its merges are per-monomial rather than a global cut, so its
+        granularity may exceed the optimal VVS's (no global consistency
+        is enforced) — but never the original granularity.
+        """
+        from repro.algorithms.optimal import optimal_vvs
+
+        bound = 9
+        optimal = optimal_vvs(ex13_polys, figure2_tree, bound)
+        competitor = summarize(
+            ex13_polys, AbstractionForest([figure2_tree]), bound
+        )
+        assert competitor.abstracted_size <= bound
+        assert (
+            optimal.abstracted_granularity
+            <= competitor.abstracted_granularity
+            <= ex13_polys.num_variables
+        )
+
+    def test_oracle_calls_grow_as_bound_shrinks(self, ex13_polys, figure2_tree):
+        forest = AbstractionForest([figure2_tree])
+        loose = summarize(ex13_polys, forest, bound=12)
+        tight = summarize(ex13_polys, forest, bound=6)
+        assert tight.oracle_calls >= loose.oracle_calls

@@ -1,0 +1,77 @@
+"""Tests for the precise-abstraction decision problem (Definition 10)."""
+
+import pytest
+
+from repro.algorithms.decision import exists_precise, precise_pairs
+from repro.core.abstraction import abstract_counts
+from repro.core.forest import AbstractionForest
+from repro.core.parser import parse_set
+from repro.core.tree import AbstractionTree
+from repro.workloads.random_polys import random_compatible_instance
+
+
+@pytest.fixture
+def instance():
+    polys = parse_set(["2*a*x + 3*b*x + 4*c*x"])
+    tree = AbstractionTree.from_nested(("r", [("g", ["a", "b"]), "c"]))
+    return polys, tree
+
+
+class TestSingleTreeDP:
+    def test_precise_pairs_match_enumeration(self, instance):
+        polys, tree = instance
+        forest = AbstractionForest([tree])
+        enumerated = set()
+        for vvs in forest.iter_cuts():
+            size, granularity = abstract_counts(polys, vvs.mapping())
+            enumerated.add(
+                (polys.num_monomials - size, polys.num_variables - granularity)
+            )
+        assert precise_pairs(polys, tree) == enumerated
+
+    def test_exists_precise_positive(self, instance):
+        polys, tree = instance
+        # Cut {g, c}: size 2 (a,b merge), granularity 3 (g, c, x).
+        assert exists_precise(polys, tree, size=2, granularity=3)
+
+    def test_exists_precise_negative(self, instance):
+        polys, tree = instance
+        # Size 2 with full granularity 4 is impossible.
+        assert not exists_precise(polys, tree, size=2, granularity=4)
+
+    def test_identity_is_always_precise(self, instance):
+        polys, tree = instance
+        assert exists_precise(
+            polys, tree, size=polys.num_monomials, granularity=polys.num_variables
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_dp_matches_enumeration_on_random_single_trees(self, seed):
+        polys, forest = random_compatible_instance(seed=seed, num_trees=1)
+        if len(forest.trees) != 1:
+            pytest.skip("tree vanished")
+        tree = forest.trees[0]
+        pairs = precise_pairs(polys, tree)
+        enumerated = set()
+        for vvs in forest.iter_cuts():
+            size, granularity = abstract_counts(polys, vvs.mapping())
+            enumerated.add(
+                (polys.num_monomials - size, polys.num_variables - granularity)
+            )
+        assert pairs == enumerated
+
+
+class TestForestFallback:
+    def test_forest_enumeration(self, ex13_polys, paper_forest):
+        cleaned = paper_forest.clean(ex13_polys)
+        # The Example 15 optimum: ML 10, VL 4 -> size 4, granularity 5.
+        assert exists_precise(ex13_polys, cleaned, size=4, granularity=5)
+
+    def test_forest_negative(self, ex13_polys, paper_forest):
+        cleaned = paper_forest.clean(ex13_polys)
+        assert not exists_precise(ex13_polys, cleaned, size=1, granularity=9)
+
+    def test_single_tree_forest_uses_dp(self, instance):
+        polys, tree = instance
+        forest = AbstractionForest([tree])
+        assert exists_precise(polys, forest, size=2, granularity=3)

@@ -1,0 +1,186 @@
+"""Tests for schemas, K-relations, and the SPJU operators."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.engine import (
+    Relation,
+    Schema,
+    SchemaError,
+    extend,
+    join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.semiring import BOOLEAN, NATURAL, PROVENANCE
+
+
+class TestSchema:
+    def test_index(self):
+        s = Schema(["a", "b", "c"])
+        assert s.index("b") == 1
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).index("z")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_project_and_rename(self):
+        s = Schema(["a", "b", "c"])
+        assert s.project(["c", "a"]).columns == ("c", "a")
+        assert s.rename({"a": "x"}).columns == ("x", "b", "c")
+
+    def test_concat_clash(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(["a", "b"]).concat(Schema(["b", "c"]))
+
+    def test_concat_with_drop(self):
+        merged = Schema(["a", "b"]).concat(Schema(["b", "c"]), drop_from_other={"b"})
+        assert merged.columns == ("a", "b", "c")
+
+    def test_row_dict_roundtrip(self):
+        s = Schema(["a", "b"])
+        assert s.dict_to_row(s.row_to_dict((1, 2))) == (1, 2)
+
+    def test_dict_to_row_missing_column(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "b"]).dict_to_row({"a": 1})
+
+
+class TestRelation:
+    def test_from_rows_default_annotation(self):
+        r = Relation.from_rows(["a"], [(1,), (2,)])
+        assert r.annotation((1,)) == 1
+
+    def test_duplicate_rows_combine(self):
+        r = Relation.from_rows(["a"], [(1,), (1,)])
+        assert r.annotation((1,)) == 2  # bag semantics
+
+    def test_boolean_duplicates_collapse(self):
+        r = Relation.from_rows(["a"], [(1,), (1,)], semiring=BOOLEAN)
+        assert r.annotation((1,)) is True
+        assert len(r) == 1
+
+    def test_zero_annotation_removes_row(self):
+        r = Relation(["a"], semiring=NATURAL)
+        r.add((1,), 0)
+        assert (1,) not in r
+
+    def test_wrong_width_rejected(self):
+        r = Relation(["a", "b"])
+        with pytest.raises(SchemaError):
+            r.add((1,))
+
+    def test_with_tuple_variables(self):
+        r = Relation.from_rows(["a"], [(1,), (2,)])
+        annotated = r.with_tuple_variables(prefix="t")
+        assert annotated.semiring is PROVENANCE
+        annotations = sorted(str(a) for _, a in annotated)
+        assert annotations == ["t0", "t1"]
+
+    def test_annotation_of_absent_row_is_zero(self):
+        r = Relation.from_rows(["a"], [(1,)])
+        assert r.annotation((9,)) == 0
+
+
+class TestOperators:
+    @pytest.fixture
+    def r(self):
+        return Relation.from_rows(["k", "v"], [(1, "x"), (2, "y"), (3, "x")])
+
+    @pytest.fixture
+    def s(self):
+        return Relation.from_rows(["k", "w"], [(1, 10), (2, 20), (2, 21)])
+
+    def test_select(self, r):
+        out = select(r, lambda row: row["v"] == "x")
+        assert sorted(out.rows) == [(1, "x"), (3, "x")]
+
+    def test_project_combines_annotations(self, r):
+        out = project(r, ["v"])
+        assert out.annotation(("x",)) == 2  # two rows collapse
+        assert out.annotation(("y",)) == 1
+
+    def test_rename(self, r):
+        out = rename(r, {"k": "key"})
+        assert out.schema.columns == ("key", "v")
+
+    def test_rename_unknown_column(self, r):
+        with pytest.raises(SchemaError):
+            rename(r, {"zz": "a"})
+
+    def test_extend(self, r):
+        out = extend(r, "doubled", lambda row: row["k"] * 2)
+        assert (1, "x", 2) in out
+
+    def test_extend_existing_column_rejected(self, r):
+        with pytest.raises(SchemaError):
+            extend(r, "v", lambda row: 0)
+
+    def test_join_multiplies_annotations(self, r, s):
+        out = join(r, s, on="k")
+        assert out.annotation((1, "x", 10)) == 1
+        # k=2 matches two s-rows; each output row annotated 1*1.
+        assert (2, "y", 20) in out and (2, "y", 21) in out
+
+    def test_join_on_pair_names(self):
+        left = Relation.from_rows(["a"], [(1,)])
+        right = Relation.from_rows(["b", "c"], [(1, "hit")])
+        out = join(left, right, on=("a", "b"))
+        assert (1, "hit") in out
+
+    def test_join_semiring_mismatch(self, r):
+        other = Relation.from_rows(["k"], [(1,)], semiring=BOOLEAN)
+        with pytest.raises(ValueError, match="semiring"):
+            join(r, other, on="k")
+
+    def test_union_combines(self, r):
+        other = Relation.from_rows(["k", "v"], [(1, "x"), (9, "z")])
+        out = union(r, other)
+        assert out.annotation((1, "x")) == 2
+        assert (9, "z") in out
+
+    def test_union_schema_mismatch(self, r, s):
+        with pytest.raises(SchemaError):
+            union(r, s)
+
+    def test_empty_on_rejected(self, r, s):
+        with pytest.raises(ValueError):
+            join(r, s, on=[])
+
+
+class TestProvenancePropagation:
+    """Joins multiply and projections add in N[X] — the semiring model."""
+
+    def test_join_produces_products(self):
+        left = Relation.from_rows(["k"], [(1,)]).with_tuple_variables("l")
+        right = Relation.from_rows(["k"], [(1,)]).with_tuple_variables("r")
+        out = join(left, right, on="k")
+        assert out.annotation((1,)) == parse("l0*r0")
+
+    def test_project_produces_sums(self):
+        r = Relation.from_rows(["k", "v"], [(1, "a"), (2, "b")]).with_tuple_variables("t")
+        out = project(r, [])
+        assert out.annotation(()) == parse("t0 + t1")
+
+    def test_self_join_squares(self):
+        r = Relation.from_rows(["k"], [(1,)]).with_tuple_variables("t")
+        out = join(r, rename(r, {"k": "k2"}), on=("k", "k2"))
+        assert out.annotation((1,)) == parse("t0^2")
+
+    def test_spju_boolean_specialization_matches_set_semantics(self):
+        """Evaluating N[X] provenance in BOOLEAN == running under sets."""
+        from repro.semiring import evaluate_in
+
+        base = Relation.from_rows(["k", "v"], [(1, "a"), (2, "b"), (2, "c")])
+        annotated = base.with_tuple_variables("t")
+        other = rename(base.with_tuple_variables("u"), {"v": "w"})
+        out = project(join(annotated, other, on="k"), ["k"])
+        for row, annotation in out:
+            # All tuples present -> every output row must be derivable.
+            assert evaluate_in(annotation, BOOLEAN, {}) is True

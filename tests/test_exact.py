@@ -1,0 +1,101 @@
+"""Tests for the exact multi-tree branch-and-bound solver."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.algorithms.brute_force import brute_force_vvs
+from repro.algorithms.exact import SearchBudgetExceededError, exact_forest_vvs
+from repro.algorithms.greedy import greedy_vvs
+from repro.algorithms.result import InfeasibleBoundError
+from repro.core.parser import parse_set
+from repro.core.tree import AbstractionTree
+from repro.workloads.random_polys import random_compatible_instance
+
+
+class TestBasics:
+    def test_single_tree(self):
+        polys = parse_set(["2*a*x + 3*b*x"])
+        tree = AbstractionTree.from_nested(("g", ["a", "b"]))
+        result = exact_forest_vvs(polys, tree, bound=1)
+        assert result.vvs.labels == frozenset({"g"})
+        assert result.abstracted_size == 1
+
+    def test_loose_bound_identity(self, ex13_polys, paper_forest):
+        result = exact_forest_vvs(ex13_polys, paper_forest, bound=99)
+        assert result.monomial_loss == 0
+
+    def test_infeasible_raises(self, ex13_polys, paper_forest):
+        with pytest.raises(InfeasibleBoundError):
+            exact_forest_vvs(ex13_polys, paper_forest, bound=1)
+
+    def test_invalid_bound(self, ex13_polys, paper_forest):
+        with pytest.raises(ValueError):
+            exact_forest_vvs(ex13_polys, paper_forest, bound=0)
+
+    def test_node_limit(self, ex13_polys, paper_forest):
+        with pytest.raises(SearchBudgetExceededError):
+            exact_forest_vvs(ex13_polys, paper_forest, bound=4, node_limit=2)
+
+    def test_example15_optimum(self, ex13_polys, paper_forest):
+        """Finds the paper's stated multi-tree optimum, not the greedy's."""
+        result = exact_forest_vvs(ex13_polys, paper_forest, bound=4)
+        assert result.vvs.labels == frozenset(
+            {"q1", "Special", "SB", "e", "p1"}
+        )
+        assert result.monomial_loss == 10
+        assert result.variable_loss == 4
+
+
+class TestEquivalenceWithBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_same_objective_on_random_instances(self, seed):
+        polys, forest = random_compatible_instance(
+            seed=seed, num_trees=2, leaves_per_tree=5,
+            num_polynomials=3, monomials_per_polynomial=8,
+        )
+        bound = max(1, polys.num_monomials * 2 // 3)
+        try:
+            expected = brute_force_vvs(polys, forest, bound, max_cuts=50_000)
+        except InfeasibleBoundError:
+            with pytest.raises(InfeasibleBoundError):
+                exact_forest_vvs(polys, forest, bound)
+            return
+        result = exact_forest_vvs(polys, forest, bound)
+        assert result.variable_loss == expected.variable_loss
+        assert result.abstracted_size <= bound
+
+    @given(st.integers(0, 3000), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_property_equivalence(self, seed, num_trees):
+        polys, forest = random_compatible_instance(
+            seed=seed, num_trees=num_trees, leaves_per_tree=4,
+            num_polynomials=2, monomials_per_polynomial=6,
+        )
+        assume(forest.count_cuts() <= 2000)
+        bound = max(1, polys.num_monomials - 2)
+        try:
+            expected = brute_force_vvs(polys, forest, bound, max_cuts=None)
+        except InfeasibleBoundError:
+            with pytest.raises(InfeasibleBoundError):
+                exact_forest_vvs(polys, forest, bound)
+            return
+        result = exact_forest_vvs(polys, forest, bound)
+        assert result.variable_loss == expected.variable_loss
+
+
+class TestDominatesGreedy:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_worse_than_greedy(self, seed):
+        polys, forest = random_compatible_instance(
+            seed=100 + seed, num_trees=2, leaves_per_tree=5,
+            num_polynomials=3, monomials_per_polynomial=10,
+        )
+        bound = max(1, polys.num_monomials * 2 // 3)
+        greedy = greedy_vvs(polys, forest, bound)
+        try:
+            exact = exact_forest_vvs(polys, forest, bound)
+        except InfeasibleBoundError:
+            assert greedy.abstracted_size > bound
+            return
+        if greedy.abstracted_size <= bound:
+            assert exact.variable_loss <= greedy.variable_loss

@@ -1,0 +1,137 @@
+"""Unit tests for forests, compatibility, and valid variable sets."""
+
+import pytest
+
+from repro.core.forest import AbstractionForest, CompatibilityError, ValidVariableSet
+from repro.core.parser import parse_set
+from repro.core.tree import AbstractionTree
+
+
+@pytest.fixture
+def forest():
+    plans = AbstractionTree.from_nested(("P", [("SB", ["b1", "b2"]), "e"]))
+    months = AbstractionTree.from_nested(("Y", [("q1", ["m1", "m3"])]))
+    return AbstractionForest([plans, months])
+
+
+class TestForestConstruction:
+    def test_disjointness_enforced(self):
+        t1 = AbstractionTree.from_nested(("A", ["x", "y"]))
+        t2 = AbstractionTree.from_nested(("B", ["x", "z"]))
+        with pytest.raises(ValueError, match="disjoint"):
+            AbstractionForest([t1, t2])
+
+    def test_labels_union(self, forest):
+        assert {"P", "SB", "b1", "Y", "q1", "m1"} <= forest.labels
+
+    def test_leaf_labels(self, forest):
+        assert forest.leaf_labels == {"b1", "b2", "e", "m1", "m3"}
+
+    def test_tree_of(self, forest):
+        assert forest.tree_of("b1").root.label == "P"
+        assert forest.tree_of("m3").root.label == "Y"
+
+    def test_is_descendant_cross_tree_false(self, forest):
+        assert not forest.is_descendant("b1", "Y")
+
+    def test_count_cuts_is_product(self, forest):
+        # Plans side: SB->2, so P = 1 + 2*1 = 3; months: q1->2, Y = 3.
+        assert forest.count_cuts() == 9
+
+    def test_iter_cuts_yields_valid_sets(self, forest):
+        cuts = list(forest.iter_cuts())
+        assert len(cuts) == 9
+        for cut in cuts:
+            assert forest.is_valid_vvs(cut.labels)
+
+
+class TestCompatibility:
+    def test_compatible_instance(self, forest):
+        polys = parse_set(["2*b1*m1 + 3*e*m3", "b2*m1"])
+        forest.check_compatible(polys)
+
+    def test_missing_leaf_rejected(self, forest):
+        polys = parse_set(["b1*m1"])  # b2, e, m3 absent
+        with pytest.raises(CompatibilityError, match="do not occur"):
+            forest.check_compatible(polys)
+
+    def test_metavariable_in_polynomial_rejected(self, forest):
+        polys = parse_set(["2*b1*m1 + 3*e*m3 + b2*SB + q1*m1"])
+        with pytest.raises(CompatibilityError):
+            forest.check_compatible(polys)
+
+    def test_two_tree_nodes_in_one_monomial_rejected(self, forest):
+        polys = parse_set(["b1*b2*m1 + e*m3 + b2*m1 + b1*m3"])
+        with pytest.raises(CompatibilityError, match="more than one node"):
+            forest.check_compatible(polys)
+
+    def test_is_compatible_boolean_form(self, forest):
+        assert not forest.is_compatible(parse_set(["b1*b2"]))
+
+    def test_clean_drops_empty_trees(self, forest):
+        polys = parse_set(["b1*x + b2*x"])  # months tree fully absent
+        cleaned = forest.clean(polys)
+        assert len(cleaned) == 1
+        assert cleaned.trees[0].leaf_labels == {"b1", "b2"}
+
+
+class TestValidVariableSet:
+    def test_example5_valid_sets(self, paper_forest, figure2_tree):
+        """All five sets of Example 5 are valid cuts of Figure 2."""
+        forest = AbstractionForest([figure2_tree.copy()])
+        for labels in [
+            {"Business", "Special", "Standard"},
+            {"SB", "e", "f1", "f2", "Y", "v", "Standard"},
+            {"b1", "b2", "e", "Special", "Standard"},
+            {"SB", "e", "F", "Y", "v", "p1", "p2"},
+            {"Plans"},
+        ]:
+            assert forest.is_valid_vvs(labels), labels
+
+    def test_uncovered_leaf_rejected(self, forest):
+        with pytest.raises(ValueError, match="not covered"):
+            forest.vvs({"SB", "Y"})  # 'e' uncovered
+
+    def test_double_cover_rejected(self, forest):
+        with pytest.raises(ValueError, match="antichain|covered twice"):
+            forest.vvs({"P", "SB", "e", "Y"})
+
+    def test_unknown_label_rejected(self, forest):
+        with pytest.raises(ValueError, match="not in the forest"):
+            forest.vvs({"nope", "P", "Y"})
+
+    def test_intermediate_node_choice_is_valid(self, forest):
+        assert forest.is_valid_vvs({"SB", "e", "q1"})
+        assert not forest.is_valid_vvs({"SB", "e", "q1", "Y"})  # double cover
+
+    def test_mapping_contents(self, forest):
+        vvs = forest.vvs({"SB", "e", "Y"})
+        assert vvs.mapping() == {"b1": "SB", "b2": "SB", "m1": "Y", "m3": "Y"}
+        assert vvs.representative("b1") == "SB"
+        assert vvs.representative("e") == "e"
+        assert vvs.representative("outside") == "outside"
+
+    def test_group(self, forest):
+        vvs = forest.vvs({"SB", "e", "Y"})
+        assert set(vvs.group("SB")) == {"b1", "b2"}
+        assert vvs.group("e") == ["e"]
+
+    def test_apply(self, forest):
+        polys = parse_set(["2*b1*m1 + 3*b2*m1"])
+        vvs = forest.vvs({"SB", "e", "q1"})
+        assert vvs.apply(polys)[0] == parse_set(["5*SB*q1"])[0]
+
+    def test_identity_and_root_cuts(self, forest):
+        assert forest.leaf_vvs().mapping() == {}
+        root = forest.root_vvs()
+        assert root.labels == frozenset({"P", "Y"})
+
+    def test_equality_and_hash(self, forest):
+        a = forest.vvs({"SB", "e", "Y"})
+        b = forest.vvs({"SB", "e", "Y"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_leaf_choice_means_no_abstraction(self, forest):
+        vvs = forest.vvs({"b1", "b2", "e", "m1", "m3"})
+        assert vvs.mapping() == {}

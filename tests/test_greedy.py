@@ -1,0 +1,139 @@
+"""Tests for Algorithm 2 (greedy multi-tree selection)."""
+
+import pytest
+
+from repro.algorithms.brute_force import brute_force_vvs
+from repro.algorithms.greedy import greedy_vvs
+from repro.algorithms.optimal import optimal_vvs
+from repro.core.abstraction import abstract, monomial_loss, variable_loss
+from repro.core.forest import AbstractionForest
+from repro.core.parser import parse_set
+from repro.core.tree import AbstractionTree
+from repro.workloads.random_polys import random_compatible_instance
+
+
+class TestExample15:
+    """The paper's full greedy trace, step by step."""
+
+    def test_final_answer(self, ex13_polys, paper_forest):
+        result = greedy_vvs(ex13_polys, paper_forest, bound=4)
+        assert result.monomial_loss == 11
+        assert result.variable_loss == 5
+        assert result.vvs.labels == frozenset(
+            {"q1", "Business", "Special", "p1"}
+        )
+
+    def test_step_sequence(self, ex13_polys, paper_forest):
+        result = greedy_vvs(ex13_polys, paper_forest, bound=4)
+        chosen = [step.chosen for step in result.trace]
+        assert chosen == ["q1", "SB", "Business", "Special"]
+
+    def test_cumulative_ml_trace(self, ex13_polys, paper_forest):
+        """Example 15's cumulative ML: 7 → 8 → 9 → 11."""
+        result = greedy_vvs(ex13_polys, paper_forest, bound=4)
+        assert [step.cumulative_ml for step in result.trace] == [7, 8, 9, 11]
+
+    def test_q1_beats_sb_via_ml_tiebreak(self, ex13_polys, paper_forest):
+        """Both q1 and SB cost VL 1; q1's ML 7 beats SB's ML 2."""
+        result = greedy_vvs(ex13_polys, paper_forest, bound=4)
+        first = result.trace[0]
+        assert first.chosen == "q1"
+        assert first.delta_ml == 7
+        assert first.delta_vl == 1
+
+    def test_greedy_is_suboptimal_here(self, ex13_polys, paper_forest):
+        """The paper notes the optimum is {q1, Sp, SB, e, p1}: ML 10, VL 4."""
+        greedy = greedy_vvs(ex13_polys, paper_forest, bound=4)
+        optimal = brute_force_vvs(ex13_polys, paper_forest, bound=4)
+        assert optimal.vvs.labels == frozenset({"q1", "Special", "SB", "e", "p1"})
+        assert optimal.monomial_loss == 10
+        assert optimal.variable_loss == 4
+        assert greedy.variable_loss >= optimal.variable_loss
+
+
+class TestBehaviour:
+    def test_loose_bound_is_identity(self, ex13_polys, paper_forest):
+        result = greedy_vvs(ex13_polys, paper_forest, bound=99)
+        assert result.monomial_loss == 0
+        assert result.trace == []
+
+    def test_unreachable_bound_exhausts_candidates(self, ex13_polys, paper_forest):
+        """Example 8-style: greedy stops at the roots without raising."""
+        result = greedy_vvs(ex13_polys, paper_forest, bound=1)
+        # Maximal abstraction: every tree fully collapsed.
+        assert result.abstracted_size > 1  # bound unreachable
+        roots = {tree.root.label for tree in result.vvs.forest}
+        assert result.vvs.labels == frozenset(roots)
+
+    def test_single_tree_accepted(self):
+        polys = parse_set(["2*a*x + 3*b*x"])
+        tree = AbstractionTree.from_nested(("g", ["a", "b"]))
+        result = greedy_vvs(polys, tree, bound=1)
+        assert result.abstracted_size == 1
+        assert result.vvs.labels == frozenset({"g"})
+
+    def test_invalid_bound_rejected(self, ex13_polys, paper_forest):
+        with pytest.raises(ValueError):
+            greedy_vvs(ex13_polys, paper_forest, bound=0)
+
+    def test_result_counts_are_consistent(self, ex13_polys, paper_forest):
+        result = greedy_vvs(ex13_polys, paper_forest, bound=4)
+        materialized = abstract(ex13_polys, result.vvs)
+        assert materialized.num_monomials == result.abstracted_size
+        assert materialized.num_variables == result.abstracted_granularity
+        assert result.monomial_loss == monomial_loss(ex13_polys, result.vvs)
+        assert result.variable_loss == variable_loss(ex13_polys, result.vvs)
+
+    def test_trace_ml_is_monotone(self, ex13_polys, paper_forest):
+        result = greedy_vvs(ex13_polys, paper_forest, bound=4)
+        mls = [step.cumulative_ml for step in result.trace]
+        assert mls == sorted(mls)
+
+    def test_stops_as_soon_as_bound_met(self, ex13_polys, paper_forest):
+        """Greedy must not keep abstracting once ML(S) >= k."""
+        result = greedy_vvs(ex13_polys, paper_forest, bound=7)  # k = 7
+        assert result.trace[-1].cumulative_ml >= 7
+        if len(result.trace) > 1:
+            assert result.trace[-2].cumulative_ml < 7
+
+
+class TestRandomizedSoundness:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_greedy_vvs_is_valid_and_adequate_when_possible(self, seed):
+        polys, forest = random_compatible_instance(seed=seed)
+        bound = max(1, polys.num_monomials // 2)
+        result = greedy_vvs(polys, forest, bound)
+        # The returned labels always form a valid cut of the cleaned forest.
+        assert result.vvs.forest.is_valid_vvs(result.vvs.labels)
+        # If the maximal abstraction reaches the bound, greedy must too.
+        roots = result.vvs.forest.root_vvs()
+        max_ml = monomial_loss(polys, roots)
+        if max_ml >= polys.num_monomials - bound:
+            assert result.abstracted_size <= bound
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_greedy_never_beats_brute_force(self, seed):
+        polys, forest = random_compatible_instance(
+            seed=seed, leaves_per_tree=4, num_polynomials=3,
+            monomials_per_polynomial=8,
+        )
+        bound = max(1, polys.num_monomials // 2)
+        greedy = greedy_vvs(polys, forest, bound)
+        try:
+            optimal = brute_force_vvs(polys, forest, bound, max_cuts=100_000)
+        except Exception:
+            pytest.skip("instance infeasible or too large")
+        if greedy.abstracted_size <= bound:
+            assert greedy.variable_loss >= optimal.variable_loss
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_matches_optimal_on_single_trees_often_enough(self, seed):
+        """Not an optimality claim — just that greedy stays sound and
+        comparable on single trees (Table 1 measures the gap)."""
+        polys, forest = random_compatible_instance(seed=40 + seed, num_trees=1)
+        if len(forest.trees) != 1:
+            pytest.skip("tree vanished")
+        bound = max(1, polys.num_monomials - 2)
+        greedy = greedy_vvs(polys, forest, bound)
+        optimal = optimal_vvs(polys, forest.trees[0], bound)
+        assert greedy.variable_loss >= optimal.variable_loss

@@ -1,0 +1,92 @@
+"""Whitebox tests for the greedy algorithm's working state.
+
+The working state is the piece Example 15 forced into existence (ML is
+not additive across trees); these tests pin its internal contracts:
+simulate == apply, index consistency, and size bookkeeping.
+"""
+
+import pytest
+
+from repro.algorithms.greedy import _WorkingState
+from repro.core.parser import parse_set
+
+
+@pytest.fixture
+def state():
+    return _WorkingState(
+        parse_set(["2*a*x + 3*b*x + 4*a*y", "5*b*x + 6*c*x"])
+    )
+
+
+class TestConstruction:
+    def test_initial_size(self, state):
+        assert state.size == 5
+
+    def test_initial_granularity(self, state):
+        assert state.granularity == 5  # a, b, c, x, y
+
+    def test_presence(self, state):
+        assert state.present("a")
+        assert state.present("x")
+        assert not state.present("zz")
+
+    def test_index_covers_every_monomial(self, state):
+        # Each of the 5 monomials has 2 variables -> 10 index entries.
+        assert sum(len(entries) for entries in state.index.values()) == 10
+
+
+class TestSimulateAndApply:
+    def test_simulate_matches_apply(self, state):
+        predicted = state.simulate_merge(["a", "b"], "g")
+        actual = state.apply_merge(["a", "b"], "g")
+        assert predicted == actual == 1  # a*x + b*x merge in polynomial 0
+
+    def test_no_cross_polynomial_merge(self, state):
+        # b*x exists in both polynomials; merging b,c only merges inside
+        # polynomial 1 (b*x + c*x -> g*x).
+        assert state.simulate_merge(["b", "c"], "g") == 1
+
+    def test_simulate_is_pure(self, state):
+        before = state.size
+        state.simulate_merge(["a", "b"], "g")
+        assert state.size == before
+
+    def test_apply_updates_size(self, state):
+        state.apply_merge(["a", "b"], "g")
+        assert state.size == 4
+
+    def test_apply_updates_granularity(self, state):
+        state.apply_merge(["a", "b"], "g")
+        # a and b replaced by g: {g, c, x, y}.
+        assert state.granularity == 4
+        assert state.present("g")
+        assert not state.present("a")
+
+    def test_apply_reindexes_residual_variables(self, state):
+        state.apply_merge(["a", "b"], "g")
+        # x's index must now reference the rewritten keys only.
+        for poly_number, key in state.index["x"]:
+            assert key in state.polys[poly_number]
+
+    def test_sequential_merges_compose(self, state):
+        first = state.apply_merge(["a", "b"], "g")
+        second = state.apply_merge(["x", "y"], "h")
+        # After g: poly0 = {g*x, g*y}, poly1 = {g*x, c*x}. Merging x,y:
+        # poly0 collapses to {g*h} (1 loss); poly1 -> {g*h, c*h} (0).
+        assert first == 1
+        assert second == 1
+        assert state.size == 3
+
+    def test_cross_tree_interaction(self):
+        """The Example 15 effect: earlier merges enable later ones."""
+        state = _WorkingState(parse_set(["a*x + b*y"]))
+        assert state.simulate_merge(["a", "b"], "g") == 0
+        state.apply_merge(["x", "y"], "h")
+        assert state.simulate_merge(["a", "b"], "g") == 1
+
+    def test_exponents_preserved(self):
+        state = _WorkingState(parse_set(["a^2*x + b^2*x + b*x"]))
+        loss = state.apply_merge(["a", "b"], "g")
+        # a^2*x and b^2*x merge (both g^2*x); b*x stays g*x.
+        assert loss == 1
+        assert state.size == 2

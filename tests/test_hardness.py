@@ -1,0 +1,190 @@
+"""Tests for the Appendix A machinery and the vertex-cover reduction."""
+
+import pytest
+
+from repro.algorithms.decision import exists_precise
+from repro.core.abstraction import abstract, abstract_counts
+from repro.core.polynomial import PolynomialSet
+from repro.hardness import (
+    Graph,
+    build_instance,
+    claim18_sizes,
+    claim23_counts,
+    cover_to_cut,
+    cut_to_cover,
+    decide_vertex_cover_via_abstraction,
+    flat_abstraction,
+    flat_cut,
+    has_vertex_cover,
+    is_vertex_cover,
+    minimum_vertex_cover,
+    random_graph,
+    uniformly_partitioned,
+)
+
+EXAMPLE17 = dict(num_meta=4, blowup=3, index_pairs=[(1, 2), (1, 3), (2, 3), (2, 4)])
+
+
+class TestVertexCover:
+    def test_is_vertex_cover(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert is_vertex_cover(g, {1, 2})
+        assert not is_vertex_cover(g, {0, 3})
+
+    def test_has_vertex_cover(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert has_vertex_cover(g, 2)
+        assert not has_vertex_cover(g, 1)
+
+    def test_minimum_cover(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])  # triangle needs 2
+        assert len(minimum_vertex_cover(g)) == 2
+
+    def test_k_at_least_n_is_trivial(self):
+        g = Graph(2, [(0, 1)])
+        assert has_vertex_cover(g, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 5)])
+
+    def test_random_graph_always_has_an_edge(self):
+        g = random_graph(4, edge_probability=0.0, seed=1)
+        assert g.edges == [(0, 1)]
+
+
+class TestUniformlyPartitioned:
+    def test_example17_shape(self):
+        p = uniformly_partitioned(**EXAMPLE17)
+        assert p.num_monomials == 36
+        assert p.num_variables == 12
+        # Every monomial is a product of exactly two variables.
+        for monomial in p.monomials:
+            assert monomial.degree == 2
+
+    def test_claim18_matches_materialization(self):
+        # Claim 18 presumes every metavariable occurs in some pair.
+        for num_meta, pairs in [
+            (2, [(1, 2)]),
+            (4, [(1, 2), (3, 4)]),
+            (4, EXAMPLE17["index_pairs"]),
+        ]:
+            p = uniformly_partitioned(num_meta, 2, pairs)
+            assert claim18_sizes(num_meta, 2, pairs) == (
+                p.num_monomials,
+                p.num_variables,
+            )
+
+    def test_invalid_pair_order_rejected(self):
+        with pytest.raises(ValueError):
+            uniformly_partitioned(3, 2, [(2, 1)])
+
+    def test_out_of_range_pair_rejected(self):
+        with pytest.raises(ValueError):
+            uniformly_partitioned(3, 2, [(1, 9)])
+
+
+class TestFlatAbstraction:
+    def test_structure(self):
+        forest = flat_abstraction(4, 3)
+        assert len(forest) == 4
+        for tree in forest:
+            assert tree.height == 1
+            assert len(tree.leaves) == 3
+
+    def test_compatible_with_polynomial(self):
+        p = uniformly_partitioned(**EXAMPLE17)
+        forest = flat_abstraction(4, 3)
+        forest.check_compatible(PolynomialSet([p]))
+
+    def test_example24_counts(self):
+        """Example 24: Y = {x(1), x(3)} leaves 16 monomials, 8 variables."""
+        p = PolynomialSet([uniformly_partitioned(**EXAMPLE17)])
+        forest = flat_abstraction(4, 3)
+        vvs = flat_cut(forest, {1, 3}, 4, 3)
+        size, granularity = abstract_counts(p, vvs.mapping())
+        assert (size, granularity) == (16, 8)
+        assert claim23_counts(4, 3, EXAMPLE17["index_pairs"], {1, 3}) == (16, 8)
+
+    def test_claim23_matches_materialization_all_cuts(self):
+        pairs = [(1, 2), (2, 3)]
+        p = PolynomialSet([uniformly_partitioned(3, 2, pairs)])
+        forest = flat_abstraction(3, 2)
+        for chosen in [set(), {1}, {2}, {3}, {1, 2}, {1, 3}, {2, 3}, {1, 2, 3}]:
+            vvs = flat_cut(forest, chosen, 3, 2)
+            assert abstract_counts(p, vvs.mapping()) == claim23_counts(
+                3, 2, pairs, chosen
+            )
+
+    def test_claim25_positive_size(self):
+        """Claim 25: abstraction never annihilates monomials (coefficients
+        are positive, they only merge)."""
+        p = PolynomialSet([uniformly_partitioned(3, 2, [(1, 2), (2, 3)])])
+        forest = flat_abstraction(3, 2)
+        for vvs in forest.iter_cuts():
+            assert abstract(p, vvs).num_monomials > 0
+
+
+class TestReduction:
+    def test_cover_to_cut_roundtrip(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        instance = build_instance(g, blowup=3)
+        vvs = cover_to_cut(instance, {1, 2})
+        assert cut_to_cover(vvs) == {1, 2}
+
+    def test_cover_induces_small_abstraction(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        instance = build_instance(g, blowup=3)
+        p = PolynomialSet([instance.polynomial()])
+        cover_cut = cover_to_cut(instance, {1, 2})
+        size, granularity = abstract_counts(p, cover_cut.mapping())
+        assert size <= instance.size_bound()
+        assert granularity == instance.granularity_for_cover_size(2)
+
+    def test_non_cover_exceeds_size_bound(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        instance = build_instance(g, blowup=3)
+        p = PolynomialSet([instance.polynomial()])
+        bad_cut = cover_to_cut(instance, {0, 3})  # leaves (1,2) uncovered
+        size, _ = abstract_counts(p, bad_cut.mapping())
+        assert size > instance.size_bound()
+
+    def test_default_blowup_is_cubic(self):
+        g = Graph(3, [(0, 1)])
+        assert build_instance(g).blowup == 27
+
+    def test_too_small_blowup_rejected(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        with pytest.raises(ValueError, match="too small"):
+            decide_vertex_cover_via_abstraction(g, 2, blowup=2)
+
+    def test_degenerate_graphs_rejected(self):
+        with pytest.raises(ValueError):
+            build_instance(Graph(1, []), blowup=3)
+        with pytest.raises(ValueError):
+            build_instance(Graph(3, []), blowup=3)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_reduction_agrees_with_brute_force(self, seed):
+        """Lemma 29 end-to-end on random graphs, every k."""
+        g = random_graph(5, edge_probability=0.5, seed=seed)
+        blowup = max(2, len(g.edges))
+        for k in range(1, g.num_vertices):
+            assert decide_vertex_cover_via_abstraction(
+                g, k, blowup=blowup
+            ) == has_vertex_cover(g, k)
+
+    def test_reduction_through_generic_decision_problem(self):
+        """The instance also goes through the generic Definition 10 solver."""
+        g = Graph(3, [(0, 1), (1, 2)])
+        instance = build_instance(g, blowup=2)
+        p = PolynomialSet([instance.polynomial()])
+        forest = instance.forest()
+        # Cover {1} (the middle vertex): K = (3-1)*2 + 1 = 5.
+        cover_cut = cover_to_cut(instance, {1})
+        size, granularity = abstract_counts(p, cover_cut.mapping())
+        assert exists_precise(p, forest, size, granularity)

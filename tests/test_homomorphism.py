@@ -1,0 +1,103 @@
+"""Tests for N[X] → K evaluation (Green's factorization property)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.parser import parse, parse_set
+from repro.semiring import (
+    BOOLEAN,
+    LINEAGE,
+    NATURAL,
+    TROPICAL,
+    WHY,
+    Homomorphism,
+    evaluate_in,
+)
+
+
+class TestEvaluateIn:
+    def test_boolean_tuple_deletion(self):
+        """The classic what-if: does the answer survive deleting tuples?"""
+        p = parse("x*y + z")
+        assert evaluate_in(p, BOOLEAN, {"x": True, "y": True, "z": False})
+        assert evaluate_in(p, BOOLEAN, {"x": False, "z": True})
+        assert not evaluate_in(p, BOOLEAN, {"x": False, "z": False})
+
+    def test_natural_bag_multiplicity(self):
+        p = parse("2*x*y + z")
+        assert evaluate_in(p, NATURAL, {"x": 2, "y": 3, "z": 4}) == 16
+
+    def test_tropical_cost(self):
+        p = parse("x*y + z")
+        value = evaluate_in(p, TROPICAL, {"x": 1.0, "y": 2.0, "z": 5.0})
+        assert value == 3.0  # min(1+2, 5)
+
+    def test_lineage(self):
+        p = parse("x*y + z")
+        value = evaluate_in(
+            p,
+            LINEAGE,
+            {"x": frozenset({"x"}), "y": frozenset({"y"}), "z": frozenset({"z"})},
+        )
+        assert value == frozenset({"x", "y", "z"})
+
+    def test_why_provenance(self):
+        p = parse("x*y + z")
+        value = evaluate_in(
+            p,
+            WHY,
+            {
+                "x": frozenset([frozenset({"x"})]),
+                "y": frozenset([frozenset({"y"})]),
+                "z": frozenset([frozenset({"z"})]),
+            },
+        )
+        assert value == frozenset([frozenset({"x", "y"}), frozenset({"z"})])
+
+    def test_exponents(self):
+        assert evaluate_in(parse("x^3"), NATURAL, {"x": 2}) == 8
+
+    def test_default_is_one(self):
+        assert evaluate_in(parse("x*y"), NATURAL, {"x": 5}) == 5
+
+    def test_zero_polynomial(self):
+        assert evaluate_in(parse("0"), NATURAL, {}) == 0
+        assert evaluate_in(parse("x - x"), NATURAL, {}) == 0
+
+    def test_fractional_coefficient_rejected(self):
+        with pytest.raises(ValueError, match="natural"):
+            evaluate_in(parse("0.5*x"), NATURAL, {"x": 1})
+
+    def test_integral_float_coefficient_accepted(self):
+        assert evaluate_in(parse("2.0*x"), NATURAL, {"x": 3}) == 6
+
+
+class TestHomomorphismProperties:
+    @given(
+        st.integers(0, 5), st.integers(0, 5), st.integers(0, 3), st.integers(0, 3)
+    )
+    def test_evaluation_is_a_homomorphism_into_naturals(self, a, b, va, vb):
+        """eval(P + Q) == eval(P) + eval(Q); eval(P·Q) == eval(P)·eval(Q)."""
+        p = parse("x") * a + parse("y")
+        q = parse("x*y") * b + 1
+        assignment = {"x": va, "y": vb}
+        ep = evaluate_in(p, NATURAL, assignment)
+        eq = evaluate_in(q, NATURAL, assignment)
+        assert evaluate_in(p + q, NATURAL, assignment) == ep + eq
+        assert evaluate_in(p * q, NATURAL, assignment) == ep * eq
+
+    def test_callable_form(self):
+        h = Homomorphism(TROPICAL, {"x": 2.0, "y": 3.0})
+        assert h(parse("x*y + x")) == 2.0
+        assert h(parse_set(["x", "y"])) == [2.0, 3.0]
+
+    def test_callable_rejects_other_types(self):
+        h = Homomorphism(NATURAL, {})
+        with pytest.raises(TypeError):
+            h("x + y")
+
+    def test_unassigned_default_override(self):
+        h = Homomorphism(TROPICAL, {}, default=math.inf)
+        assert h(parse("x")) == math.inf

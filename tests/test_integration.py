@@ -1,0 +1,148 @@
+"""End-to-end integration: engine → provenance → abstraction → what-if.
+
+The headline soundness property of provisioning: valuating stored
+provenance equals re-running the query on hypothetically modified data.
+And after abstraction: group-uniform scenarios still valuate exactly.
+"""
+
+import pytest
+
+from repro.algorithms.greedy import greedy_vvs
+from repro.algorithms.optimal import optimal_vvs
+from repro.core.forest import AbstractionForest
+from repro.engine import Query
+from repro.scenarios import Scenario
+from repro.workloads.telephony import (
+    TelephonyBenchmark,
+    figure1_database,
+    months_tree,
+    plans_tree,
+    revenue_by_zip,
+)
+from repro.workloads.tpch import q1_pricing_summary, supplier_tree
+
+
+def _rerun_with_price_multipliers(cust, calls, plans, plan_mult, month_mult):
+    """Re-execute the revenue query with prices literally modified."""
+    modified = Query(plans).extend(
+        "NewPrice",
+        lambda r: r["Price"] * plan_mult.get(r["Plan"], 1.0)
+        * month_mult.get(r["Mo"], 1.0),
+    ).relation
+    return (
+        Query(calls)
+        .join(cust, on=("CID", "ID"))
+        .join(modified, on=["Plan", "Mo"])
+        .group_by("Zip")
+        .sum(lambda r: r["Dur"] * r["NewPrice"])
+    )
+
+
+class TestProvisioningSoundness:
+    """Valuation of provenance == re-execution on modified data."""
+
+    def test_figure1_price_change(self):
+        cust, calls, plans = figure1_database()
+        provenance = revenue_by_zip(cust, calls, plans)
+        # Scenario: plan A prices x0.8, March prices x1.25.
+        scenario = Scenario("mixed", {"p1": 0.8, "m3": 1.25})
+        rerun = _rerun_with_price_multipliers(
+            cust, calls, plans, {"A": 0.8}, {3: 1.25}
+        )
+        for key, polynomial in provenance:
+            via_provenance = scenario.valuation().evaluate(polynomial)
+            via_rerun = rerun.value(key)
+            assert via_provenance == pytest.approx(via_rerun)
+
+    def test_generated_benchmark_price_change(self, small_telephony):
+        cust, calls, plans = small_telephony.relations()
+        provenance = revenue_by_zip(
+            cust, calls, plans, small_telephony.plan_variable
+        )
+        scenario = Scenario(
+            "cuts", {"p0": 0.5, "p1": 0.9, "m1": 1.1, "m2": 0.7}
+        )
+        rerun = _rerun_with_price_multipliers(
+            cust, calls, plans, {"P0": 0.5, "P1": 0.9}, {1: 1.1, 2: 0.7}
+        )
+        for key, polynomial in provenance:
+            assert scenario.valuation().evaluate(polynomial) == pytest.approx(
+                rerun.value(key)
+            )
+
+
+class TestAbstractionPreservesSupportedScenarios:
+    def test_quarterly_scenario_after_month_abstraction(self):
+        cust, calls, plans = figure1_database()
+        provenance = revenue_by_zip(cust, calls, plans).polynomials
+        forest = AbstractionForest(
+            [months_tree().clean(provenance.variables)]
+        )
+        vvs = forest.root_vvs()  # months -> q1
+        abstracted = vvs.apply(provenance)
+        scenario = Scenario.uniform("q1-cut", ["m1", "m3"], 0.8)
+        lifted = scenario.lift(vvs)
+        for raw, compact in zip(provenance, abstracted):
+            assert lifted.evaluate(compact) == pytest.approx(
+                scenario.valuation().evaluate(raw)
+            )
+
+    def test_optimal_abstraction_pipeline_on_telephony(self, small_telephony):
+        provenance = small_telephony.provenance()
+        tree = small_telephony.plans_abstraction_tree((4,))
+        bound = max(1, provenance.num_monomials // 2)
+        result = optimal_vvs(provenance, tree, bound)
+        assert result.abstracted_size <= bound
+        abstracted = result.apply(provenance)
+        # A scenario uniform on every chosen group valuates exactly.
+        groups = {
+            label: result.vvs.group(label)
+            for label in result.vvs.labels
+            if label in tree.labels or True
+        }
+        changes = {}
+        for number, (label, leaves) in enumerate(sorted(groups.items())):
+            for leaf in leaves:
+                changes[leaf] = 0.5 + 0.1 * (number % 5)
+        scenario = Scenario("group-uniform", changes)
+        assert scenario.is_supported_by(result.vvs)
+        lifted = scenario.lift(result.vvs)
+        for raw, compact in zip(provenance, abstracted):
+            assert lifted.evaluate(compact) == pytest.approx(
+                scenario.valuation().evaluate(raw)
+            )
+
+    def test_greedy_abstraction_pipeline_on_tpch(self, tiny_tpch):
+        provenance = q1_pricing_summary(tiny_tpch)["sum_disc_price"].polynomials
+        forest = AbstractionForest([supplier_tree((8,))]).clean(provenance)
+        bound = max(1, provenance.num_monomials * 3 // 4)
+        result = greedy_vvs(provenance, forest, bound, clean=False)
+        abstracted = result.apply(provenance)
+        assert abstracted.num_monomials == result.abstracted_size
+        # Scenario uniform on each supplier group: exact after abstraction.
+        changes = {}
+        for label in result.vvs.labels:
+            for leaf in result.vvs.group(label):
+                changes[leaf] = 1.2
+        scenario = Scenario("suppliers-up", changes)
+        lifted = scenario.lift(result.vvs)
+        for raw, compact in zip(provenance, abstracted):
+            assert lifted.evaluate(compact) == pytest.approx(
+                scenario.valuation().evaluate(raw)
+            )
+
+
+class TestTupleVariableWhatIf:
+    """Setting 1 of §2.1: tuple variables + Boolean valuation."""
+
+    def test_deleting_a_customer_via_provenance(self):
+        from repro.engine import Relation, aggregate_sum
+
+        rows = Relation.from_rows(
+            ["cust", "amount"], [(1, 10.0), (2, 20.0), (3, 30.0)]
+        ).with_tuple_variables("t")
+        result = aggregate_sum(rows, [], "amount")
+        polynomial = result.polynomial(())
+        # Deleting tuple t1 (customer 2): set its variable to 0.
+        assert polynomial.evaluate({"t1": 0.0}) == pytest.approx(40.0)
+        assert polynomial.evaluate({}) == pytest.approx(60.0)

@@ -1,0 +1,173 @@
+"""Tests for Algorithm 1 (optimal single-tree DP), both implementations."""
+
+import pytest
+
+from repro.algorithms.optimal import optimal_vvs, optimal_vvs_naive
+from repro.algorithms.brute_force import brute_force_vvs
+from repro.algorithms.result import InfeasibleBoundError
+from repro.core.abstraction import abstract, monomial_loss, variable_loss
+from repro.core.forest import AbstractionForest
+from repro.core.parser import parse_set
+from repro.core.tree import AbstractionTree
+from repro.workloads.random_polys import random_polynomials
+from repro.workloads.trees import layered_tree, random_tree
+
+
+@pytest.fixture
+def simple():
+    polys = parse_set(
+        ["2*b1*m1 + 3*b1*m3 + 4*b2*m1 + 5*b2*m3 + 6*e*m1 + 7*e*m3"]
+    )
+    tree = AbstractionTree.from_nested(("B", [("SB", ["b1", "b2"]), "e"]))
+    return polys, tree
+
+
+class TestBasics:
+    def test_loose_bound_returns_identity(self, simple):
+        polys, tree = simple
+        result = optimal_vvs(polys, tree, bound=polys.num_monomials)
+        assert result.monomial_loss == 0
+        assert result.variable_loss == 0
+        assert result.abstracted_size == polys.num_monomials
+
+    def test_bound_larger_than_size_is_identity(self, simple):
+        polys, tree = simple
+        result = optimal_vvs(polys, tree, bound=999)
+        assert result.monomial_loss == 0
+
+    def test_bound_four_uses_sb(self, simple):
+        polys, tree = simple
+        result = optimal_vvs(polys, tree, bound=4)
+        assert result.vvs.labels == frozenset({"SB", "e"})
+        assert result.abstracted_size == 4
+        assert result.variable_loss == 1
+
+    def test_bound_two_needs_root(self, simple):
+        polys, tree = simple
+        result = optimal_vvs(polys, tree, bound=2)
+        assert result.vvs.labels == frozenset({"B"})
+        assert result.abstracted_size == 2
+        assert result.variable_loss == 2
+
+    def test_bound_three_still_needs_root(self, simple):
+        # ML must be >= 3; SB alone gives 2, so the root (ML 4) is forced.
+        polys, tree = simple
+        result = optimal_vvs(polys, tree, bound=3)
+        assert result.abstracted_size == 2
+
+    def test_infeasible_bound_raises(self, simple):
+        polys, tree = simple
+        with pytest.raises(InfeasibleBoundError) as excinfo:
+            optimal_vvs(polys, tree, bound=1)
+        assert excinfo.value.min_achievable_size == 2
+
+    def test_invalid_bound_rejected(self, simple):
+        polys, tree = simple
+        with pytest.raises(ValueError):
+            optimal_vvs(polys, tree, bound=0)
+
+    def test_multi_tree_forest_rejected(self, simple):
+        polys, tree = simple
+        other = AbstractionTree.from_nested(("Q", ["m1", "m3"]))
+        with pytest.raises(ValueError, match="NP-hard|one abstraction tree"):
+            optimal_vvs(polys, AbstractionForest([tree, other]), bound=4)
+
+    def test_single_tree_forest_accepted(self, simple):
+        polys, tree = simple
+        result = optimal_vvs(polys, AbstractionForest([tree]), bound=4)
+        assert result.abstracted_size == 4
+
+    def test_result_counts_are_consistent(self, simple):
+        polys, tree = simple
+        result = optimal_vvs(polys, tree, bound=4)
+        materialized = abstract(polys, result.vvs)
+        assert materialized.num_monomials == result.abstracted_size
+        assert materialized.num_variables == result.abstracted_granularity
+        assert result.monomial_loss == monomial_loss(polys, result.vvs)
+        assert result.variable_loss == variable_loss(polys, result.vvs)
+
+
+class TestExample13:
+    def test_paper_answer(self, ex13_polys, figure2_tree):
+        result = optimal_vvs(ex13_polys, figure2_tree, bound=9)
+        assert result.vvs.labels == frozenset({"SB", "Special", "e", "p1"})
+        assert result.monomial_loss == 6
+        assert result.variable_loss == 3
+
+    def test_naive_agrees_on_paper_answer(self, ex13_polys, figure2_tree):
+        result = optimal_vvs_naive(ex13_polys, figure2_tree, bound=9)
+        assert result.vvs.labels == frozenset({"SB", "Special", "e", "p1"})
+
+    def test_all_bounds_match_brute_force(self, ex13_polys, figure2_tree):
+        """DP optimality: for every feasible bound, VL equals brute force."""
+        for bound in range(1, ex13_polys.num_monomials + 1):
+            try:
+                expected = brute_force_vvs(ex13_polys, figure2_tree, bound)
+            except InfeasibleBoundError:
+                with pytest.raises(InfeasibleBoundError):
+                    optimal_vvs(ex13_polys, figure2_tree, bound)
+                continue
+            result = optimal_vvs(ex13_polys, figure2_tree, bound)
+            assert result.variable_loss == expected.variable_loss, bound
+            assert result.abstracted_size <= bound
+
+
+class TestOptimalityRandomized:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force_on_random_instances(self, seed):
+        pool = [f"v{i}" for i in range(9)]
+        polys = random_polynomials(3, 10, [pool], seed=seed, extra_variables=3)
+        present = sorted(v for v in pool if v in polys.variables)
+        if len(present) < 2:
+            pytest.skip("degenerate draw")
+        tree = random_tree(present, seed=seed, max_fanout=3)
+        for bound in {1, 2, polys.num_monomials // 2, polys.num_monomials}:
+            if bound < 1:
+                continue
+            try:
+                expected = brute_force_vvs(polys, tree, bound)
+            except InfeasibleBoundError:
+                with pytest.raises(InfeasibleBoundError):
+                    optimal_vvs(polys, tree, bound)
+                continue
+            result = optimal_vvs(polys, tree, bound)
+            assert result.abstracted_size <= bound
+            assert result.variable_loss == expected.variable_loss
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_naive_and_optimized_agree(self, seed):
+        pool = [f"v{i}" for i in range(8)]
+        polys = random_polynomials(2, 8, [pool], seed=100 + seed, extra_variables=2)
+        present = sorted(v for v in pool if v in polys.variables)
+        if len(present) < 2:
+            pytest.skip("degenerate draw")
+        tree = random_tree(present, seed=seed, max_fanout=3)
+        for bound in range(1, polys.num_monomials + 1):
+            try:
+                fast = optimal_vvs(polys, tree, bound)
+            except InfeasibleBoundError:
+                with pytest.raises(InfeasibleBoundError):
+                    optimal_vvs_naive(polys, tree, bound)
+                continue
+            slow = optimal_vvs_naive(polys, tree, bound)
+            assert fast.variable_loss == slow.variable_loss
+            assert fast.monomial_loss >= polys.num_monomials - bound
+            assert slow.monomial_loss >= polys.num_monomials - bound
+
+
+class TestLayeredTrees:
+    def test_layered_instance(self):
+        leaves = [f"s{i}" for i in range(16)]
+        polys = random_polynomials(4, 20, [leaves], seed=5, extra_variables=4)
+        tree = layered_tree(
+            [v for v in leaves if v in polys.variables], (2, 2), prefix="sp"
+        ) if all(v in polys.variables for v in leaves) else None
+        if tree is None:
+            polys = random_polynomials(8, 40, [leaves], seed=5, extra_variables=4)
+            assert all(v in polys.variables for v in leaves)
+            tree = layered_tree(leaves, (2, 2), prefix="sp")
+        bound = polys.num_monomials // 2
+        result = optimal_vvs(polys, tree, bound)
+        assert result.abstracted_size <= bound
+        expected = brute_force_vvs(polys, tree, bound)
+        assert result.variable_loss == expected.variable_loss

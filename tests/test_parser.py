@@ -1,0 +1,101 @@
+"""Unit tests for the polynomial parser."""
+
+import pytest
+
+from repro.core.parser import ParseError, parse, parse_set
+from repro.core.polynomial import Monomial, Polynomial
+
+
+class TestBasicForms:
+    def test_single_variable(self):
+        assert parse("x") == Polynomial.variable("x")
+
+    def test_constant_int(self):
+        assert parse("7") == Polynomial.constant(7)
+
+    def test_constant_float(self):
+        assert parse("2.5").coefficient(Monomial.ONE) == 2.5
+
+    def test_product(self):
+        assert parse("2*x*y") == Polynomial({Monomial.of("x", "y"): 2})
+
+    def test_exponent(self):
+        assert parse("x^3") == Polynomial({Monomial.of(("x", 3)): 1})
+
+    def test_repeated_variable_multiplies(self):
+        assert parse("x*x") == parse("x^2")
+
+    def test_sum_and_difference(self):
+        p = parse("2*x - y + 3")
+        assert p.coefficient(Monomial.of("y")) == -1
+        assert p.coefficient(Monomial.ONE) == 3
+
+    def test_leading_minus(self):
+        assert parse("-x + 1").coefficient(Monomial.of("x")) == -1
+
+    def test_whitespace_insensitive(self):
+        assert parse(" 2 * x + y ") == parse("2*x+y")
+
+    def test_numbers_multiply_into_coefficient(self):
+        assert parse("2*3*x") == parse("6*x")
+
+    def test_like_terms_combine(self):
+        assert parse("x + x") == parse("2*x")
+
+    def test_underscore_and_digit_names(self):
+        p = parse("x(1)" .replace("(", "_").replace(")", "") + " + m3")
+        assert "x_1" in p.variables and "m3" in p.variables
+
+
+class TestPaperPolynomials:
+    def test_example2_polynomial(self):
+        p = parse(
+            "220.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 + "
+            "75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3"
+        )
+        assert p.num_monomials == 8
+        assert p.coefficient(Monomial.of("p1", "m1")) == 220.8
+
+    def test_example2_abstracted_polynomial(self):
+        p = parse("460.8*p1*q1 + 241.85*f1*q1 + 148.4*y1*q1 + 66.2*v*q1")
+        assert p.num_monomials == 4
+        assert p.num_variables == 5
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        ["x", "2*x + 3*y", "x^2*y + 4", "0.5*a*b^3 - 2*c", "1 + x + x^2"],
+    )
+    def test_str_then_parse_is_identity(self, text):
+        p = parse(text)
+        assert parse(str(p)) == p
+
+
+class TestErrors:
+    def test_rejects_garbage_character(self):
+        with pytest.raises(ParseError):
+            parse("x $ y")
+
+    def test_rejects_trailing_operator(self):
+        with pytest.raises(ParseError):
+            parse("x +")
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_rejects_float_exponent(self):
+        with pytest.raises(ParseError):
+            parse("x^2.5")
+
+    def test_rejects_double_operator(self):
+        with pytest.raises(ParseError):
+            parse("x ++ y")
+
+
+class TestParseSet:
+    def test_parses_each_string(self):
+        ps = parse_set(["x + y", "z"])
+        assert len(ps) == 2
+        assert ps.num_variables == 3

@@ -1,0 +1,150 @@
+"""Unit tests for repro.core.polynomial.Polynomial."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.core.polynomial import Monomial, Polynomial
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert Polynomial.zero().num_monomials == 0
+        assert not Polynomial.zero()
+
+    def test_constant(self):
+        p = Polynomial.constant(5)
+        assert p.num_monomials == 1
+        assert p.coefficient(Monomial.ONE) == 5
+
+    def test_variable(self):
+        p = Polynomial.variable("x", 3)
+        assert p.coefficient(Monomial.of("x")) == 3
+
+    def test_zero_coefficients_dropped(self):
+        p = Polynomial({Monomial.of("x"): 0, Monomial.of("y"): 2})
+        assert p.num_monomials == 1
+
+    def test_duplicate_monomials_combine(self):
+        p = Polynomial([(Monomial.of("x"), 2), (Monomial.of("x"), 3)])
+        assert p.coefficient(Monomial.of("x")) == 5
+
+    def test_cancelling_terms_vanish(self):
+        p = Polynomial([(Monomial.of("x"), 2), (Monomial.of("x"), -2)])
+        assert p.num_monomials == 0
+
+    def test_from_terms(self):
+        p = Polynomial.from_terms([(2, Monomial.of("x")), (3, Monomial.ONE)])
+        assert p.num_monomials == 2
+
+    def test_rejects_non_monomial_keys(self):
+        with pytest.raises(TypeError):
+            Polynomial({"x": 1})
+
+
+class TestMeasures:
+    def test_num_monomials_is_size(self):
+        p = parse("2*x*y + 3*x + 1")
+        assert p.num_monomials == 3
+
+    def test_variables(self):
+        p = parse("2*x*y + 3*z")
+        assert p.variables == {"x", "y", "z"}
+
+    def test_num_variables_is_granularity(self):
+        assert parse("x*y + y*z + z*x").num_variables == 3
+
+    def test_constant_has_no_variables(self):
+        assert Polynomial.constant(7).num_variables == 0
+
+
+class TestArithmetic:
+    def test_addition_merges(self):
+        assert parse("x + y") + parse("x") == parse("2*x + y")
+
+    def test_addition_with_scalar(self):
+        assert parse("x") + 3 == parse("x + 3")
+
+    def test_subtraction(self):
+        assert parse("2*x") - parse("x") == parse("x")
+
+    def test_negation(self):
+        assert -parse("x - y") == parse("y - x")
+
+    def test_scalar_multiplication(self):
+        assert parse("x + y") * 2 == parse("2*x + 2*y")
+
+    def test_scalar_multiplication_by_zero(self):
+        assert (parse("x + y") * 0).num_monomials == 0
+
+    def test_monomial_multiplication(self):
+        assert parse("x + 1") * Monomial.of("y") == parse("x*y + y")
+
+    def test_polynomial_multiplication(self):
+        assert parse("x + 1") * parse("x - 1") == parse("x^2 - 1")
+
+    def test_multiplication_is_distributive(self):
+        a, b, c = parse("x + y"), parse("z"), parse("w + 2")
+        assert a * (b + c) == a * b + a * c
+
+
+class TestSubstitution:
+    def test_merging_substitution_sums_coefficients(self):
+        p = parse("2*m1*x + 3*m3*x")
+        assert p.substitute({"m1": "q1", "m3": "q1"}) == parse("5*q1*x")
+
+    def test_non_merging_substitution_keeps_size(self):
+        p = parse("2*m1*x + 3*m1*y")
+        q = p.substitute({"m1": "q1"})
+        assert q.num_monomials == 2
+
+    def test_substitution_never_increases_size(self):
+        p = parse("a*x + b*y + c*z")
+        q = p.substitute({"a": "g", "b": "g", "c": "g"})
+        assert q.num_monomials <= p.num_monomials
+
+    def test_substitute_to_existing_variable_merges_exponents(self):
+        p = parse("a*b")
+        assert p.substitute({"a": "b"}) == parse("b^2")
+
+
+class TestEvaluation:
+    def test_all_ones_recovers_coefficient_sum(self):
+        p = parse("2*x*y + 3*z + 1")
+        assert p.evaluate({}) == 6.0
+
+    def test_partial_assignment(self):
+        p = parse("2*x*y + 3*z")
+        assert p.evaluate({"x": 0.5}) == pytest.approx(4.0)
+
+    def test_exponent_evaluation(self):
+        assert parse("x^3").evaluate({"x": 2.0}) == 8.0
+
+    def test_zero_polynomial_evaluates_to_zero(self):
+        assert Polynomial.zero().evaluate({"x": 5.0}) == 0.0
+
+
+class TestMisc:
+    def test_restricted_to(self):
+        p = parse("x*y + y*z + 3")
+        q = p.restricted_to({"x", "y"})
+        assert q == parse("x*y + 3")
+
+    def test_almost_equal_tolerates_float_noise(self):
+        a = parse("x") * 0.1 + parse("x") * 0.2
+        b = parse("x") * 0.3
+        assert a.almost_equal(b, tolerance=1e-9)
+
+    def test_almost_equal_rejects_different_support(self):
+        assert not parse("x").almost_equal(parse("y"))
+
+    def test_iteration_is_sorted_and_typed(self):
+        p = parse("2*b + 3*a")
+        items = list(p)
+        assert items[0] == (3, Monomial.of("a"))
+
+    def test_str_of_zero(self):
+        assert str(Polynomial.zero()) == "0"
+
+    def test_equality_and_hash(self):
+        assert parse("x + y") == parse("y + x")
+        assert hash(parse("x + y")) == hash(parse("y + x"))

@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) for the selection algorithms."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.algorithms.brute_force import brute_force_vvs
+from repro.algorithms.decision import exists_precise, precise_pairs
+from repro.algorithms.greedy import greedy_vvs
+from repro.algorithms.optimal import optimal_vvs, optimal_vvs_naive
+from repro.algorithms.result import InfeasibleBoundError
+from repro.core.abstraction import abstract_counts, monomial_loss
+from repro.core.forest import AbstractionForest
+from repro.workloads.random_polys import random_compatible_instance
+
+
+@st.composite
+def single_tree_instances(draw):
+    seed = draw(st.integers(0, 10_000))
+    leaves = draw(st.integers(2, 7))
+    polys = draw(st.integers(1, 3))
+    monomials_per = draw(st.integers(2, 10))
+    polynomials, forest = random_compatible_instance(
+        seed=seed,
+        num_trees=1,
+        leaves_per_tree=leaves,
+        num_polynomials=polys,
+        monomials_per_polynomial=monomials_per,
+    )
+    assume(len(forest.trees) == 1)
+    return polynomials, forest.trees[0]
+
+
+@st.composite
+def forest_instances(draw):
+    seed = draw(st.integers(0, 10_000))
+    polynomials, forest = random_compatible_instance(
+        seed=seed,
+        num_trees=draw(st.integers(1, 3)),
+        leaves_per_tree=draw(st.integers(2, 5)),
+        num_polynomials=draw(st.integers(1, 3)),
+        monomials_per_polynomial=draw(st.integers(2, 8)),
+    )
+    assume(forest.count_cuts() <= 500)
+    return polynomials, forest
+
+
+@st.composite
+def bounds(draw):
+    return draw(st.integers(1, 60))
+
+
+class TestOptimalDP:
+    @given(single_tree_instances(), bounds())
+    @settings(max_examples=50, deadline=None)
+    def test_dp_is_optimal(self, instance, bound):
+        """Proposition 12: the DP's VL equals exhaustive search's."""
+        polys, tree = instance
+        bound = min(bound, polys.num_monomials)
+        try:
+            expected = brute_force_vvs(polys, tree, bound, max_cuts=None)
+        except InfeasibleBoundError:
+            try:
+                optimal_vvs(polys, tree, bound)
+                raise AssertionError("DP found a VVS where none is adequate")
+            except InfeasibleBoundError:
+                return
+        result = optimal_vvs(polys, tree, bound)
+        assert result.abstracted_size <= bound
+        assert result.variable_loss == expected.variable_loss
+
+    @given(single_tree_instances(), bounds())
+    @settings(max_examples=30, deadline=None)
+    def test_optimized_equals_naive(self, instance, bound):
+        """The §4.1-optimized DP and the literal pseudo-code agree."""
+        polys, tree = instance
+        bound = min(bound, polys.num_monomials)
+        try:
+            fast = optimal_vvs(polys, tree, bound)
+        except InfeasibleBoundError:
+            try:
+                optimal_vvs_naive(polys, tree, bound)
+                raise AssertionError("naive found a VVS, optimized did not")
+            except InfeasibleBoundError:
+                return
+        slow = optimal_vvs_naive(polys, tree, bound)
+        assert fast.variable_loss == slow.variable_loss
+        assert fast.abstracted_size <= bound
+        assert slow.abstracted_size <= bound
+
+    @given(single_tree_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_vl_is_monotone_in_bound(self, instance):
+        """Tighter bounds can only lose more variables."""
+        polys, tree = instance
+        losses = []
+        for bound in range(polys.num_monomials, 0, -1):
+            try:
+                losses.append(optimal_vvs(polys, tree, bound).variable_loss)
+            except InfeasibleBoundError:
+                break
+        assert losses == sorted(losses)
+
+
+class TestGreedy:
+    @given(forest_instances(), bounds())
+    @settings(max_examples=50, deadline=None)
+    def test_greedy_returns_valid_cut(self, instance, bound):
+        polys, forest = instance
+        bound = min(bound, max(1, polys.num_monomials))
+        result = greedy_vvs(polys, forest, bound)
+        assert result.vvs.forest.is_valid_vvs(result.vvs.labels)
+        size, granularity = abstract_counts(polys, result.vvs.mapping())
+        assert size == result.abstracted_size
+        assert granularity == result.abstracted_granularity
+
+    @given(forest_instances(), bounds())
+    @settings(max_examples=50, deadline=None)
+    def test_greedy_adequate_whenever_possible(self, instance, bound):
+        """If the coarsest cut meets the bound, greedy must meet it too."""
+        polys, forest = instance
+        bound = min(bound, max(1, polys.num_monomials))
+        result = greedy_vvs(polys, forest, bound)
+        cleaned_forest = result.vvs.forest
+        max_loss = monomial_loss(polys, cleaned_forest.root_vvs())
+        if max_loss >= polys.num_monomials - bound:
+            assert result.abstracted_size <= bound
+
+    @given(forest_instances(), bounds())
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_never_better_than_brute_force(self, instance, bound):
+        polys, forest = instance
+        bound = min(bound, max(1, polys.num_monomials))
+        greedy = greedy_vvs(polys, forest, bound)
+        if greedy.abstracted_size > bound:
+            return
+        optimal = brute_force_vvs(polys, forest, bound, max_cuts=None)
+        assert greedy.variable_loss >= optimal.variable_loss
+
+
+class TestDecision:
+    @given(single_tree_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_precise_pairs_equal_enumeration(self, instance):
+        polys, tree = instance
+        forest = AbstractionForest([tree])
+        assume(forest.count_cuts() <= 300)
+        enumerated = set()
+        for vvs in forest.iter_cuts():
+            size, granularity = abstract_counts(polys, vvs.mapping())
+            enumerated.add(
+                (polys.num_monomials - size, polys.num_variables - granularity)
+            )
+        assert precise_pairs(polys, tree) == enumerated
+
+    @given(single_tree_instances(), st.integers(0, 20), st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_exists_precise_consistent_with_enumeration(
+        self, instance, size_delta, granularity_delta
+    ):
+        polys, tree = instance
+        forest = AbstractionForest([tree])
+        assume(forest.count_cuts() <= 300)
+        size = max(1, polys.num_monomials - size_delta)
+        granularity = max(1, polys.num_variables - granularity_delta)
+        via_dp = exists_precise(polys, tree, size, granularity)
+        via_enumeration = any(
+            abstract_counts(polys, vvs.mapping()) == (size, granularity)
+            for vvs in forest.iter_cuts()
+        )
+        assert via_dp == via_enumeration

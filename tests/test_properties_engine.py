@@ -1,0 +1,147 @@
+"""Property-based tests for the K-relation engine (semiring laws lifted).
+
+The semiring model's point: relational identities hold *up to
+annotations*. These tests check the liftings — union associativity and
+commutativity, join commutativity (modulo column order), selection/
+projection interactions — over bag (N) and provenance (N[X])
+annotations, plus the invariant that the competitor's merges and the
+aggregate's polynomials preserve total value.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.polynomial import Polynomial
+from repro.engine import Relation, aggregate_sum, join, project, rename, select, union
+from repro.semiring import PROVENANCE
+
+keys = st.integers(0, 4)
+values = st.sampled_from(["a", "b", "c"])
+rows = st.lists(st.tuples(keys, values), max_size=8)
+
+
+def _relation(row_list, prefix=None):
+    relation = Relation.from_rows(["k", "v"], row_list)
+    if prefix is not None:
+        relation = relation.with_tuple_variables(prefix)
+    return relation
+
+
+class TestUnionLaws:
+    @given(rows, rows)
+    def test_union_commutes(self, left_rows, right_rows):
+        left = _relation(left_rows)
+        right = _relation(right_rows)
+        assert union(left, right) == union(right, left)
+
+    @given(rows, rows, rows)
+    @settings(max_examples=40)
+    def test_union_associates(self, a_rows, b_rows, c_rows):
+        a, b, c = _relation(a_rows), _relation(b_rows), _relation(c_rows)
+        assert union(union(a, b), c) == union(a, union(b, c))
+
+    @given(rows)
+    def test_union_with_empty_is_identity(self, row_list):
+        relation = _relation(row_list)
+        empty = Relation(["k", "v"])
+        assert union(relation, empty) == relation
+
+
+class TestJoinLaws:
+    @given(rows, rows)
+    @settings(max_examples=40)
+    def test_join_annotations_commute(self, left_rows, right_rows):
+        """Join is commutative on annotations (schemas permute)."""
+        left = _relation(left_rows, "l")
+        right = rename(_relation(right_rows, "r"), {"v": "w"})
+        forward = join(left, right, on="k")
+        backward = join(right, left, on="k")
+        forward_by_key = {
+            (row[0], row[1], row[2]): annotation
+            for row, annotation in forward
+        }
+        backward_by_key = {
+            (row[0], row[2], row[1]): annotation
+            for row, annotation in backward
+        }
+        assert forward_by_key == backward_by_key
+
+    @given(rows)
+    @settings(max_examples=40)
+    def test_selection_commutes_with_join(self, row_list):
+        left = _relation(row_list, "l")
+        right = rename(_relation(row_list, "r"), {"v": "w"})
+        predicate = lambda row: row["k"] >= 2
+        select_then_join = join(select(left, predicate), right, on="k")
+        join_then_select = select(join(left, right, on="k"), predicate)
+        assert select_then_join == join_then_select
+
+    @given(rows)
+    @settings(max_examples=40)
+    def test_projection_sums_join_annotations(self, row_list):
+        """π_k(R ⋈ S) annotations equal the ⊕ of matched ⊗-products."""
+        left = _relation(row_list, "l")
+        right = rename(_relation(row_list, "r"), {"v": "w"})
+        joined = join(left, right, on="k")
+        projected = project(joined, ["k"])
+        for row, annotation in projected:
+            manual = PROVENANCE.sum(
+                a for full_row, a in joined if full_row[0] == row[0]
+            )
+            assert annotation == manual
+
+
+class TestAggregateValuePreservation:
+    @given(rows)
+    @settings(max_examples=40)
+    def test_polynomial_at_ones_equals_plain_sum(self, row_list):
+        relation = Relation.from_rows(
+            ["g", "x"], [(k, float(k) + 1.5) for k, _ in row_list]
+        )
+        result = aggregate_sum(
+            relation, ["g"], "x", params=lambda row: [f"v{row['g']}"]
+        )
+        plain = {}
+        for (g, x), multiplicity in relation.rows.items():
+            plain[g] = plain.get(g, 0.0) + x * multiplicity
+        for (g,), polynomial in result:
+            assert abs(polynomial.evaluate({}) - plain[g]) < 1e-9
+
+
+class TestCompetitorValuePreservation:
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_summarization_preserves_all_ones_value(self, seed):
+        """[3]'s merges sum coefficients, so the all-ones valuation of
+        every polynomial is invariant — the summary never changes the
+        baseline answer, only the achievable scenarios."""
+        from repro.algorithms.competitor import summarize
+        from repro.workloads.random_polys import random_compatible_instance
+
+        polys, forest = random_compatible_instance(
+            seed=seed, num_trees=2, leaves_per_tree=4,
+            num_polynomials=3, monomials_per_polynomial=8,
+        )
+        result = summarize(polys, forest, bound=1)
+        assert len(result.polynomials) == len(polys)
+        for before, after in zip(polys, result.polynomials):
+            assert abs(before.evaluate({}) - after.evaluate({})) < 1e-6
+
+
+class TestAbstractionValuePreservation:
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_every_cut_preserves_all_ones_value(self, seed):
+        """P↓S sums coefficients of merged monomials, so the neutral
+        valuation (all variables 1) is invariant under ANY abstraction."""
+        from hypothesis import assume
+        from repro.workloads.random_polys import random_compatible_instance
+
+        polys, forest = random_compatible_instance(
+            seed=seed, num_trees=2, leaves_per_tree=4,
+            num_polynomials=2, monomials_per_polynomial=6,
+        )
+        assume(forest.count_cuts() <= 100)
+        for vvs in forest.iter_cuts():
+            abstracted = vvs.apply(polys)
+            for before, after in zip(polys, abstracted):
+                assert abs(before.evaluate({}) - after.evaluate({})) < 1e-6

@@ -1,0 +1,166 @@
+"""Semiring law tests for every provided semiring (incl. property-based)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.parser import parse
+from repro.core.polynomial import Polynomial
+from repro.semiring import (
+    BOOLEAN,
+    FUZZY,
+    LINEAGE,
+    NATURAL,
+    PROVENANCE,
+    REAL,
+    TROPICAL,
+    VITERBI,
+    WHY,
+)
+
+ALL_SEMIRINGS = [BOOLEAN, NATURAL, REAL, TROPICAL, VITERBI, FUZZY, LINEAGE, WHY,
+                 PROVENANCE]
+
+
+def _elements(semiring):
+    """A small pool of representative elements per semiring."""
+    if semiring is BOOLEAN:
+        return [False, True]
+    if semiring is NATURAL:
+        return [0, 1, 2, 5]
+    if semiring is REAL:
+        return [0.0, 1.0, 2.5]
+    if semiring is TROPICAL:
+        return [math.inf, 0.0, 1.5, 3.0]
+    if semiring is VITERBI:
+        return [0.0, 0.25, 1.0]
+    if semiring is FUZZY:
+        return [0.0, 0.5, 1.0]
+    if semiring is LINEAGE:
+        return [None, frozenset(), frozenset({"x"}), frozenset({"x", "y"})]
+    if semiring is WHY:
+        return [
+            frozenset(),
+            frozenset([frozenset()]),
+            frozenset([frozenset({"x"})]),
+            frozenset([frozenset({"x"}), frozenset({"y"})]),
+        ]
+    if semiring is PROVENANCE:
+        return [Polynomial.zero(), Polynomial.constant(1), parse("x"), parse("x + y")]
+    raise AssertionError(semiring)
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+class TestSemiringLaws:
+    def test_additive_identity(self, semiring):
+        for a in _elements(semiring):
+            assert semiring.plus(a, semiring.zero) == a
+            assert semiring.plus(semiring.zero, a) == a
+
+    def test_multiplicative_identity(self, semiring):
+        for a in _elements(semiring):
+            assert semiring.times(a, semiring.one) == a
+            assert semiring.times(semiring.one, a) == a
+
+    def test_zero_annihilates(self, semiring):
+        for a in _elements(semiring):
+            assert semiring.times(a, semiring.zero) == semiring.zero
+
+    def test_plus_commutative(self, semiring):
+        pool = _elements(semiring)
+        for a in pool:
+            for b in pool:
+                assert semiring.plus(a, b) == semiring.plus(b, a)
+
+    def test_times_commutative(self, semiring):
+        pool = _elements(semiring)
+        for a in pool:
+            for b in pool:
+                assert semiring.times(a, b) == semiring.times(b, a)
+
+    def test_plus_associative(self, semiring):
+        pool = _elements(semiring)
+        for a in pool:
+            for b in pool:
+                for c in pool:
+                    assert semiring.plus(semiring.plus(a, b), c) == semiring.plus(
+                        a, semiring.plus(b, c)
+                    )
+
+    def test_times_associative(self, semiring):
+        pool = _elements(semiring)
+        for a in pool:
+            for b in pool:
+                for c in pool:
+                    assert semiring.times(semiring.times(a, b), c) == semiring.times(
+                        a, semiring.times(b, c)
+                    )
+
+    def test_distributivity(self, semiring):
+        pool = _elements(semiring)
+        for a in pool:
+            for b in pool:
+                for c in pool:
+                    left = semiring.times(a, semiring.plus(b, c))
+                    right = semiring.plus(
+                        semiring.times(a, b), semiring.times(a, c)
+                    )
+                    assert left == right
+
+    def test_from_int_is_homomorphic_on_addition(self, semiring):
+        for n in range(4):
+            for m in range(4):
+                assert semiring.plus(
+                    semiring.from_int(n), semiring.from_int(m)
+                ) == semiring.from_int(n + m)
+
+    def test_from_int_rejects_negative(self, semiring):
+        with pytest.raises(ValueError):
+            semiring.from_int(-1)
+
+    def test_folds(self, semiring):
+        pool = _elements(semiring)
+        assert semiring.sum([]) == semiring.zero
+        assert semiring.product([]) == semiring.one
+        assert semiring.sum(pool[:1]) == pool[0]
+
+    def test_power(self, semiring):
+        for a in _elements(semiring):
+            assert semiring.power(a, 0) == semiring.one
+            assert semiring.power(a, 1) == a
+            assert semiring.power(a, 2) == semiring.times(a, a)
+
+    def test_power_rejects_negative(self, semiring):
+        with pytest.raises(ValueError):
+            semiring.power(semiring.one, -1)
+
+
+class TestSpecifics:
+    @given(st.integers(0, 50), st.integers(0, 50))
+    def test_natural_from_int_multiplicative(self, n, m):
+        assert NATURAL.times(NATURAL.from_int(n), NATURAL.from_int(m)) == n * m
+
+    def test_tropical_models_shortest_path(self):
+        # Two paths of costs 3 and 5: combined cost min(3, 5).
+        assert TROPICAL.plus(3.0, 5.0) == 3.0
+        # A path of two edges: costs add.
+        assert TROPICAL.times(2.0, 4.0) == 6.0
+
+    def test_lineage_zero_is_distinct_from_empty(self):
+        assert LINEAGE.zero is None
+        assert LINEAGE.one == frozenset()
+        assert LINEAGE.plus(None, frozenset({"x"})) == frozenset({"x"})
+
+    def test_why_times_pairs_witnesses(self):
+        a = frozenset([frozenset({"x"})])
+        b = frozenset([frozenset({"y"}), frozenset({"z"})])
+        assert WHY.times(a, b) == frozenset(
+            [frozenset({"x", "y"}), frozenset({"x", "z"})]
+        )
+
+    def test_provenance_is_free_over_variables(self):
+        x, y = PROVENANCE.variable("x"), PROVENANCE.variable("y")
+        assert PROVENANCE.plus(x, y) == parse("x + y")
+        assert PROVENANCE.times(x, y) == parse("x*y")
+        assert PROVENANCE.monomial("x", ("y", 2)) == parse("x*y^2")

@@ -1,0 +1,79 @@
+"""Unit tests for JSON serialization of provenance artifacts."""
+
+import pytest
+
+from repro.core import serialize
+from repro.core.forest import AbstractionForest
+from repro.core.parser import parse, parse_set
+from repro.core.tree import AbstractionTree
+
+
+class TestPolynomialRoundTrip:
+    @pytest.mark.parametrize(
+        "text", ["x", "2*x*y + 3*z", "x^3 - 2", "0.5*a + 0.25*b"]
+    )
+    def test_roundtrip(self, text):
+        p = parse(text)
+        assert serialize.loads(serialize.dumps(p)) == p
+
+    def test_polynomial_set_roundtrip(self):
+        ps = parse_set(["x + y", "2*z"])
+        assert serialize.loads(serialize.dumps(ps)) == ps
+
+    def test_stable_output(self):
+        p = parse("b + a")
+        assert serialize.dumps(p) == serialize.dumps(parse("a + b"))
+
+
+class TestTreeRoundTrip:
+    def test_tree_roundtrip(self):
+        tree = AbstractionTree.from_nested(("r", [("a", ["a1", "a2"]), "b"]))
+        loaded = serialize.loads(serialize.dumps(tree))
+        assert loaded.to_nested() == tree.to_nested()
+
+    def test_forest_roundtrip(self):
+        forest = AbstractionForest(
+            [
+                AbstractionTree.from_nested(("r", ["x", "y"])),
+                AbstractionTree.from_nested(("s", ["z"])),
+            ]
+        )
+        loaded = serialize.loads(serialize.dumps(forest))
+        assert loaded.labels == forest.labels
+
+    def test_figure2_roundtrip(self, figure2_tree):
+        loaded = serialize.loads(serialize.dumps(figure2_tree))
+        assert loaded.labels == figure2_tree.labels
+        assert loaded.count_cuts() == figure2_tree.count_cuts()
+
+
+class TestVVS:
+    def test_vvs_roundtrip(self, figure2_tree):
+        forest = AbstractionForest([figure2_tree])
+        vvs = forest.vvs({"Business", "Special", "Standard"})
+        data = serialize.vvs_to_dict(vvs)
+        restored = serialize.vvs_from_dict(data, forest)
+        assert restored == vvs
+
+
+class TestSizeAndErrors:
+    def test_serialized_size_positive_and_monotone(self, ex13_polys):
+        small = serialize.serialized_size(parse("x"))
+        large = serialize.serialized_size(ex13_polys)
+        assert 0 < small < large
+
+    def test_abstraction_shrinks_serialized_size(self, ex13_polys, figure2_tree):
+        """The point of the paper: P↓S ships in fewer bytes."""
+        forest = AbstractionForest([figure2_tree.clean(ex13_polys.variables)])
+        abstracted = forest.root_vvs().apply(ex13_polys)
+        assert serialize.serialized_size(abstracted) < serialize.serialized_size(
+            ex13_polys
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            serialize.loads('{"kind": "mystery", "data": {}}')
+
+    def test_unserializable_type_rejected(self):
+        with pytest.raises(TypeError):
+            serialize.dumps(42)

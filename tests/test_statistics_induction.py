@@ -1,0 +1,165 @@
+"""Tests for provenance profiling and abstraction-tree induction."""
+
+import pytest
+
+from repro.core.parser import parse_set
+from repro.core.polynomial import PolynomialSet
+from repro.core.statistics import profile, variable_cooccurrence
+from repro.workloads.induction import induce_forest, induce_tree
+
+
+class TestProfile:
+    def test_basic_counts(self):
+        p = profile(parse_set(["2*a*x + 3*b*x", "a*y^2"]))
+        assert p.num_polynomials == 2
+        assert p.num_monomials == 3
+        assert p.num_variables == 4
+        assert p.min_polynomial_size == 1
+        assert p.max_polynomial_size == 2
+        assert p.mean_polynomial_size == 1.5
+        assert p.max_monomial_degree == 3
+
+    def test_variable_frequency(self):
+        p = profile(parse_set(["a*x + a*y + b"]))
+        assert p.variable_frequency == {"a": 2, "x": 1, "y": 1, "b": 1}
+
+    def test_top_variables(self):
+        p = profile(parse_set(["a*x + a*y + b"]))
+        assert p.top_variables(1) == [("a", 2)]
+
+    def test_empty_profile(self):
+        p = profile(PolynomialSet())
+        assert p.num_polynomials == 0
+        assert p.shape == "empty"
+
+    def test_shape_few_large(self, tiny_tpch):
+        from repro.workloads.tpch import query_provenance
+
+        q1 = profile(query_provenance(tiny_tpch, "q1"))
+        assert q1.shape == "few-large"
+
+    def test_shape_many_small(self):
+        many = parse_set([f"{i}*x{i} + {i}*y{i}" for i in range(1, 200)])
+        assert profile(many).shape == "many-small"
+
+    def test_example13_profile(self, ex13_polys):
+        p = profile(ex13_polys)
+        assert p.num_polynomials == 2
+        assert p.num_monomials == 14
+        assert p.max_monomial_degree == 2
+
+
+class TestCooccurrence:
+    def test_counts_shared_residuals(self):
+        polys = parse_set(["2*a*x + 3*b*x + 4*a*y"])
+        pairs = variable_cooccurrence(polys)
+        # a and b share the residual context (*, x).
+        assert pairs[("a", "b")] == 1
+        # x and y share the residual context (a, *).
+        assert pairs[("x", "y")] == 1
+
+    def test_no_cross_polynomial_context(self):
+        polys = parse_set(["a*x", "b*x"])
+        assert ("a", "b") not in variable_cooccurrence(polys)
+
+    def test_exponents_distinguish_contexts(self):
+        polys = parse_set(["a^2*x + b*x"])
+        assert ("a", "b") not in variable_cooccurrence(polys)
+
+    def test_restricted_variables(self):
+        polys = parse_set(["2*a*x + 3*b*x + 5*c*x"])
+        pairs = variable_cooccurrence(polys, variables={"a", "b"})
+        assert set(pairs) == {("a", "b")}
+
+    def test_matches_loss_index_for_pairs(self, ex13_polys):
+        """The pair affinity equals the single-pair-group monomial loss."""
+        from repro.core.abstraction import LossIndex
+        from repro.core.tree import AbstractionTree
+
+        pairs = variable_cooccurrence(ex13_polys)
+        for (u, v), shared in sorted(pairs.items()):
+            tree = AbstractionTree.from_nested(("g", [u, v]))
+            index = LossIndex(ex13_polys, tree)
+            assert index.ml("g") == shared
+
+
+class TestInduceTree:
+    def test_clusters_paper_pairs_first(self, ex13_polys):
+        """On the running example, induction recovers the 'mergeable'
+        pairs the hand-made trees encode: b1/b2 (same residuals in P2)
+        and m1/m3 never beat them... at least b1/b2 cluster early."""
+        tree = induce_tree(
+            ex13_polys, variables=["b1", "b2", "e", "p1", "f1", "y1", "v"]
+        )
+        parent = tree.parent("b1")
+        assert sorted(tree.leaves_under(parent)) == ["b1", "b2"]
+
+    def test_single_pool_tree_usable_by_algorithms(self, ex13_polys):
+        from repro.algorithms.optimal import optimal_vvs
+
+        plan_pool = ["p1", "f1", "y1", "v", "b1", "b2", "e"]
+        tree = induce_tree(ex13_polys, variables=plan_pool)
+        bound = ex13_polys.num_monomials - 2
+        result = optimal_vvs(ex13_polys, tree, bound)
+        assert result.abstracted_size <= bound
+
+    def test_min_affinity_keeps_unrelated_apart(self):
+        polys = parse_set(["a*x + b*x", "c*q + d*r"])
+        tree = induce_tree(polys, min_affinity=1)
+        # a,b cluster (shared context); c,d do not (no shared residual),
+        # so they hang directly under the root.
+        assert tree.parent("c") == tree.root.label
+        assert tree.parent("d") == tree.root.label
+        assert tree.parent("a") != tree.root.label
+
+    def test_single_variable_returns_none(self):
+        assert induce_tree(parse_set(["a"])) is None
+
+    def test_absent_variables_ignored(self, ex13_polys):
+        tree = induce_tree(ex13_polys, variables=["b1", "b2", "nope"])
+        assert tree.leaf_labels == {"b1", "b2"}
+
+    def test_deterministic(self, ex13_polys):
+        a = induce_tree(ex13_polys)
+        b = induce_tree(ex13_polys)
+        assert a.to_nested() == b.to_nested()
+
+class TestInduceForest:
+    def test_pools_recover_parameter_domains(self, ex13_polys):
+        """On the running example the conflict coloring separates plan
+        variables from month variables — the paper's 'different
+        domains … abstracted using different abstraction trees'."""
+        forest = induce_forest(ex13_polys)
+        leaf_sets = sorted(sorted(tree.leaf_labels) for tree in forest)
+        assert ["m1", "m3"] in leaf_sets
+        plans = {"p1", "f1", "y1", "v", "b1", "b2", "e"}
+        assert any(set(leaves) <= plans for leaves in leaf_sets)
+
+    def test_forest_is_compatible(self, ex13_polys):
+        forest = induce_forest(ex13_polys)
+        forest.check_compatible(ex13_polys)
+
+    def test_forest_usable_by_greedy(self, ex13_polys):
+        from repro.algorithms.greedy import greedy_vvs
+
+        forest = induce_forest(ex13_polys)
+        result = greedy_vvs(ex13_polys, forest, bound=4, clean=False)
+        assert result.abstracted_size <= 4
+
+    def test_forest_on_tpch(self, tiny_tpch):
+        from repro.workloads.tpch import query_provenance
+
+        provenance = query_provenance(tiny_tpch, "q5", buckets=(8, 8))
+        forest = induce_forest(provenance)
+        forest.check_compatible(provenance)
+        # Supplier and part buckets land in different trees.
+        for tree in forest:
+            kinds = {leaf[0] for leaf in tree.leaf_labels}
+            assert len(kinds) == 1 or kinds <= {"s", "p"}
+
+    def test_deterministic(self, ex13_polys):
+        a = induce_forest(ex13_polys)
+        b = induce_forest(ex13_polys)
+        assert sorted(t.to_nested() for t in a) == sorted(
+            t.to_nested() for t in b
+        )

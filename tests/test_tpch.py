@@ -1,0 +1,165 @@
+"""Tests for the TPC-H generator and the parameterized queries."""
+
+import pytest
+
+from repro.core.forest import AbstractionForest
+from repro.workloads.tpch import (
+    NATIONS,
+    REGIONS,
+    generate,
+    part_tree,
+    q1_pricing_summary,
+    q5_local_supplier_volume,
+    q6_forecast_revenue,
+    q10_returned_items,
+    query_provenance,
+    supplier_tree,
+    supplier_variables,
+)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate(scale_factor=0.0005, seed=3)
+        b = generate(scale_factor=0.0005, seed=3)
+        assert a.lineitem == b.lineitem
+        assert a.orders == b.orders
+
+    def test_seed_changes_data(self):
+        a = generate(scale_factor=0.0005, seed=3)
+        b = generate(scale_factor=0.0005, seed=4)
+        assert a.lineitem != b.lineitem
+
+    def test_fixed_tables(self, tiny_tpch):
+        assert len(tiny_tpch.region) == len(REGIONS) == 5
+        assert len(tiny_tpch.nation) == len(NATIONS) == 25
+
+    def test_cardinality_ratios(self, tiny_tpch):
+        assert len(tiny_tpch.lineitem) > len(tiny_tpch.orders)
+        assert len(tiny_tpch.orders) > len(tiny_tpch.customer)
+        assert len(tiny_tpch.partsupp) == 4 * len(tiny_tpch.part)
+
+    def test_scale_factor_scales(self):
+        small = generate(scale_factor=0.0005, seed=1)
+        large = generate(scale_factor=0.001, seed=1)
+        assert large.total_rows > small.total_rows
+
+    def test_foreign_keys_resolve(self, tiny_tpch):
+        supplier_keys = {row[0] for row, _ in tiny_tpch.supplier}
+        part_keys = {row[0] for row, _ in tiny_tpch.part}
+        order_keys = {row[0] for row, _ in tiny_tpch.orders}
+        for row, _ in tiny_tpch.lineitem:
+            assert row[0] in order_keys
+            assert row[1] in part_keys
+            assert row[2] in supplier_keys
+
+    def test_value_ranges(self, tiny_tpch):
+        for row, _ in tiny_tpch.lineitem:
+            discount, tax = row[6], row[7]
+            assert 0.0 <= discount <= 0.10
+            assert 0.0 <= tax <= 0.08
+            assert row[8] in {"A", "N", "R"}
+            assert row[9] in {"F", "O"}
+
+    def test_dates_well_formed(self, tiny_tpch):
+        for row, _ in tiny_tpch.orders:
+            date = row[4]
+            year, rest = divmod(date, 10000)
+            month, day = divmod(rest, 100)
+            assert 1992 <= year <= 1998
+            assert 1 <= month <= 12
+            assert 1 <= day <= 28
+
+
+class TestQueries:
+    def test_q1_has_eight_polynomials(self, tiny_tpch):
+        """4 (returnflag, linestatus) groups × 2 aggregates — the paper's 8."""
+        provenance = query_provenance(tiny_tpch, "q1")
+        assert len(provenance) == 8
+
+    def test_q1_groups(self, tiny_tpch):
+        results = q1_pricing_summary(tiny_tpch)
+        keys = set(results["sum_disc_price"].groups)
+        assert keys == {("A", "F"), ("N", "F"), ("N", "O"), ("R", "F")}
+
+    def test_q1_constant_term_plus_bucket_monomials(self, tiny_tpch):
+        from repro.core.polynomial import Monomial
+
+        results = q1_pricing_summary(tiny_tpch)
+        for _, polynomial in results["sum_disc_price"]:
+            constant = polynomial.coefficient(Monomial.ONE)
+            assert constant > 0  # the undiscounted revenue
+            for monomial in polynomial.monomials:
+                if monomial is not Monomial.ONE and monomial.powers:
+                    names = sorted(v[0] for v in monomial.variables)
+                    assert names == ["p", "s"]
+
+    def test_q1_valuation_at_one_matches_sql(self, tiny_tpch):
+        """All-ones valuation == the plain SUM(extprice*(1-disc))."""
+        ship_date = 19981201
+        results = q1_pricing_summary(tiny_tpch, ship_date=ship_date)
+        expected = {}
+        for row, _ in tiny_tpch.lineitem:
+            if row[10] > ship_date:
+                continue
+            key = (row[8], row[9])
+            expected[key] = expected.get(key, 0.0) + row[5] * (1 - row[6])
+        for key, polynomial in results["sum_disc_price"]:
+            assert polynomial.evaluate({}) == pytest.approx(expected[key])
+
+    def test_q5_nations(self, tiny_tpch):
+        result = q5_local_supplier_volume(tiny_tpch)
+        nation_names = {name for name, _ in NATIONS}
+        for key in result.groups:
+            assert key[0] in nation_names
+
+    def test_q5_region_filter_reduces_groups(self, tiny_tpch):
+        all_regions = q5_local_supplier_volume(tiny_tpch)
+        asia = q5_local_supplier_volume(tiny_tpch, region="ASIA")
+        assert len(asia) <= len(all_regions)
+
+    def test_q6_single_group_no_constant(self, tiny_tpch):
+        from repro.core.polynomial import Monomial
+
+        result = q6_forecast_revenue(tiny_tpch)
+        assert list(result.groups) == [()]
+        polynomial = result.polynomial(())
+        assert polynomial.coefficient(Monomial.ONE) == 0
+
+    def test_q10_many_small_polynomials(self, tiny_tpch):
+        provenance = query_provenance(tiny_tpch, "q10")
+        if len(provenance) == 0:
+            pytest.skip("no returned items at this scale")
+        average = provenance.num_monomials / len(provenance)
+        q1 = query_provenance(tiny_tpch, "q1")
+        assert average < q1.num_monomials / len(q1)
+
+    def test_unknown_query_rejected(self, tiny_tpch):
+        with pytest.raises(ValueError):
+            query_provenance(tiny_tpch, "q99")
+
+    def test_scenario_shifts_revenue_down(self, tiny_tpch):
+        """Raising every discount by 10% lowers net revenue."""
+        results = q1_pricing_summary(tiny_tpch)
+        for _, polynomial in results["sum_disc_price"]:
+            base = polynomial.evaluate({})
+            bumped = polynomial.evaluate(
+                {var: 1.1 for var in polynomial.variables}
+            )
+            assert bumped < base
+
+
+class TestTrees:
+    def test_supplier_tree_compatible_after_cleaning(self, tiny_tpch):
+        provenance = query_provenance(tiny_tpch, "q5")
+        forest = AbstractionForest([supplier_tree((8,))])
+        cleaned = forest.clean(provenance)
+        cleaned.check_compatible(provenance)
+
+    def test_supplier_variables(self):
+        assert supplier_variables(4) == ["s0", "s1", "s2", "s3"]
+
+    def test_part_tree_shape(self):
+        tree = part_tree((2, 2))
+        assert tree.height == 3
+        assert len(tree.leaf_labels) == 128

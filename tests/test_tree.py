@@ -1,0 +1,134 @@
+"""Unit tests for abstraction trees."""
+
+import pytest
+
+from repro.core.tree import AbstractionTree, TreeNode
+
+
+@pytest.fixture
+def small_tree():
+    return AbstractionTree.from_nested(
+        ("root", [("a", ["a1", "a2"]), ("b", ["b1", "b2", "b3"]), "c"])
+    )
+
+
+class TestConstruction:
+    def test_from_nested_counts(self, small_tree):
+        assert small_tree.size == 9
+        assert small_tree.leaf_labels == {"a1", "a2", "b1", "b2", "b3", "c"}
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            AbstractionTree.from_nested(("r", ["x", "x"]))
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(TypeError):
+            AbstractionTree.from_nested(123)
+
+    def test_to_nested_roundtrip(self, small_tree):
+        rebuilt = AbstractionTree.from_nested(small_tree.to_nested())
+        assert rebuilt.labels == small_tree.labels
+
+    def test_copy_is_deep(self, small_tree):
+        clone = small_tree.copy()
+        clone.root.children[0].add_child(TreeNode("new"))
+        assert "new" not in small_tree
+
+
+class TestStructureQueries:
+    def test_parent_child(self, small_tree):
+        assert small_tree.parent("a1") == "a"
+        assert small_tree.parent("root") is None
+        assert small_tree.children("b") == ["b1", "b2", "b3"]
+
+    def test_ancestors(self, small_tree):
+        assert small_tree.ancestors("a1") == ["a", "root"]
+        assert small_tree.ancestors("a1", include_self=True) == ["a1", "a", "root"]
+
+    def test_descendants(self, small_tree):
+        assert set(small_tree.descendants("a")) == {"a1", "a2"}
+        assert "a" in small_tree.descendants("a", include_self=True)
+
+    def test_is_descendant_reflexive(self, small_tree):
+        assert small_tree.is_descendant("a1", "a1")
+
+    def test_is_descendant_transitive(self, small_tree):
+        assert small_tree.is_descendant("a1", "root")
+        assert not small_tree.is_descendant("root", "a1")
+
+    def test_is_descendant_unknown_labels(self, small_tree):
+        assert not small_tree.is_descendant("nope", "root")
+
+    def test_leaves_under(self, small_tree):
+        assert small_tree.leaves_under("b") == ["b1", "b2", "b3"]
+        assert small_tree.leaves_under("c") == ["c"]
+        assert len(small_tree.leaves_under("root")) == 6
+
+    def test_lca(self, small_tree):
+        assert small_tree.lca("a1", "a2") == "a"
+        assert small_tree.lca("a1", "b1") == "root"
+        assert small_tree.lca("c", "c") == "c"
+
+    def test_height_width(self, small_tree):
+        assert small_tree.height == 2
+        assert small_tree.width == 3
+
+
+class TestCuts:
+    def test_count_cuts_small(self, small_tree):
+        # leaf-only subtree counts: a -> 2, b -> 2, c -> 1; root = 1 + 2*2*1.
+        assert small_tree.count_cuts() == 5
+
+    def test_iter_cuts_matches_count(self, small_tree):
+        cuts = list(small_tree.iter_cuts())
+        assert len(cuts) == small_tree.count_cuts()
+        assert len(set(cuts)) == len(cuts)
+
+    def test_root_cut_and_leaf_cut_present(self, small_tree):
+        cuts = set(small_tree.iter_cuts())
+        assert frozenset(["root"]) in cuts
+        assert frozenset(small_tree.leaf_labels) in cuts
+
+    def test_single_leaf_tree(self):
+        tree = AbstractionTree.from_nested("x")
+        assert tree.count_cuts() == 1
+        assert list(tree.iter_cuts()) == [frozenset(["x"])]
+
+    def test_figure2_count(self):
+        from repro.workloads.telephony import plans_tree
+
+        # Figure 2: SB->2, Y->2, F->2, Standard->2, Special->(2*2*1)+1=5,
+        # Business->(2*1)+1=3; root = 2*5*3 + 1 = 31.
+        assert plans_tree().count_cuts() == 31
+
+
+class TestCleaning:
+    def test_removes_absent_leaves(self, small_tree):
+        cleaned = small_tree.clean({"a1", "a2", "b1", "c"})
+        assert cleaned.leaf_labels == {"a1", "a2", "b1", "c"}
+
+    def test_splices_single_child_internal(self, small_tree):
+        cleaned = small_tree.clean({"b1", "c"})
+        # 'b' had one surviving child -> spliced to b1; 'a' vanished.
+        assert "b" not in cleaned.labels
+        assert "a" not in cleaned.labels
+        assert cleaned.leaf_labels == {"b1", "c"}
+
+    def test_returns_none_when_everything_vanishes(self, small_tree):
+        assert small_tree.clean({"zz"}) is None
+
+    def test_root_splice(self):
+        tree = AbstractionTree.from_nested(("r", [("q", ["m1", "m2"]), "m9"]))
+        cleaned = tree.clean({"m1", "m2"})
+        assert cleaned.root.label == "q"
+
+    def test_example13_cleaning(self):
+        """Footnote 1 on Figure 2 with the Example 13 variables."""
+        from repro.workloads.telephony import example13_polynomials, plans_tree
+
+        cleaned = plans_tree().clean(example13_polynomials().variables)
+        assert "p2" not in cleaned.labels
+        assert "Standard" not in cleaned.labels  # spliced to p1
+        assert "Y" not in cleaned.labels  # spliced to y1
+        assert "F" not in cleaned.labels  # spliced to f1
+        assert cleaned.leaf_labels == {"p1", "f1", "y1", "v", "b1", "b2", "e"}

@@ -1,0 +1,72 @@
+"""Tests for the utility helpers (rng, timing, tables)."""
+
+import pytest
+
+from repro.util.rng import derive_rng, derive_seed
+from repro.util.tables import format_table
+from repro.util.timing import Timer, time_call
+
+
+class TestRng:
+    def test_seed_is_deterministic(self):
+        assert derive_seed(1, "calls") == derive_seed(1, "calls")
+
+    def test_seed_differs_by_name(self):
+        assert derive_seed(1, "calls") != derive_seed(1, "plans")
+
+    def test_seed_differs_by_base(self):
+        assert derive_seed(1, "calls") != derive_seed(2, "calls")
+
+    def test_rng_streams_are_independent(self):
+        a = derive_rng(1, "a")
+        b = derive_rng(1, "b")
+        assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+    def test_rng_reproducible(self):
+        a = [derive_rng(7, "x").random() for _ in range(2)]
+        b = [derive_rng(7, "x").random() for _ in range(2)]
+        assert a == b
+
+
+class TestTimer:
+    def test_measures_nonnegative(self):
+        with Timer() as timer:
+            sum(range(100))
+        assert timer.elapsed >= 0.0
+
+    def test_time_call_returns_result(self):
+        seconds, result = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_time_call_repeat_takes_minimum(self):
+        seconds, _ = time_call(lambda: None, repeat=3)
+        assert seconds >= 0.0
+
+    def test_time_call_rejects_zero_repeat(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeat=0)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["col", "x"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert all("|" in line for line in lines if "-" not in line)
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text

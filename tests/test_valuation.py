@@ -1,0 +1,101 @@
+"""Unit tests for valuations and the group-uniform lifting invariant."""
+
+import pytest
+
+from repro.core.forest import AbstractionForest
+from repro.core.parser import parse, parse_set
+from repro.core.tree import AbstractionTree
+from repro.core.valuation import NonUniformError, Valuation
+
+
+@pytest.fixture
+def forest():
+    tree = AbstractionTree.from_nested(("G", [("H", ["a", "b"]), "c"]))
+    return AbstractionForest([tree])
+
+
+class TestBasics:
+    def test_lookup_with_default(self):
+        v = Valuation({"x": 0.8})
+        assert v["x"] == 0.8
+        assert v["y"] == 1.0
+
+    def test_custom_default(self):
+        v = Valuation({}, default=0.0)
+        assert v["anything"] == 0.0
+
+    def test_uniform_constructor(self):
+        v = Valuation.uniform(["a", "b"], 1.2)
+        assert v["a"] == v["b"] == 1.2
+
+    def test_set_is_chainable(self):
+        v = Valuation().set("x", 2.0).set("y", 3.0)
+        assert v["x"] == 2.0 and v["y"] == 3.0
+
+    def test_contains(self):
+        v = Valuation({"x": 1.5})
+        assert "x" in v and "y" not in v
+
+    def test_evaluate_polynomial(self):
+        v = Valuation({"x": 2.0})
+        assert v.evaluate(parse("3*x + 1")) == 7.0
+
+    def test_evaluate_set(self):
+        v = Valuation({"x": 2.0})
+        assert v.evaluate(parse_set(["x", "2*x"])) == [2.0, 4.0]
+
+    def test_evaluate_type_error(self):
+        with pytest.raises(TypeError):
+            Valuation().evaluate("x + y")
+
+
+class TestUniformityAndLifting:
+    def test_is_uniform_when_group_agrees(self, forest):
+        vvs = forest.vvs({"H", "c"})
+        assert Valuation({"a": 0.8, "b": 0.8}).is_uniform_on(vvs)
+
+    def test_not_uniform_when_group_disagrees(self, forest):
+        vvs = forest.vvs({"H", "c"})
+        assert not Valuation({"a": 0.8, "b": 0.9}).is_uniform_on(vvs)
+
+    def test_unassigned_leaves_use_default(self, forest):
+        vvs = forest.vvs({"H", "c"})
+        # a=1.0 (explicit) and b -> default 1.0: uniform.
+        assert Valuation({"a": 1.0}).is_uniform_on(vvs)
+        assert not Valuation({"a": 0.8}).is_uniform_on(vvs)
+
+    def test_lift_moves_value_to_metavariable(self, forest):
+        vvs = forest.vvs({"H", "c"})
+        lifted = Valuation({"a": 0.8, "b": 0.8, "c": 1.1}).lift(vvs)
+        assert lifted["H"] == 0.8
+        assert lifted["c"] == 1.1
+        assert "a" not in lifted
+
+    def test_lift_rejects_non_uniform(self, forest):
+        vvs = forest.vvs({"H", "c"})
+        with pytest.raises(NonUniformError):
+            Valuation({"a": 0.8, "b": 0.9}).lift(vvs)
+
+    def test_lift_of_default_values_stays_sparse(self, forest):
+        vvs = forest.vvs({"H", "c"})
+        lifted = Valuation({}).lift(vvs)
+        assert "H" not in lifted.assignment
+
+    def test_lifting_invariant_on_example(self, forest):
+        """eval(P↓S, lift(σ)) == eval(P, σ) for group-uniform σ."""
+        polys = parse_set(["2*a*x + 3*b*x + 5*c*y"])
+        vvs = forest.vvs({"H", "c"})
+        scenario = Valuation({"a": 0.7, "b": 0.7, "c": 1.3, "x": 2.0})
+        abstracted = vvs.apply(polys)
+        assert abstracted.evaluate(scenario.lift(vvs).assignment) == pytest.approx(
+            polys.evaluate(scenario.assignment)
+        )
+
+    def test_root_group_lifting(self, forest):
+        polys = parse_set(["a + b + c"])
+        vvs = forest.vvs({"G"})
+        scenario = Valuation.uniform(["a", "b", "c"], 0.5)
+        abstracted = vvs.apply(polys)
+        assert abstracted.evaluate(scenario.lift(vvs).assignment) == pytest.approx(
+            polys.evaluate(scenario.assignment)
+        )

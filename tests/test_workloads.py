@@ -1,0 +1,188 @@
+"""Tests for the workload generators (telephony, trees, random polys)."""
+
+import pytest
+
+from repro.core.forest import AbstractionForest
+from repro.workloads.random_polys import (
+    random_compatible_instance,
+    random_polynomials,
+)
+from repro.workloads.telephony import TelephonyBenchmark, revenue_by_zip
+from repro.workloads.trees import (
+    TREE_CATALOG,
+    binary_tree,
+    catalog_tree,
+    layered_tree,
+    random_tree,
+    table2_rows,
+)
+
+
+class TestLayeredTrees:
+    def test_basic_shape(self):
+        tree = layered_tree([f"x{i}" for i in range(8)], (2,))
+        assert len(tree.root.children) == 2
+        assert tree.leaf_labels == {f"x{i}" for i in range(8)}
+
+    def test_three_level(self):
+        tree = layered_tree([f"x{i}" for i in range(16)], (2, 4))
+        assert tree.height == 3
+        assert len(tree.root.children) == 2
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError):
+            layered_tree(["a", "b", "c"], (2,))
+
+    def test_zero_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            layered_tree(["a", "b"], (0,))
+
+    def test_labels_unique_across_layers(self):
+        tree = layered_tree([f"x{i}" for i in range(16)], (2, 2, 2))
+        assert tree.size == len(set(tree.labels))
+
+
+class TestTable2:
+    """Reproduce the paper's Table 2 exactly."""
+
+    # (type, node count, VVS count) — spot values straight from Table 2.
+    PAPER_ROWS = [
+        (1, 131, 5),
+        (1, 137, 257),
+        (1, 145, 65537),
+        (1, 161, 4294967297),
+        (2, 135, 26),
+        (2, 147, 66050),
+        (2, 163, 4295098370),
+        (3, 141, 626),
+        (3, 149, 83522),
+        (4, 153, 390626),
+        (4, 169, 6975757442),
+        (5, 143, 677),
+        (5, 151, 84101),
+        (5, 167, 4362602501),
+        (6, 155, 391877),
+        (6, 171, 6975924485),
+        (7, 157, 456977),
+        (7, 173, 7072810001),
+    ]
+
+    def test_all_catalog_types_present(self):
+        assert set(TREE_CATALOG) == {1, 2, 3, 4, 5, 6, 7}
+
+    @pytest.mark.parametrize("tree_type,nodes,cuts", PAPER_ROWS)
+    def test_paper_row(self, tree_type, nodes, cuts):
+        computed = {(t, n): c for t, n, _, c in table2_rows()}
+        assert computed[(tree_type, nodes)] == cuts
+
+    def test_catalog_tree_builder(self):
+        leaves = [f"s{i}" for i in range(128)]
+        tree = catalog_tree(2, 0, leaves)
+        assert tree.count_cuts() == 26
+
+    def test_catalog_tree_bad_type(self):
+        with pytest.raises(ValueError):
+            catalog_tree(9, 0, ["a", "b"])
+
+
+class TestBinaryAndRandomTrees:
+    def test_binary_tree_shape(self):
+        tree = binary_tree([f"x{i}" for i in range(16)])
+        assert tree.height == 3
+        assert len(tree.root.children) == 2
+
+    def test_binary_tree_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            binary_tree(["a", "b", "c"])
+
+    def test_random_tree_is_deterministic(self):
+        leaves = [f"x{i}" for i in range(7)]
+        a = random_tree(leaves, seed=3)
+        b = random_tree(leaves, seed=3)
+        assert a.to_nested() == b.to_nested()
+
+    def test_random_tree_covers_all_leaves(self):
+        leaves = [f"x{i}" for i in range(11)]
+        tree = random_tree(leaves, seed=5)
+        assert tree.leaf_labels == set(leaves)
+
+    def test_random_tree_single_leaf(self):
+        tree = random_tree(["only"], seed=0)
+        assert tree.leaf_labels == {"only"}
+        assert not tree.root.is_leaf
+
+
+class TestRandomPolynomials:
+    def test_deterministic(self):
+        a = random_polynomials(3, 5, [["a", "b"]], seed=9)
+        b = random_polynomials(3, 5, [["a", "b"]], seed=9)
+        assert a == b
+
+    def test_compatibility_by_construction(self):
+        pools = [[f"a{i}" for i in range(4)], [f"b{i}" for i in range(4)]]
+        ps = random_polynomials(5, 10, pools, seed=2)
+        for polynomial in ps:
+            for monomial in polynomial.monomials:
+                for pool in pools:
+                    assert sum(1 for v in monomial.variables if v in pool) <= 1
+
+    def test_compatible_instance_is_compatible(self):
+        polys, forest = random_compatible_instance(seed=4)
+        forest.check_compatible(polys)
+
+    def test_extra_variables_outside_pools(self):
+        ps = random_polynomials(3, 8, [["a"]], seed=1, extra_variables=3)
+        free = {v for v in ps.variables if v.startswith("w")}
+        assert free <= {"w0", "w1", "w2"}
+
+
+class TestTelephonyBenchmark:
+    def test_relations_deterministic(self, small_telephony):
+        cust1, calls1, plans1 = small_telephony.relations()
+        bench2 = TelephonyBenchmark(customers=60, num_plans=16, months=6,
+                                    zip_pool=8, seed=11)
+        cust2, calls2, plans2 = bench2.relations()
+        assert cust1 == cust2 and calls1 == calls2 and plans1 == plans2
+
+    def test_row_counts(self, small_telephony):
+        cust, calls, plans = small_telephony.relations()
+        assert len(cust) == 60
+        assert len(calls) == 60 * 6
+        assert len(plans) == 16 * 6
+
+    def test_provenance_shape(self, small_telephony):
+        provenance = small_telephony.provenance()
+        assert 1 <= len(provenance) <= 8  # one polynomial per zip
+        # Every monomial pairs one plan variable with one month variable.
+        for polynomial in provenance:
+            for monomial in polynomial.monomials:
+                names = sorted(monomial.variables)
+                assert len(names) == 2
+                assert names[0].startswith("m") and names[1].startswith("p")
+
+    def test_trees_compatible_with_provenance(self, small_telephony):
+        provenance = small_telephony.provenance()
+        forest = AbstractionForest(
+            [
+                small_telephony.plans_abstraction_tree((4,)),
+                small_telephony.months_abstraction_tree(),
+            ]
+        )
+        cleaned = forest.clean(provenance)
+        cleaned.check_compatible(provenance)
+
+    def test_provenance_totals_match_plain_sql(self, small_telephony):
+        """Valuating everything at 1 equals the unparameterized SUM."""
+        cust, calls, plans = small_telephony.relations()
+        result = revenue_by_zip(cust, calls, plans, small_telephony.plan_variable)
+        from repro.engine import Query
+
+        plain = (
+            Query(calls)
+            .join(cust, on=("CID", "ID"))
+            .join(plans, on=["Plan", "Mo"])
+            .group_by("Zip")
+            .sum(lambda r: r["Dur"] * r["Price"])
+        )
+        for key, polynomial in result:
+            assert polynomial.evaluate({}) == pytest.approx(plain.value(key))
