@@ -15,6 +15,9 @@ from repro.algorithms.optimal import optimal_vvs, optimal_vvs_naive
 from repro.core.forest import AbstractionForest
 from benchmarks import common
 
+#: Figure/table benches run minutes at full scale; `-m "not slow"` skips them.
+pytestmark = pytest.mark.slow
+
 
 def _forest_for(workload):
     provenance = common.workload_provenance(workload)

@@ -8,12 +8,17 @@ Figure 11 sweep exactness stays affordable, and what the greedy's
 quality gap against the true optimum looks like.
 """
 
+import pytest
+
 from repro.algorithms.brute_force import brute_force_vvs
 from repro.algorithms.exact import exact_forest_vvs
 from repro.algorithms.greedy import greedy_vvs
 from repro.core.forest import AbstractionForest
 from repro.workloads.trees import layered_tree
 from benchmarks import common
+
+#: Figure/table benches run minutes at full scale; `-m "not slow"` skips them.
+pytestmark = pytest.mark.slow
 
 BRUTE_CAP = 1_000
 EXACT_NODE_LIMIT = 200_000

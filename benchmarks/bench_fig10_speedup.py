@@ -13,6 +13,9 @@ from repro.algorithms.optimal import optimal_vvs
 from repro.scenarios import Scenario, assignment_speedup
 from benchmarks import common
 
+#: Figure/table benches run minutes at full scale; `-m "not slow"` skips them.
+pytestmark = pytest.mark.slow
+
 FRACTIONS = [1.0, 0.75, 0.5, 0.25]
 TREE_FANOUTS = (8,)
 NUM_SCENARIOS = 10

@@ -17,6 +17,9 @@ from repro.workloads.tpch import generate, query_provenance
 from repro.workloads.trees import layered_tree
 from benchmarks import common
 
+#: Figure/table benches run minutes at full scale; `-m "not slow"` skips them.
+pytestmark = pytest.mark.slow
+
 BRUTE_CAP = 1_000
 MAX_TREES = 8
 

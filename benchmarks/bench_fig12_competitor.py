@@ -14,6 +14,9 @@ from repro.algorithms.competitor import summarize
 from repro.algorithms.optimal import optimal_vvs
 from benchmarks import common
 
+#: Figure/table benches run minutes at full scale; `-m "not slow"` skips them.
+pytestmark = pytest.mark.slow
+
 FRACTIONS = [0.9, 0.7, 0.5, 0.3]
 TREE_FANOUTS = (8,)
 

@@ -18,6 +18,9 @@ from repro.algorithms.optimal import optimal_vvs
 from repro.engine.aggregates import aggregate_sum
 from benchmarks import common
 
+#: Figure/table benches run minutes at full scale; `-m "not slow"` skips them.
+pytestmark = pytest.mark.slow
+
 EXTRA_VARIABLE_COUNTS = [1, 50, 200, 800]
 TREE_FANOUTS = (8,)
 

@@ -15,6 +15,9 @@ from repro.algorithms.greedy import greedy_vvs
 from repro.algorithms.optimal import optimal_vvs
 from benchmarks import common
 
+#: Figure/table benches run minutes at full scale; `-m "not slow"` skips them.
+pytestmark = pytest.mark.slow
+
 #: Brute force above this many cuts takes minutes at bench scale.
 BRUTE_CAP = 1_000
 

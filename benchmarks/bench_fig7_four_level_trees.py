@@ -7,6 +7,9 @@ from repro.algorithms.greedy import greedy_vvs
 from repro.algorithms.optimal import optimal_vvs
 from benchmarks import common
 
+#: Figure/table benches run minutes at full scale; `-m "not slow"` skips them.
+pytestmark = pytest.mark.slow
+
 
 def _series(workload):
     rows = []

@@ -12,6 +12,9 @@ from repro.algorithms.greedy import greedy_vvs
 from repro.algorithms.optimal import optimal_vvs
 from benchmarks import common
 
+#: Figure/table benches run minutes at full scale; `-m "not slow"` skips them.
+pytestmark = pytest.mark.slow
+
 SCALES = [0.5, 1.0, 2.0, 4.0]
 TREE_FANOUTS = (8,)
 

@@ -11,6 +11,9 @@ from repro.algorithms.greedy import greedy_vvs
 from repro.algorithms.optimal import optimal_vvs
 from benchmarks import common
 
+#: Figure/table benches run minutes at full scale; `-m "not slow"` skips them.
+pytestmark = pytest.mark.slow
+
 #: Fractions of the feasible compression range (1.0 = maximal squeeze).
 FRACTIONS = [0.9, 0.7, 0.5, 0.3, 0.1]
 TREE_FANOUTS = (8,)

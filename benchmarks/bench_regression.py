@@ -1,0 +1,290 @@
+"""Perf regression benchmark: the hot paths, before vs after, as JSON.
+
+Times the four hot layers of the system on standard synthetic workloads
+and writes ``BENCH_core.json`` at the repository root so every PR leaves
+a perf trajectory behind:
+
+* **greedy** — the incremental lazy-priority-queue :func:`greedy_vvs`
+  against the retained full-rescan :func:`_reference_greedy` (same cuts,
+  asserted);
+* **optimal** — Algorithm 1 end to end (trajectory only);
+* **abstraction** — ``P↓S`` materialization and the counting-only
+  ``abstract_counts`` (trajectory only);
+* **batch valuation** — a 256-scenario suite through
+  ``PolynomialSet.evaluate_batch`` against the per-scenario interpreter
+  loop (same values, asserted).
+
+Self-contained on purpose: imports only ``repro`` and the standard
+library, so ``python -m repro bench`` can run it from a checkout
+without the rest of the experiment harness. Modes:
+
+* default (``full``) — the scales quoted in BENCHMARKS.md;
+* ``--smoke`` — finishes in well under 30 s, same code paths;
+* ``--tiny`` — seconds; used by the test suite to exercise the bench.
+
+Usage::
+
+    python benchmarks/bench_regression.py [--smoke | --tiny]
+        [--repeat N] [--output PATH] [--quiet]
+    python -m repro bench [same flags]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+from repro.algorithms.greedy import _reference_greedy, greedy_vvs
+from repro.algorithms.optimal import optimal_vvs
+from repro.core.abstraction import abstract, abstract_counts
+from repro.core.forest import AbstractionForest
+from repro.core.valuation import Valuation
+from repro.util.rng import derive_rng
+from repro.util.timing import time_call
+from repro.workloads.random_polys import random_polynomials
+from repro.workloads.trees import layered_tree
+
+SCHEMA = "repro-bench-core/1"
+
+#: Workload scales per mode: (pool leaves, tree fanouts, #polynomials,
+#: monomials per polynomial, free variables, #scenarios).
+MODES = {
+    "full": dict(
+        leaves=512, fanouts=(4, 4, 4, 4), polynomials=80,
+        monomials=120, free_variables=40, scenarios=256,
+    ),
+    "smoke": dict(
+        leaves=256, fanouts=(4, 4, 4), polynomials=30,
+        monomials=60, free_variables=20, scenarios=256,
+    ),
+    "tiny": dict(
+        leaves=32, fanouts=(4, 4), polynomials=6,
+        monomials=15, free_variables=5, scenarios=16,
+    ),
+}
+
+#: The second (months-style) hierarchy of the greedy forest workload.
+SIDE_TREE_LEAVES = 12
+
+
+def build_workload(mode, seed=3):
+    """(provenance, forest, single tree) for the given mode.
+
+    Shape follows the paper's experiments: one deep hierarchy over a
+    large alphabet (the TPC-H supplier tree of Figure 4) plus one small
+    flat hierarchy (the months of Figure 3), with free variables
+    playing the non-abstracted indeterminates.
+    """
+    spec = MODES[mode]
+    pool = [f"s{i}" for i in range(spec["leaves"])]
+    side_pool = [f"m{i}" for i in range(SIDE_TREE_LEAVES)]
+    provenance = random_polynomials(
+        spec["polynomials"],
+        spec["monomials"],
+        [pool, side_pool],
+        seed=seed,
+        extra_variables=spec["free_variables"],
+    )
+    main_tree = layered_tree(pool, spec["fanouts"], prefix="sup")
+    side_tree = layered_tree(side_pool, (4,), prefix="q")
+    forest = AbstractionForest([main_tree, side_tree]).clean(provenance)
+    single = main_tree.clean(provenance.variables)
+    return provenance, forest, single
+
+
+def build_scenarios(provenance, count, changes=20, seed=11):
+    """Random multiplicative scenarios over the provenance alphabet."""
+    rng = derive_rng(seed, "bench_regression")
+    variables = sorted(provenance.variables)
+    return [
+        Valuation({
+            variables[rng.randrange(len(variables))]: rng.uniform(0.5, 1.5)
+            for _ in range(changes)
+        })
+        for _ in range(count)
+    ]
+
+
+def _trace_tuples(result):
+    return [
+        (s.chosen, s.delta_ml, s.delta_vl, s.cumulative_ml, s.cumulative_vl)
+        for s in result.trace
+    ]
+
+
+def bench_greedy(provenance, forest, repeat):
+    bound = max(1, provenance.num_monomials // 3)
+    ref_seconds, ref = time_call(
+        _reference_greedy, provenance, forest, bound, clean=False, repeat=repeat
+    )
+    inc_seconds, inc = time_call(
+        greedy_vvs, provenance, forest, bound, clean=False, repeat=repeat
+    )
+    if _trace_tuples(ref) != _trace_tuples(inc) or ref.vvs.labels != inc.vvs.labels:
+        raise AssertionError("incremental greedy diverged from the reference")
+    return {
+        "bound": bound,
+        "monomials": provenance.num_monomials,
+        "variables": provenance.num_variables,
+        "rounds": len(inc.trace),
+        "seconds_reference": ref_seconds,
+        "seconds_incremental": inc_seconds,
+        "speedup": ref_seconds / inc_seconds if inc_seconds else float("inf"),
+    }
+
+
+def bench_optimal(provenance, tree, repeat):
+    forest = AbstractionForest([tree])
+    root_size, _ = abstract_counts(provenance, forest.root_vvs().mapping())
+    total = provenance.num_monomials
+    bound = max(1, total - (total - root_size) // 2)
+    seconds, result = time_call(
+        optimal_vvs, provenance, tree, bound, clean=False, repeat=repeat
+    )
+    return {
+        "bound": bound,
+        "monomials": total,
+        "seconds": seconds,
+        "variable_loss": result.variable_loss,
+    }
+
+
+def bench_abstraction(provenance, forest, repeat):
+    mapping = forest.root_vvs().mapping()
+    sub_seconds, abstracted = time_call(
+        abstract, provenance, forest.root_vvs(), repeat=repeat
+    )
+    count_seconds, counts = time_call(
+        abstract_counts, provenance, mapping, repeat=repeat
+    )
+    if (abstracted.num_monomials, abstracted.num_variables) != counts:
+        raise AssertionError("abstract_counts disagrees with materialization")
+    return {
+        "monomials": provenance.num_monomials,
+        "abstracted_monomials": counts[0],
+        "seconds_substitute": sub_seconds,
+        "seconds_counts": count_seconds,
+    }
+
+
+def bench_batch_valuation(provenance, scenarios, repeat):
+    def loop(polys, valuations):
+        return [valuation.evaluate(polys) for valuation in valuations]
+
+    provenance.evaluate_batch(scenarios[:1])  # compile outside the timer
+    loop_seconds, loop_values = time_call(
+        loop, provenance, scenarios, repeat=repeat
+    )
+    batch_seconds, batch_values = time_call(
+        provenance.evaluate_batch, scenarios, repeat=repeat
+    )
+    max_error = max(
+        abs(batch_values[i, j] - row[j])
+        for i, row in enumerate(loop_values)
+        for j in range(len(row))
+    )
+    if max_error > 1e-6:
+        raise AssertionError(f"batch valuation diverged: max error {max_error}")
+    return {
+        "scenarios": len(scenarios),
+        "polynomials": len(provenance),
+        "monomials": provenance.num_monomials,
+        "seconds_loop": loop_seconds,
+        "seconds_batch": batch_seconds,
+        "speedup": loop_seconds / batch_seconds if batch_seconds else float("inf"),
+        "max_abs_error": max_error,
+    }
+
+
+def default_output():
+    """``BENCH_core.json`` at the repository root (this file's parent's
+    parent); falls back to the working directory outside a checkout."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(root, "BENCH_core.json")
+
+
+def run(mode="full", repeat=3, output=None, quiet=False):
+    """Run every bench; write and return the JSON document."""
+    def say(message):
+        if not quiet:
+            print(message, flush=True)
+
+    say(f"[bench_regression] mode={mode} repeat={repeat}")
+    provenance, forest, single_tree = build_workload(mode)
+    scenarios = build_scenarios(provenance, MODES[mode]["scenarios"])
+    say(
+        f"workload: {len(provenance)} polynomials, "
+        f"{provenance.num_monomials} monomials, "
+        f"{provenance.num_variables} variables"
+    )
+
+    results = {}
+    results["greedy"] = bench_greedy(provenance, forest, repeat)
+    say(
+        "greedy: reference {seconds_reference:.3f}s -> incremental "
+        "{seconds_incremental:.3f}s ({speedup:.1f}x, {rounds} rounds)".format(
+            **results["greedy"]
+        )
+    )
+    results["optimal"] = bench_optimal(provenance, single_tree, repeat)
+    say("optimal: {seconds:.3f}s (bound {bound})".format(**results["optimal"]))
+    results["abstraction"] = bench_abstraction(provenance, forest, repeat)
+    say(
+        "abstraction: substitute {seconds_substitute:.3f}s, "
+        "counts {seconds_counts:.3f}s".format(**results["abstraction"])
+    )
+    results["batch_valuation"] = bench_batch_valuation(
+        provenance, scenarios, repeat
+    )
+    say(
+        "batch valuation: loop {seconds_loop:.3f}s -> batch "
+        "{seconds_batch:.3f}s ({speedup:.1f}x over {scenarios} "
+        "scenarios)".format(**results["batch_valuation"])
+    )
+
+    document = {
+        "schema": SCHEMA,
+        "mode": mode,
+        "repeat": repeat,
+        "workload": MODES[mode],
+        "python": platform.python_version(),
+        "results": results,
+    }
+    path = output or default_output()
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    say(f"wrote {path}")
+    return document
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="bench_regression",
+        description="Time the hot paths; write BENCH_core.json",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--smoke", action="store_true",
+                      help="reduced scale, finishes in well under 30 s")
+    mode.add_argument("--tiny", action="store_true",
+                      help="smallest scale (used by the test suite)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repeats; the minimum is reported")
+    parser.add_argument("--output", help="where to write the JSON "
+                        "(default: BENCH_core.json at the repo root)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error(f"--repeat must be >= 1, got {args.repeat}")
+    mode_name = "tiny" if args.tiny else "smoke" if args.smoke else "full"
+    run(mode=mode_name, repeat=args.repeat, output=args.output,
+        quiet=args.quiet)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

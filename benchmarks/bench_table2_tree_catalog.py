@@ -6,8 +6,13 @@ counts. (``count_cuts`` is closed-form; ``iter_cuts`` is cross-checked
 on the small rows.)
 """
 
+import pytest
+
 from repro.workloads.trees import layered_tree, table2_rows
 from benchmarks import common
+
+#: Figure/table benches run minutes at full scale; `-m "not slow"` skips them.
+pytestmark = pytest.mark.slow
 
 #: (type, nodes, #VVS) — all 28 rows of the paper's Table 2.
 PAPER_TABLE_2 = [

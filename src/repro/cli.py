@@ -10,6 +10,7 @@ analysts. This CLI is that pipeline::
         --vvs-output cut.json
     python -m repro valuate  compressed.json --set q1=0.8 --set Business=1.1
     python -m repro decide   provenance.json forest.json --size 4 --granularity 5
+    python -m repro bench    --smoke
 
 Files are the JSON produced by :mod:`repro.core.serialize` (tagged
 ``polynomial_set`` / ``forest`` payloads).
@@ -127,6 +128,42 @@ def _cmd_valuate(args):
     return 0
 
 
+def _cmd_bench(args):
+    """Run the perf regression benchmark (benchmarks/bench_regression.py).
+
+    The bench lives with the experiment harness at the repository root
+    rather than inside the installed package; it is loaded by path so
+    ``python -m repro bench`` works from any checkout.
+    """
+    import importlib.util
+    import os
+
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    script = os.path.join(root, "benchmarks", "bench_regression.py")
+    if not os.path.exists(script):
+        raise SystemExit(
+            "benchmarks/bench_regression.py not found — `repro bench` "
+            "needs a source checkout (the benchmark harness is not "
+            "part of the installed package)"
+        )
+    spec = importlib.util.spec_from_file_location("bench_regression", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    argv = []
+    if args.smoke:
+        argv.append("--smoke")
+    if args.tiny:
+        argv.append("--tiny")
+    if args.repeat is not None:
+        argv.extend(["--repeat", str(args.repeat)])
+    if args.output:
+        argv.extend(["--output", args.output])
+    if args.quiet:
+        argv.append("--quiet")
+    return module.main(argv)
+
+
 def _cmd_decide(args):
     provenance = _load(args.provenance, PolynomialSet)
     forest = _load(args.forest, AbstractionForest)
@@ -175,6 +212,23 @@ def build_parser():
     decide.add_argument("--size", type=int, required=True)
     decide.add_argument("--granularity", type=int, required=True)
     decide.set_defaults(run=_cmd_decide)
+
+    bench = commands.add_parser(
+        "bench", help="time the hot paths; write BENCH_core.json"
+    )
+    scale = bench.add_mutually_exclusive_group()
+    scale.add_argument("--smoke", action="store_true",
+                       help="reduced scale, finishes in well under 30 s")
+    scale.add_argument("--tiny", action="store_true",
+                       help="smallest scale (used by the test suite)")
+    bench.add_argument("--repeat", type=int, default=None,
+                       help="timing repeats (default 3)")
+    bench.add_argument("--output",
+                       help="where to write the JSON "
+                            "(default: BENCH_core.json at the repo root)")
+    bench.add_argument("--quiet", action="store_true",
+                       help="suppress progress output")
+    bench.set_defaults(run=_cmd_bench)
 
     return parser
 

@@ -24,6 +24,7 @@ from repro.core.abstraction import (
     monomial_loss,
     variable_loss,
 )
+from repro.core.interning import VARIABLES, VariableTable
 from repro.core.forest import (
     AbstractionForest,
     CompatibilityError,
@@ -35,10 +36,23 @@ from repro.core.statistics import ProvenanceProfile, profile, variable_cooccurre
 from repro.core.tree import AbstractionTree, TreeNode
 from repro.core.valuation import NonUniformError, Valuation
 
+
+def __getattr__(name):
+    # Lazy: repro.core.batch imports numpy; defer that to first use so
+    # `import repro` stays light (PolynomialSet.compiled() does the same).
+    if name == "CompiledPolynomialSet":
+        from repro.core.batch import CompiledPolynomialSet
+
+        return CompiledPolynomialSet
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "Monomial",
     "Polynomial",
     "PolynomialSet",
+    "CompiledPolynomialSet",
+    "VariableTable",
+    "VARIABLES",
     "AbstractionTree",
     "TreeNode",
     "AbstractionForest",

@@ -24,6 +24,7 @@ a working state instead (see :mod:`repro.algorithms.greedy`).
 from __future__ import annotations
 
 from repro.core.forest import ValidVariableSet
+from repro.core.interning import SENTINEL_ID, VARIABLES
 from repro.core.polynomial import Polynomial, PolynomialSet
 
 __all__ = [
@@ -33,11 +34,6 @@ __all__ = [
     "abstract_counts",
     "LossIndex",
 ]
-
-#: Sentinel replacing the tree variable inside residual keys. The null
-#: character cannot be produced by the polynomial parser or generators,
-#: so it never collides with a real variable name.
-_SENTINEL = "\x00"
 
 
 def ensure_set(polynomials):
@@ -70,14 +66,15 @@ def variable_loss(polynomials, vvs):
     return polynomials.num_variables - granularity
 
 
-def _substituted_key(monomial, mapping):
-    """The identity of ``monomial.substitute(mapping)`` as a plain tuple.
+def _substituted_key(monomial, id_mapping):
+    """The identity of the substituted monomial as a plain id-key tuple.
 
-    Avoids constructing :class:`Monomial` objects in counting loops.
+    Avoids constructing :class:`Monomial` objects in counting loops;
+    ``id_mapping`` maps interned variable ids to ids.
     """
     acc = {}
-    for var, exp in monomial.powers:
-        target = mapping.get(var, var)
+    for vid, exp in monomial.key:
+        target = id_mapping.get(vid, vid)
         acc[target] = acc.get(target, 0) + exp
     return tuple(sorted(acc.items()))
 
@@ -89,17 +86,26 @@ def abstract_counts(polynomials, mapping):
     :meth:`repro.core.forest.ValidVariableSet.mapping`.
     """
     polynomials = ensure_set(polynomials)
+    id_mapping = VARIABLES.intern_mapping(mapping)
+    mapped = set(id_mapping)
     total_monomials = 0
     variables = set()
     for polynomial in polynomials:
+        if mapped.isdisjoint(polynomial.variable_ids()):
+            # Untouched polynomial: counts are the originals.
+            total_monomials += polynomial.num_monomials
+            variables.update(polynomial.variable_ids())
+            continue
         keys = set()
         for monomial in polynomial.monomials:
-            key = _substituted_key(monomial, mapping)
+            key = monomial.key
+            if not mapped.isdisjoint(vid for vid, _ in key):
+                key = _substituted_key(monomial, id_mapping)
             keys.add(key)
         total_monomials += len(keys)
         for key in keys:
-            for var, _ in key:
-                variables.add(var)
+            for vid, _ in key:
+                variables.add(vid)
     return total_monomials, len(variables)
 
 
@@ -142,19 +148,24 @@ class LossIndex:
         self._vl = {}
         self._present = {}
         self._leaf_count = {}
-        leaf_labels = tree.leaf_labels
-        # leaf → {polynomial index → set of residual keys}
-        residuals = {leaf: {} for leaf in leaf_labels}
+        # Interned view of the leaf alphabet; residual keys replace the
+        # (unique, by compatibility) tree variable with SENTINEL_ID.
+        leaf_of_id = {
+            VARIABLES.intern(label): label for label in tree.leaf_labels
+        }
+        residuals = {leaf: {} for leaf in tree.leaf_labels}
         for poly_index, polynomial in enumerate(polynomials):
             for monomial in polynomial.monomials:
                 leaf = None
-                for var, _ in monomial.powers:
-                    if var in leaf_labels:
-                        leaf = var
+                leaf_id = None
+                for vid, _ in monomial.key:
+                    label = leaf_of_id.get(vid)
+                    if label is not None:
+                        leaf, leaf_id = label, vid
                         break  # compatibility: at most one per monomial
                 if leaf is None:
                     continue
-                key = _substituted_key(monomial, {leaf: _SENTINEL})
+                key = _substituted_key(monomial, {leaf_id: SENTINEL_ID})
                 residuals[leaf].setdefault(poly_index, set()).add(key)
         self._build(tree.root, residuals)
 

@@ -1,0 +1,175 @@
+"""Vectorized scenario evaluation (the Figure 10 workload, batched).
+
+The paper's entire case for abstraction is that analysts valuate *many*
+hypothetical scenarios against the (compressed) provenance. Evaluating
+one scenario with :meth:`Polynomial.evaluate` walks every monomial in
+Python; over a 256-scenario suite that is 256 full interpreter passes.
+:class:`CompiledPolynomialSet` compiles a polynomial multiset **once**
+into flat NumPy arrays over the interned variable alphabet and then
+answers whole scenario suites with a handful of array operations.
+
+Layout:
+
+* variables become array columns (``_columns`` maps var id → column);
+* monomials are *layered* by factor position: layer ``j`` holds the
+  ``j``-th ``(column, exponent)`` factor of every monomial that has one.
+  Provenance monomials are short (a couple of tree variables plus free
+  indeterminates), so there are only a few layers, each a flat gather;
+* every polynomial owns a contiguous run of monomials, delimited by
+  ``_poly_starts``, with coefficients in ``_coeffs``.
+
+Evaluation of ``S`` scenarios builds the ``(S, V)`` assignment matrix,
+then forms the ``(S, M)`` monomial-value matrix layer by layer
+(gather → optional power → in-place multiply) and reduces polynomial
+runs with ``add.reduceat`` — no per-monomial Python. Exponents are
+overwhelmingly 1 in provenance (multilinear monomials), so the power is
+only applied at the rare factors with exponent ≠ 1.
+
+Normalization: layer 0 gives every monomial a factor — constant
+monomials get ``x₀⁰ == 1`` — and empty polynomials contribute a
+zero-coefficient constant monomial, so every ``reduceat`` segment is
+non-empty and the hot path has no special cases.
+
+Coefficients and assignment values are degraded to ``float64`` — exact
+``fractions.Fraction`` arithmetic needs the scalar
+:meth:`Polynomial.evaluate` path.
+"""
+
+from __future__ import annotations
+
+import numpy
+
+__all__ = ["CompiledPolynomialSet"]
+
+
+class CompiledPolynomialSet:
+    """A polynomial multiset compiled to NumPy arrays for batch valuation.
+
+    Built by :meth:`repro.core.polynomial.PolynomialSet.compiled` (and
+    cached there); evaluate with :meth:`evaluate` or through
+    :meth:`repro.core.polynomial.PolynomialSet.evaluate_batch`.
+    """
+
+    __slots__ = (
+        "num_polynomials",
+        "num_monomials",
+        "num_variables",
+        "_columns",
+        "_layers",
+        "_coeffs",
+        "_poly_starts",
+    )
+
+    def __init__(self, polynomial_set):
+        vids = sorted(polynomial_set.variable_ids())
+        self._columns = {vid: col for col, vid in enumerate(vids)}
+        # At least one column so constant monomials have a x0^0 factor
+        # to point at even in a variable-free multiset.
+        self.num_variables = max(1, len(vids))
+        self.num_polynomials = len(polynomial_set)
+
+        # Factor lists per monomial, in polynomial order; zero
+        # polynomials contribute one 0-coefficient constant monomial.
+        factor_runs = []
+        coeffs = []
+        poly_starts = [0]
+        columns = self._columns
+        for polynomial in polynomial_set:
+            for monomial, coeff in polynomial.terms.items():
+                coeffs.append(float(coeff))
+                factor_runs.append(
+                    [(columns[vid], exp) for vid, exp in monomial.key]
+                    or [(0, 0)]
+                )
+            if not polynomial.terms:
+                coeffs.append(0.0)
+                factor_runs.append([(0, 0)])
+            poly_starts.append(len(coeffs))
+        self.num_monomials = len(coeffs)
+        self._coeffs = numpy.asarray(coeffs, dtype=numpy.float64)
+        self._poly_starts = numpy.asarray(poly_starts, dtype=numpy.intp)
+
+        # Layer j: (monomial selector, columns, exponent fix-ups) over
+        # the monomials with a j-th factor; selector is None for layer 0
+        # (every monomial has one, by normalization).
+        self._layers = []
+        depth = max(len(run) for run in factor_runs) if factor_runs else 0
+        for j in range(depth):
+            select = [m for m, run in enumerate(factor_runs) if len(run) > j]
+            cols = numpy.asarray(
+                [factor_runs[m][j][0] for m in select], dtype=numpy.intp
+            )
+            exps = numpy.asarray(
+                [factor_runs[m][j][1] for m in select], dtype=numpy.int64
+            )
+            # Provenance monomials are overwhelmingly multilinear;
+            # raising everything to the power 1 would dominate the
+            # evaluation, so only exponent != 1 factors go through ``**``.
+            nonunit = numpy.nonzero(exps != 1)[0]
+            selector = None if j == 0 else numpy.asarray(select, dtype=numpy.intp)
+            self._layers.append((selector, cols, nonunit, exps[nonunit]))
+
+    # ------------------------------------------------------------ assignment
+
+    def assignment_matrix(self, assignments, default=1.0):
+        """The ``(S, V)`` matrix of variable values for the scenarios.
+
+        Accepts plain mappings (unassigned variables take ``default``)
+        and :class:`~repro.core.valuation.Valuation`-shaped objects
+        (anything with ``assignment``/``default`` attributes — their own
+        default wins). Assignments of variables the multiset never
+        mentions are ignored, matching :meth:`Polynomial.evaluate`.
+        """
+        from repro.core.interning import VARIABLES
+
+        rows = []
+        for entry in assignments:
+            mapping = getattr(entry, "assignment", None)
+            if mapping is None:
+                mapping = entry
+                row_default = default
+            else:
+                row_default = getattr(entry, "default", default)
+            rows.append((mapping, row_default))
+
+        matrix = numpy.empty((len(rows), self.num_variables), dtype=numpy.float64)
+        columns = self._columns
+        lookup = VARIABLES.lookup
+        for row, (mapping, row_default) in enumerate(rows):
+            matrix[row].fill(row_default)
+            for name, value in mapping.items():
+                vid = lookup(name)
+                if vid is None:
+                    continue
+                col = columns.get(vid)
+                if col is not None:
+                    matrix[row, col] = value
+        return matrix
+
+    # ------------------------------------------------------------ evaluation
+
+    def evaluate(self, assignments, default=1.0):
+        """``(S, P)`` array: row ``i`` valuates every polynomial under
+        assignment ``i`` (see :meth:`PolynomialSet.evaluate_batch`)."""
+        matrix = self.assignment_matrix(assignments, default)
+        return self.evaluate_matrix(matrix)
+
+    def evaluate_matrix(self, matrix):
+        """Valuate from a prebuilt ``(S, V)`` assignment matrix."""
+        num_scenarios = matrix.shape[0]
+        if self.num_polynomials == 0:
+            return numpy.zeros((num_scenarios, 0), dtype=numpy.float64)
+        if num_scenarios == 0:
+            return numpy.zeros((0, self.num_polynomials), dtype=numpy.float64)
+        mono_values = None
+        for selector, cols, nonunit, exps in self._layers:
+            # The fancy-index gather copies, so in-place ops are safe.
+            values = matrix[:, cols]
+            if len(nonunit):
+                values[:, nonunit] **= exps
+            if selector is None:
+                mono_values = values
+            else:
+                mono_values[:, selector] *= values
+        weighted = mono_values * self._coeffs
+        return numpy.add.reduceat(weighted, self._poly_starts[:-1], axis=1)

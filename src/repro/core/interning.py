@@ -1,0 +1,88 @@
+"""Variable interning: a process-wide string ↔ int id table.
+
+Every hot path of the system — substitution, loss counting, the greedy
+working state, batch valuation — manipulates monomial keys. Keys built
+from Python strings compare and hash by content; keys built from small
+ints compare by machine word and pack densely into NumPy arrays. The
+:class:`VariableTable` assigns each distinct variable name a stable
+small integer id (in first-seen order) so that
+
+* :class:`~repro.core.polynomial.Monomial` can store its factors as a
+  tuple of ``(var_id, exponent)`` pairs sorted by id (the *key*),
+* substitutions become id → id dict lookups with tuple rewrites,
+* the batch evaluator can address variables as array columns.
+
+The public, string-facing API of the polynomial classes is unaffected:
+ids are an internal representation, translated at the boundary.
+
+A single process-wide table (:data:`VARIABLES`) is shared by all
+polynomials so keys from different sources remain comparable. The table
+only ever grows (ids are never reused); for the workloads this system
+targets — bounded variable alphabets, unbounded monomial counts — that
+is the right trade.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VariableTable", "VARIABLES", "SENTINEL_ID"]
+
+#: Reserved id used by loss counting for "the tree variable, whichever
+#: it was" residual keys. Negative, so it can never collide with a real
+#: interned id.
+SENTINEL_ID = -1
+
+
+class VariableTable:
+    """A bijective string ↔ int id registry (ids are dense, from 0).
+
+    >>> table = VariableTable()
+    >>> table.intern("x"), table.intern("y"), table.intern("x")
+    (0, 1, 0)
+    >>> table.name(1)
+    'y'
+    >>> table.lookup("z") is None
+    True
+    """
+
+    __slots__ = ("_ids", "_names")
+
+    def __init__(self):
+        self._ids = {}
+        self._names = []
+
+    def intern(self, name):
+        """The id of ``name``, assigning the next free id if new."""
+        var_id = self._ids.get(name)
+        if var_id is None:
+            var_id = len(self._names)
+            self._ids[name] = var_id
+            self._names.append(name)
+        return var_id
+
+    def lookup(self, name):
+        """The id of ``name`` if already interned, else ``None``."""
+        return self._ids.get(name)
+
+    def name(self, var_id):
+        """The name interned as ``var_id`` (IndexError if unassigned)."""
+        return self._names[var_id]
+
+    def intern_mapping(self, mapping):
+        """A string→string mapping translated to an id→id dict."""
+        return {
+            self.intern(source): self.intern(target)
+            for source, target in mapping.items()
+        }
+
+    def __len__(self):
+        return len(self._names)
+
+    def __contains__(self, name):
+        return name in self._ids
+
+    def __repr__(self):
+        return f"VariableTable({len(self._names)} variables)"
+
+
+#: The process-wide table shared by every Monomial.
+VARIABLES = VariableTable()

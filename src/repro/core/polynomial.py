@@ -20,9 +20,22 @@ and lifts both point-wise to (multi)sets of polynomials. This module
 implements :class:`Monomial`, :class:`Polynomial`, and
 :class:`PolynomialSet` with exactly those measures, plus the variable
 substitution primitive that provenance abstraction is built on.
+
+Representation: variable names are interned through
+:data:`repro.core.interning.VARIABLES`; each monomial's canonical form
+is its ``key`` — a tuple of ``(var_id, exponent)`` pairs sorted by id.
+All hashing, equality, multiplication and substitution run on keys;
+the string-facing ``powers`` view (sorted by variable *name*, as the
+parser and printers expect) is derived lazily. Polynomials are treated
+as immutable once built, so their variable sets are computed once and
+cached.
 """
 
 from __future__ import annotations
+
+import numbers
+
+from repro.core.interning import VARIABLES
 
 __all__ = ["Monomial", "Polynomial", "PolynomialSet"]
 
@@ -35,7 +48,8 @@ class Monomial:
     (§4.1: "Python's dictionaries for the polynomials").
 
     ``powers`` is a sorted tuple of ``(variable, exponent)`` pairs with
-    ``exponent >= 1``; variables are strings.
+    ``exponent >= 1``; variables are strings. Internally the monomial is
+    identified by ``key``, the same pairs over interned variable ids.
 
     >>> m = Monomial.of(("x", 2), "y")
     >>> str(m)
@@ -46,7 +60,7 @@ class Monomial:
     2
     """
 
-    __slots__ = ("powers", "_hash")
+    __slots__ = ("key", "_powers", "_exps", "_hash")
 
     #: The empty monomial (the constant term's monomial).
     ONE: "Monomial"
@@ -61,8 +75,21 @@ class Monomial:
             if var in seen:
                 raise ValueError(f"duplicate variable {var!r}; use Monomial.of")
             seen.add(var)
-        object.__setattr__(self, "powers", items)
-        object.__setattr__(self, "_hash", hash(items))
+        key = tuple(sorted((VARIABLES.intern(var), exp) for var, exp in items))
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "_powers", items)
+        object.__setattr__(self, "_exps", None)
+        object.__setattr__(self, "_hash", hash(key))
+
+    @classmethod
+    def _from_key(cls, key):
+        """Fast path: build from an id-sorted, validated key (internal)."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "_powers", None)
+        object.__setattr__(self, "_exps", None)
+        object.__setattr__(self, "_hash", hash(key))
+        return self
 
     def __setattr__(self, name, value):
         raise AttributeError("Monomial is immutable")
@@ -86,39 +113,59 @@ class Monomial:
         return cls(acc.items())
 
     @property
+    def powers(self):
+        """Sorted ``(variable, exponent)`` pairs (the string-facing view)."""
+        powers = self._powers
+        if powers is None:
+            name = VARIABLES.name
+            powers = tuple(sorted((name(vid), exp) for vid, exp in self.key))
+            object.__setattr__(self, "_powers", powers)
+        return powers
+
+    def _exponents(self):
+        """Cached ``{var_id: exponent}`` for O(1) membership/exponent."""
+        exps = self._exps
+        if exps is None:
+            exps = dict(self.key)
+            object.__setattr__(self, "_exps", exps)
+        return exps
+
+    @property
     def variables(self):
         """The set of variables occurring in this monomial."""
-        return frozenset(var for var, _ in self.powers)
+        name = VARIABLES.name
+        return frozenset(name(vid) for vid, _ in self.key)
 
     @property
     def degree(self):
         """Total degree (sum of exponents)."""
-        return sum(exp for _, exp in self.powers)
+        return sum(exp for _, exp in self.key)
 
     def exponent(self, variable):
         """The exponent of ``variable`` (0 if absent)."""
-        for var, exp in self.powers:
-            if var == variable:
-                return exp
-        return 0
+        vid = VARIABLES.lookup(variable)
+        if vid is None:
+            return 0
+        return self._exponents().get(vid, 0)
 
     def __contains__(self, variable):
-        return any(var == variable for var, _ in self.powers)
+        vid = VARIABLES.lookup(variable)
+        return vid is not None and vid in self._exponents()
 
     def __iter__(self):
         """Iterate over ``(variable, exponent)`` pairs in sorted order."""
         return iter(self.powers)
 
     def __len__(self):
-        return len(self.powers)
+        return len(self.key)
 
     def __mul__(self, other):
         if not isinstance(other, Monomial):
             return NotImplemented
-        acc = dict(self.powers)
-        for var, exp in other.powers:
-            acc[var] = acc.get(var, 0) + exp
-        return Monomial(acc.items())
+        acc = dict(self.key)
+        for vid, exp in other.key:
+            acc[vid] = acc.get(vid, 0) + exp
+        return Monomial._from_key(tuple(sorted(acc.items())))
 
     def substitute(self, mapping):
         """Rename variables via ``mapping``; unmapped variables stay intact.
@@ -128,25 +175,31 @@ class Monomial:
         >>> str(Monomial.of("a", "b").substitute({"a": "g", "b": "g"}))
         'g^2'
         """
+        return self.substitute_ids(VARIABLES.intern_mapping(mapping))
+
+    def substitute_ids(self, id_mapping):
+        """:meth:`substitute` over an interned ``{var_id: var_id}`` map."""
         acc = {}
-        for var, exp in self.powers:
-            target = mapping.get(var, var)
+        for vid, exp in self.key:
+            target = id_mapping.get(vid, vid)
             acc[target] = acc.get(target, 0) + exp
-        return Monomial(acc.items())
+        return Monomial._from_key(tuple(sorted(acc.items())))
 
     def evaluate(self, assignment, default=1.0):
         """The numeric value of the monomial under ``assignment``.
 
         Variables absent from ``assignment`` take ``default`` — the
         neutral "scenario leaves this parameter unchanged" semantics.
+        The accumulator starts from the integer 1, so exact coefficient
+        types (``fractions.Fraction``) survive evaluation unharmed.
         """
-        value = 1.0
+        value = 1
         for var, exp in self.powers:
             value *= assignment.get(var, default) ** exp
         return value
 
     def __eq__(self, other):
-        return isinstance(other, Monomial) and self.powers == other.powers
+        return isinstance(other, Monomial) and self.key == other.key
 
     def __lt__(self, other):
         if not isinstance(other, Monomial):
@@ -157,7 +210,7 @@ class Monomial:
         return self._hash
 
     def __str__(self):
-        if not self.powers:
+        if not self.key:
             return "1"
         parts = []
         for var, exp in self.powers:
@@ -174,16 +227,17 @@ Monomial.ONE = Monomial()
 class Polynomial:
     """A provenance polynomial: a finite map from monomials to coefficients.
 
-    Coefficients may be ``int``, ``float`` or ``fractions.Fraction``.
-    Zero-coefficient terms are dropped on construction, so ``|P|_M`` is
-    always the count of *surviving* monomials.
+    Coefficients may be any ``numbers.Number`` — ``int``, ``float`` or
+    ``fractions.Fraction``. Zero-coefficient terms are dropped on
+    construction, so ``|P|_M`` is always the count of *surviving*
+    monomials.
 
     >>> p = Polynomial({Monomial.of("x"): 2, Monomial.of("y"): 3})
     >>> p.num_monomials, p.num_variables
     (2, 2)
     """
 
-    __slots__ = ("terms",)
+    __slots__ = ("terms", "_vids")
 
     def __init__(self, terms=None):
         acc = {}
@@ -200,6 +254,14 @@ class Polynomial:
                 else:
                     acc[monomial] = new
         self.terms = acc
+        self._vids = None
+
+    @classmethod
+    def _raw(cls, terms):
+        """Adopt a ready ``{Monomial: coeff}`` dict (internal fast path)."""
+        result = cls()
+        result.terms = terms
+        return result
 
     @classmethod
     def zero(cls):
@@ -233,18 +295,28 @@ class Polynomial:
         """``|P|_M`` — the number of monomials."""
         return len(self.terms)
 
+    def variable_ids(self):
+        """``V(P)`` as interned ids (cached — polynomials are immutable)."""
+        vids = self._vids
+        if vids is None:
+            out = set()
+            for monomial in self.terms:
+                for vid, _ in monomial.key:
+                    out.add(vid)
+            vids = frozenset(out)
+            self._vids = vids
+        return vids
+
     @property
     def variables(self):
         """``V(P)`` — the set of variables occurring in ``P``."""
-        out = set()
-        for monomial in self.terms:
-            out.update(monomial.variables)
-        return out
+        name = VARIABLES.name
+        return {name(vid) for vid in self.variable_ids()}
 
     @property
     def num_variables(self):
         """``|P|_V`` — the granularity (number of distinct variables)."""
-        return len(self.variables)
+        return len(self.variable_ids())
 
     def coefficient(self, monomial):
         """The coefficient of ``monomial`` (0 if absent)."""
@@ -252,9 +324,15 @@ class Polynomial:
 
     # ----------------------------------------------------------- arithmetic
 
+    @staticmethod
+    def _lift(other):
+        """Coerce a scalar operand to a Polynomial (or return it as-is)."""
+        if isinstance(other, numbers.Number):
+            return Polynomial.constant(other)
+        return other
+
     def __add__(self, other):
-        if isinstance(other, (int, float)):
-            other = Polynomial.constant(other)
+        other = self._lift(other)
         if not isinstance(other, Polynomial):
             return NotImplemented
         acc = dict(self.terms)
@@ -264,35 +342,28 @@ class Polynomial:
                 acc.pop(monomial, None)
             else:
                 acc[monomial] = new
-        result = Polynomial.zero()
-        result.terms = acc
-        return result
+        return Polynomial._raw(acc)
 
     __radd__ = __add__
 
     def __neg__(self):
-        result = Polynomial.zero()
-        result.terms = {m: -c for m, c in self.terms.items()}
-        return result
+        return Polynomial._raw({m: -c for m, c in self.terms.items()})
 
     def __sub__(self, other):
-        if isinstance(other, (int, float)):
-            other = Polynomial.constant(other)
+        other = self._lift(other)
         if not isinstance(other, Polynomial):
             return NotImplemented
         return self + (-other)
 
+    def __rsub__(self, other):
+        other = self._lift(other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return other + (-self)
+
     def __mul__(self, other):
-        if isinstance(other, (int, float)):
-            if other == 0:
-                return Polynomial.zero()
-            result = Polynomial.zero()
-            result.terms = {m: c * other for m, c in self.terms.items()}
-            return result
         if isinstance(other, Monomial):
-            result = Polynomial.zero()
-            result.terms = {m * other: c for m, c in self.terms.items()}
-            return result
+            return Polynomial._raw({m * other: c for m, c in self.terms.items()})
         if isinstance(other, Polynomial):
             acc = {}
             for m1, c1 in self.terms.items():
@@ -303,9 +374,11 @@ class Polynomial:
                         acc.pop(m, None)
                     else:
                         acc[m] = new
-            result = Polynomial.zero()
-            result.terms = acc
-            return result
+            return Polynomial._raw(acc)
+        if isinstance(other, numbers.Number):
+            if other == 0:
+                return Polynomial.zero()
+            return Polynomial._raw({m: c * other for m, c in self.terms.items()})
         return NotImplemented
 
     __rmul__ = __mul__
@@ -323,33 +396,64 @@ class Polynomial:
         >>> str(p.substitute({"m1": "q1", "m3": "q1"}))
         '5*q1*x'
         """
+        return self.substitute_ids(VARIABLES.intern_mapping(mapping))
+
+    def substitute_ids(self, id_mapping):
+        """:meth:`substitute` over an interned ``{var_id: var_id}`` map.
+
+        Monomials untouched by the mapping are reused as-is; rewritten
+        keys are deduplicated so each distinct target monomial is built
+        once.
+        """
+        if not id_mapping:
+            return self
+        mapped = set(id_mapping)
+        if mapped.isdisjoint(self.variable_ids()):
+            return self
         acc = {}
+        rebuilt = {}
         for monomial, coeff in self.terms.items():
-            new_monomial = monomial.substitute(mapping)
+            key = monomial.key
+            if mapped.isdisjoint(vid for vid, _ in key):
+                new_monomial = monomial
+            else:
+                key_acc = {}
+                for vid, exp in key:
+                    target = id_mapping.get(vid, vid)
+                    key_acc[target] = key_acc.get(target, 0) + exp
+                new_key = tuple(sorted(key_acc.items()))
+                new_monomial = rebuilt.get(new_key)
+                if new_monomial is None:
+                    new_monomial = Monomial._from_key(new_key)
+                    rebuilt[new_key] = new_monomial
             new = acc.get(new_monomial, 0) + coeff
             if new == 0:
                 acc.pop(new_monomial, None)
             else:
                 acc[new_monomial] = new
-        result = Polynomial.zero()
-        result.terms = acc
-        return result
+        return Polynomial._raw(acc)
 
     def evaluate(self, assignment, default=1.0):
         """Value of ``P`` under a (hypothetical-scenario) assignment.
 
         Unassigned variables default to ``default`` (1.0 = "unchanged").
+        The accumulator starts from the integer 0, so exact coefficient
+        types (``fractions.Fraction``, ``int``) evaluate exactly instead
+        of being forced through floats.
         """
-        total = 0.0
+        total = 0
         for monomial, coeff in self.terms.items():
             total += coeff * monomial.evaluate(assignment, default)
         return total
 
     def restricted_to(self, variables):
         """The sub-polynomial of monomials that only use ``variables``."""
-        variables = set(variables)
+        lookup = VARIABLES.lookup
+        allowed = {vid for vid in map(lookup, variables) if vid is not None}
         return Polynomial(
-            (m, c) for m, c in self.terms.items() if m.variables <= variables
+            (m, c)
+            for m, c in self.terms.items()
+            if all(vid in allowed for vid, _ in m.key)
         )
 
     # ------------------------------------------------------------- equality
@@ -386,7 +490,7 @@ class Polynomial:
         for coeff, monomial in self:
             sign = "-" if coeff < 0 else "+"
             magnitude = abs(coeff)
-            if not monomial.powers:
+            if not monomial.key:
                 body = f"{magnitude}"
             elif magnitude == 1:
                 body = str(monomial)
@@ -406,52 +510,96 @@ class PolynomialSet:
     """A multiset of polynomials — the provenance of a whole query result.
 
     The paper's measures lift point-wise: ``|P|_M`` sums monomial counts
-    and ``V(P)`` / ``|P|_V`` union variables.
+    and ``V(P)`` / ``|P|_V`` union variables. Both are cached; the cache
+    is invalidated by :meth:`append` (the only mutator).
 
     >>> ps = PolynomialSet([Polynomial.variable("x"), Polynomial.variable("x")])
     >>> ps.num_monomials, ps.num_variables
     (2, 1)
     """
 
-    __slots__ = ("polynomials",)
+    __slots__ = ("polynomials", "_vids", "_compiled")
 
     def __init__(self, polynomials=None):
         self.polynomials = list(polynomials) if polynomials else []
         for p in self.polynomials:
             if not isinstance(p, Polynomial):
                 raise TypeError(f"expected Polynomial, got {type(p).__name__}")
+        self._vids = None
+        self._compiled = None
 
     def append(self, polynomial):
         """Add one polynomial to the multiset."""
         if not isinstance(polynomial, Polynomial):
             raise TypeError(f"expected Polynomial, got {type(polynomial).__name__}")
         self.polynomials.append(polynomial)
+        self._vids = None
+        self._compiled = None
 
     @property
     def num_monomials(self):
         """``|P|_M`` summed over the multiset."""
         return sum(p.num_monomials for p in self.polynomials)
 
+    def variable_ids(self):
+        """``V(P)`` as interned ids (cached until :meth:`append`)."""
+        vids = self._vids
+        if vids is None:
+            out = set()
+            for p in self.polynomials:
+                out.update(p.variable_ids())
+            vids = frozenset(out)
+            self._vids = vids
+        return vids
+
     @property
     def variables(self):
         """``V(P)`` — union of per-polynomial variable sets."""
-        out = set()
-        for p in self.polynomials:
-            out.update(p.variables)
-        return out
+        name = VARIABLES.name
+        return {name(vid) for vid in self.variable_ids()}
 
     @property
     def num_variables(self):
         """``|P|_V`` — number of distinct variables across the multiset."""
-        return len(self.variables)
+        return len(self.variable_ids())
 
     def substitute(self, mapping):
         """Point-wise substitution (``P↓S`` lifted to the multiset)."""
-        return PolynomialSet(p.substitute(mapping) for p in self.polynomials)
+        id_mapping = VARIABLES.intern_mapping(mapping)
+        return PolynomialSet(p.substitute_ids(id_mapping) for p in self.polynomials)
 
     def evaluate(self, assignment, default=1.0):
         """Point-wise valuation; returns one value per polynomial."""
         return [p.evaluate(assignment, default) for p in self.polynomials]
+
+    def compiled(self):
+        """The NumPy batch evaluator for this set (built once, cached)."""
+        compiled = self._compiled
+        if compiled is None:
+            from repro.core.batch import CompiledPolynomialSet
+
+            compiled = CompiledPolynomialSet(self)
+            self._compiled = compiled
+        return compiled
+
+    def evaluate_batch(self, assignments, default=1.0):
+        """Valuate many scenarios at once (vectorized over NumPy).
+
+        :param assignments: an iterable of assignments — plain dicts,
+            :class:`~repro.core.valuation.Valuation` objects (their own
+            ``default`` is honoured), or anything with an ``assignment``
+            attribute.
+        :param default: value of unassigned variables for plain dicts.
+        :returns: a ``(num_assignments, len(self))`` ``numpy.ndarray``;
+            row ``i`` equals ``self.evaluate(assignments[i])`` up to
+            float rounding (exact coefficient types are degraded to
+            float — use :meth:`evaluate` for exact arithmetic).
+
+        Compilation happens once per set and is cached, so the cost of
+        building the coefficient/exponent arrays amortizes across
+        scenario suites — the paper's Figure 10 workload shape.
+        """
+        return self.compiled().evaluate(assignments, default)
 
     def __iter__(self):
         return iter(self.polynomials)

@@ -8,6 +8,7 @@ from repro.scenarios.analysis import (
     SpeedupReport,
     approximate_lift,
     assignment_speedup,
+    evaluate_scenarios,
     scenario_error,
 )
 from repro.scenarios.sampling import (
@@ -25,6 +26,7 @@ __all__ = [
     "SpeedupReport",
     "assignment_speedup",
     "approximate_lift",
+    "evaluate_scenarios",
     "scenario_error",
     "sample_polynomials",
     "adapt_bound",

@@ -79,7 +79,13 @@ def extrapolate_size(fractions, sizes, degree=1):
 
 @dataclass
 class OnlineCompressionResult:
-    """Outcome of the sample-then-abstract pipeline."""
+    """Outcome of the sample-then-abstract pipeline.
+
+    ``scenario_support`` / ``scenario_rmse`` are populated only when a
+    scenario suite was handed to :func:`online_compress`: the fraction
+    of scenarios the chosen VVS answers exactly, and the RMS relative
+    error of the abstracted answers on the sample.
+    """
 
     vvs: ValidVariableSet
     sample_fraction: float
@@ -87,10 +93,40 @@ class OnlineCompressionResult:
     requested_bound: int
     achieved_size: int
     achieved_granularity: int
+    scenario_support: float | None = None
+    scenario_rmse: float | None = None
 
     @property
     def within_bound(self):
         return self.achieved_size <= self.requested_bound
+
+
+def _scenario_preview(sample, vvs, scenarios):
+    """(support fraction, RMS relative error) of a suite on the sample.
+
+    Both sides valuate through the compiled batch evaluator — the whole
+    suite per matrix product — so previewing hundreds of anticipated
+    scenarios before committing to a VVS is cheap.
+    """
+    from repro.scenarios.analysis import approximate_lift
+
+    scenarios = list(scenarios)
+    if not scenarios:
+        return None, None
+    supported = 0
+    lifted = []
+    for scenario in scenarios:
+        if scenario.is_supported_by(vvs):
+            supported += 1
+            lifted.append(scenario.lift(vvs))
+        else:
+            lifted.append(approximate_lift(scenario, vvs))
+    exact = sample.evaluate_batch([s.valuation() for s in scenarios])
+    approx = vvs.apply(sample).evaluate_batch(lifted)
+    relative = numpy.abs(approx - exact) / numpy.maximum(1.0, numpy.abs(exact))
+    return supported / len(scenarios), float(
+        numpy.sqrt(numpy.mean(numpy.square(relative)))
+    )
 
 
 def online_compress(
@@ -100,6 +136,7 @@ def online_compress(
     fraction=0.1,
     seed=0,
     algorithm=greedy_vvs,
+    scenarios=None,
 ):
     """Choose a VVS on a sample; apply it to the full provenance.
 
@@ -109,7 +146,10 @@ def online_compress(
 
     The returned VVS is chosen *without ever compressing the full set*,
     which is the online pipeline's entire point; ``achieved_size``
-    reports how well the sample's choice transfers.
+    reports how well the sample's choice transfers. When the analyst's
+    anticipated ``scenarios`` are known, they are batch-valuated on the
+    sample (raw vs abstracted) to report how accurately the chosen VVS
+    would answer them — see :class:`OnlineCompressionResult`.
     """
     polynomials = ensure_set(polynomials)
     if isinstance(forest, AbstractionTree):
@@ -123,6 +163,11 @@ def online_compress(
     cleaned = forest.clean(polynomials)
     result = algorithm(sample, cleaned, sample_bound, clean=False)
     size, granularity = abstract_counts(polynomials, result.vvs.mapping())
+    support, rmse = (
+        _scenario_preview(sample, result.vvs, scenarios)
+        if scenarios is not None
+        else (None, None)
+    )
     return OnlineCompressionResult(
         vvs=result.vvs,
         sample_fraction=fraction,
@@ -130,4 +175,6 @@ def online_compress(
         requested_bound=bound,
         achieved_size=size,
         achieved_granularity=granularity,
+        scenario_support=support,
+        scenario_rmse=rmse,
     )

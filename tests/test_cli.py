@@ -123,3 +123,21 @@ class TestDecide:
             "decide", provenance, forest,
             "--size", "2", "--granularity", "9",
         ]) == 1
+
+
+class TestBench:
+    def test_tiny_bench_writes_json(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        assert main([
+            "bench", "--tiny", "--quiet", "--repeat", "1",
+            "--output", str(output),
+        ]) == 0
+        document = json.loads(output.read_text())
+        assert document["schema"] == "repro-bench-core/1"
+        assert document["mode"] == "tiny"
+        results = document["results"]
+        assert set(results) == {
+            "greedy", "optimal", "abstraction", "batch_valuation"
+        }
+        assert results["greedy"]["speedup"] > 0
+        assert results["batch_valuation"]["max_abs_error"] < 1e-6

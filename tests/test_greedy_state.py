@@ -2,13 +2,23 @@
 
 The working state is the piece Example 15 forced into existence (ML is
 not additive across trees); these tests pin its internal contracts:
-simulate == apply, index consistency, and size bookkeeping.
+simulate == apply, index consistency, and size bookkeeping. The state
+is id-addressed (interned variables); ``ids`` translates.
 """
 
 import pytest
 
 from repro.algorithms.greedy import _WorkingState
+from repro.core.interning import VARIABLES
 from repro.core.parser import parse_set
+
+
+def ids(*names):
+    return [VARIABLES.intern(name) for name in names]
+
+
+def vid(name):
+    return VARIABLES.intern(name)
 
 
 @pytest.fixture
@@ -37,40 +47,50 @@ class TestConstruction:
 
 class TestSimulateAndApply:
     def test_simulate_matches_apply(self, state):
-        predicted = state.simulate_merge(["a", "b"], "g")
-        actual = state.apply_merge(["a", "b"], "g")
+        predicted = state.simulate_merge(ids("a", "b"), vid("g"))
+        actual, _ = state.apply_merge(ids("a", "b"), vid("g"))
         assert predicted == actual == 1  # a*x + b*x merge in polynomial 0
 
     def test_no_cross_polynomial_merge(self, state):
         # b*x exists in both polynomials; merging b,c only merges inside
         # polynomial 1 (b*x + c*x -> g*x).
-        assert state.simulate_merge(["b", "c"], "g") == 1
+        assert state.simulate_merge(ids("b", "c"), vid("g")) == 1
 
     def test_simulate_is_pure(self, state):
         before = state.size
-        state.simulate_merge(["a", "b"], "g")
+        state.simulate_merge(ids("a", "b"), vid("g"))
         assert state.size == before
 
     def test_apply_updates_size(self, state):
-        state.apply_merge(["a", "b"], "g")
+        state.apply_merge(ids("a", "b"), vid("g"))
         assert state.size == 4
 
     def test_apply_updates_granularity(self, state):
-        state.apply_merge(["a", "b"], "g")
+        state.apply_merge(ids("a", "b"), vid("g"))
         # a and b replaced by g: {g, c, x, y}.
         assert state.granularity == 4
         assert state.present("g")
         assert not state.present("a")
 
     def test_apply_reindexes_residual_variables(self, state):
-        state.apply_merge(["a", "b"], "g")
+        state.apply_merge(ids("a", "b"), vid("g"))
         # x's index must now reference the rewritten keys only.
-        for poly_number, key in state.index["x"]:
+        for poly_number, key in state.index[vid("x")]:
             assert key in state.polys[poly_number]
 
+    def test_apply_reports_rewrites(self, state):
+        # Merging a,b rewrites the three monomials of polynomial 0 and
+        # one of polynomial 1; exactly one rewrite collides (a*x ~ b*x).
+        _, rewrites = state.apply_merge(ids("a", "b"), vid("g"))
+        assert len(rewrites) == 4
+        assert sum(1 for *_, survived in rewrites if not survived) == 1
+        for poly_number, old_key, new_key, survived in rewrites:
+            assert old_key not in state.polys[poly_number]
+            assert new_key in state.polys[poly_number]
+
     def test_sequential_merges_compose(self, state):
-        first = state.apply_merge(["a", "b"], "g")
-        second = state.apply_merge(["x", "y"], "h")
+        first, _ = state.apply_merge(ids("a", "b"), vid("g"))
+        second, _ = state.apply_merge(ids("x", "y"), vid("h"))
         # After g: poly0 = {g*x, g*y}, poly1 = {g*x, c*x}. Merging x,y:
         # poly0 collapses to {g*h} (1 loss); poly1 -> {g*h, c*h} (0).
         assert first == 1
@@ -80,13 +100,13 @@ class TestSimulateAndApply:
     def test_cross_tree_interaction(self):
         """The Example 15 effect: earlier merges enable later ones."""
         state = _WorkingState(parse_set(["a*x + b*y"]))
-        assert state.simulate_merge(["a", "b"], "g") == 0
-        state.apply_merge(["x", "y"], "h")
-        assert state.simulate_merge(["a", "b"], "g") == 1
+        assert state.simulate_merge(ids("a", "b"), vid("g")) == 0
+        state.apply_merge(ids("x", "y"), vid("h"))
+        assert state.simulate_merge(ids("a", "b"), vid("g")) == 1
 
     def test_exponents_preserved(self):
         state = _WorkingState(parse_set(["a^2*x + b^2*x + b*x"]))
-        loss = state.apply_merge(["a", "b"], "g")
+        loss, _ = state.apply_merge(ids("a", "b"), vid("g"))
         # a^2*x and b^2*x merge (both g^2*x); b*x stays g*x.
         assert loss == 1
         assert state.size == 2

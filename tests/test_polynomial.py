@@ -148,3 +148,78 @@ class TestMisc:
     def test_equality_and_hash(self):
         assert parse("x + y") == parse("y + x")
         assert hash(parse("x + y")) == hash(parse("y + x"))
+
+
+class TestNumberTowerCoefficients:
+    """Arithmetic must lift any numbers.Number — Fractions especially.
+
+    Regression: the scalar branches of __add__/__sub__/__mul__ used to
+    accept only int/float and silently returned NotImplemented for
+    fractions.Fraction, despite the class promising Fraction support.
+    """
+
+    def test_add_fraction_scalar(self):
+        from fractions import Fraction
+
+        p = parse("x") + Fraction(1, 2)
+        assert p.coefficient(Monomial.ONE) == Fraction(1, 2)
+
+    def test_radd_and_rsub_fraction_scalar(self):
+        from fractions import Fraction
+
+        p = Fraction(3, 4) + parse("x")
+        assert p.coefficient(Monomial.ONE) == Fraction(3, 4)
+        q = Fraction(3, 4) - parse("x")
+        assert q.coefficient(Monomial.ONE) == Fraction(3, 4)
+        assert q.coefficient(Monomial.of("x")) == -1
+
+    def test_sub_fraction_scalar(self):
+        from fractions import Fraction
+
+        p = parse("x") - Fraction(1, 3)
+        assert p.coefficient(Monomial.ONE) == Fraction(-1, 3)
+
+    def test_mul_fraction_scalar_keeps_exactness(self):
+        from fractions import Fraction
+
+        p = (parse("x") * 2) * Fraction(1, 3)
+        assert p.coefficient(Monomial.of("x")) == Fraction(2, 3)
+
+    def test_fraction_coefficients_cancel_exactly(self):
+        from fractions import Fraction
+
+        p = parse("x") * Fraction(1, 3)
+        q = p * 3 - parse("x")
+        assert not q  # (1/3)*3 - 1 == 0 exactly, no float residue
+
+
+class TestExactEvaluation:
+    """evaluate() must not force Fraction/int arithmetic through floats.
+
+    Regression: the accumulators started from 0.0/1.0, so exact
+    Fraction coefficients and assignments were corrupted by rounding.
+    """
+
+    def test_fraction_coefficients_and_values_stay_exact(self):
+        from fractions import Fraction
+
+        p = Polynomial({
+            Monomial.of("x"): Fraction(1, 3),
+            Monomial.ONE: Fraction(1, 6),
+        })
+        value = p.evaluate({"x": Fraction(1, 2)})
+        assert value == Fraction(1, 3)
+        assert isinstance(value, Fraction)
+
+    def test_monomial_evaluate_preserves_fractions(self):
+        from fractions import Fraction
+
+        value = Monomial.of(("x", 2)).evaluate({"x": Fraction(2, 3)})
+        assert value == Fraction(4, 9)
+        assert isinstance(value, Fraction)
+
+    def test_integer_evaluation_stays_integral(self):
+        p = parse("2*x + 3")
+        value = p.evaluate({"x": 2}, default=1)
+        assert value == 7
+        assert isinstance(value, int)
