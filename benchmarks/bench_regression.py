@@ -12,7 +12,11 @@ a perf trajectory behind:
   ``abstract_counts`` (trajectory only);
 * **batch valuation** — a 256-scenario suite through
   ``PolynomialSet.evaluate_batch`` against the per-scenario interpreter
-  loop (same values, asserted).
+  loop (same values, asserted);
+* **session** — the end-to-end facade: ``ProvenanceSession`` →
+  ``compress`` (auto policy) → ``ask_many`` over the suite, plus the
+  artifact's JSON round-trip (reloaded artifact answers asserted
+  identical).
 
 Self-contained on purpose: imports only ``repro`` and the standard
 library, so ``python -m repro bench`` can run it from a checkout
@@ -39,6 +43,8 @@ import sys
 
 from repro.algorithms.greedy import _reference_greedy, greedy_vvs
 from repro.algorithms.optimal import optimal_vvs
+from repro.api.session import ProvenanceSession
+from repro.core import serialize
 from repro.core.abstraction import abstract, abstract_counts
 from repro.core.forest import AbstractionForest
 from repro.core.valuation import Valuation
@@ -47,7 +53,7 @@ from repro.util.timing import time_call
 from repro.workloads.random_polys import random_polynomials
 from repro.workloads.trees import layered_tree
 
-SCHEMA = "repro-bench-core/1"
+SCHEMA = "repro-bench-core/2"
 
 #: Workload scales per mode: (pool leaves, tree fanouts, #polynomials,
 #: monomials per polynomial, free variables, #scenarios).
@@ -199,6 +205,38 @@ def bench_batch_valuation(provenance, scenarios, repeat):
     }
 
 
+def bench_session(provenance, forest, scenarios, repeat):
+    """End-to-end facade: compress to an artifact, ask the whole suite.
+
+    Also round-trips the artifact through its JSON envelope and asserts
+    the reloaded artifact returns *identical* answers — the serving
+    guarantee the api layer makes.
+    """
+    session = ProvenanceSession.from_polynomials(provenance, forest)
+    bound = max(1, provenance.num_monomials // 3)
+    compress_seconds, artifact = time_call(
+        session.compress, bound, repeat=repeat
+    )
+    ask_seconds, answers = time_call(
+        artifact.ask_many, scenarios, repeat=repeat
+    )
+    reloaded = serialize.loads(serialize.dumps(artifact))
+    if reloaded.ask_many(scenarios) != answers:
+        raise AssertionError("reloaded artifact diverged from the original")
+    exact = sum(1 for answer in answers if answer.exact)
+    return {
+        "algorithm": artifact.algorithm,
+        "bound": bound,
+        "monomials": artifact.original_size,
+        "abstracted_monomials": artifact.abstracted_size,
+        "scenarios": len(scenarios),
+        "exact_answers": exact,
+        "artifact_bytes": serialize.serialized_size(artifact),
+        "seconds_compress": compress_seconds,
+        "seconds_ask": ask_seconds,
+    }
+
+
 def default_output():
     """``BENCH_core.json`` at the repository root (this file's parent's
     parent); falls back to the working directory outside a checkout."""
@@ -243,6 +281,12 @@ def run(mode="full", repeat=3, output=None, quiet=False):
         "batch valuation: loop {seconds_loop:.3f}s -> batch "
         "{seconds_batch:.3f}s ({speedup:.1f}x over {scenarios} "
         "scenarios)".format(**results["batch_valuation"])
+    )
+    results["session"] = bench_session(provenance, forest, scenarios, repeat)
+    say(
+        "session: compress {seconds_compress:.3f}s ({algorithm}), "
+        "ask {seconds_ask:.3f}s over {scenarios} scenarios "
+        "({artifact_bytes} artifact bytes)".format(**results["session"])
     )
 
     document = {

@@ -1,61 +1,63 @@
-"""Quickstart: compress a provenance polynomial with an abstraction tree.
+"""Quickstart: the whole pipeline through the session facade.
+
+Query → compress → ask in a few lines: capture provenance by running
+the paper's §1 revenue query through the engine, compress it under a
+budget, and answer hypothetical scenarios — exactly when they are
+uniform on the chosen cut, approximately otherwise.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import AbstractionForest, AbstractionTree, parse_set
-from repro.algorithms import greedy_vvs, optimal_vvs
-from repro.core import Valuation
+from repro import ProvenanceSession, Scenario
+from repro.workloads.telephony import (
+    figure1_database,
+    figure1_plan_variables,
+    months_tree,
+    plans_tree,
+)
 
 
 def main():
-    # 1. Provenance: two revenue polynomials (the paper's Example 13).
-    provenance = parse_set(
-        [
-            "220.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 + "
-            "75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3",
-            "77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + "
-            "69.7*b2*m1 + 100.65*b2*m3",
-        ]
+    # 1. Capture: the running-example query (§1) over the Figure 1
+    #    database, placing plan/month scenario variables on each cell.
+    cust, calls, plans = figure1_database()
+    plan_vars = figure1_plan_variables()
+    session = ProvenanceSession.from_query(
+        "SELECT Zip, SUM(Calls.Dur * Plans.Price) "
+        "FROM Calls, Cust, Plans "
+        "WHERE Cust.Plan = Plans.Plan AND Cust.ID = Calls.CID "
+        "AND Calls.Mo = Plans.Mo GROUP BY Cust.Zip",
+        {"Cust": cust, "Calls": calls, "Plans": plans},
+        params=lambda row: [plan_vars[row["Cust.Plan"]], f"m{row['Calls.Mo']}"],
+        forest=[plans_tree(), months_tree()],
     )
-    print(f"provenance: {len(provenance)} polynomials, "
-          f"{provenance.num_monomials} monomials, "
-          f"{provenance.num_variables} variables")
+    print(f"captured: {session!r}")
 
-    # 2. Abstraction trees: which variables MAY be merged (Figure 2 + 3).
-    plans = AbstractionTree.from_nested(
-        ("Plans", [
-            ("Standard", ["p1", "p2"]),
-            ("Special", [("Y", ["y1", "y2", "y3"]), ("F", ["f1", "f2"]), "v"]),
-            ("Business", [("SB", ["b1", "b2"]), "e"]),
-        ])
-    )
-    months = AbstractionTree.from_nested(
-        ("Year", [("q1", ["m1", "m2", "m3"]), ("q2", ["m4", "m5", "m6"])])
-    )
+    # 2. Compress under a monomial budget. algorithm="auto" picks the
+    #    optimal PTIME DP for a single tree, the greedy for forests.
+    artifact = session.compress(bound=6, algorithm="auto")
+    print(f"compressed with {artifact.algorithm!r}: "
+          f"{artifact.original_size} -> {artifact.abstracted_size} monomials, "
+          f"cut {sorted(artifact.vvs.labels)}")
 
-    # 3a. Single tree -> Algorithm 1 finds the OPTIMAL cut in PTIME.
-    result = optimal_vvs(provenance, plans, bound=9)
-    print(f"\noptimal single-tree abstraction for bound 9: {sorted(result.vvs.labels)}")
-    print(f"  size {provenance.num_monomials} -> {result.abstracted_size} "
-          f"monomials, lost {result.variable_loss} variables")
+    # 3. Ask what-ifs. Scenarios uniform on the cut's groups are
+    #    answered EXACTLY (answer.exact is True); others fall back to
+    #    the group-mean approximate lift.
+    q1_discount = Scenario.uniform("Q1 prices -20%", ["m1", "m2", "m3"], 0.8)
+    jan_only = Scenario("January -20%", {"m1": 0.8})
+    for answer in artifact.ask_many([q1_discount, jan_only]):
+        mode = "exact" if answer.exact else "approximate"
+        values = ", ".join(f"{v:.2f}" for v in answer.values)
+        print(f"  {answer.name}: [{values}] ({mode})")
 
-    # 3b. Multiple trees -> NP-hard; Algorithm 2 is the greedy heuristic.
-    forest = AbstractionForest([plans, months])
-    result = greedy_vvs(provenance, forest, bound=4)
-    print(f"\ngreedy forest abstraction for bound 4: {sorted(result.vvs.labels)}")
-    for step in result.trace:
-        print(f"  chose {step.chosen}: ML={step.cumulative_ml}, "
-              f"VL={step.cumulative_vl}")
+    # 4. Artifacts are files: save, ship, reload, ask again.
+    path = "/tmp/quickstart_artifact.json"
+    artifact.save(path)
+    from repro import CompressedProvenance
 
-    # 4. Hypothetical reasoning on the compressed provenance.
-    compact = result.apply(provenance)
-    print(f"\ncompressed provenance: {compact.num_monomials} monomials")
-    baseline = Valuation({}).evaluate(compact)
-    what_if = Valuation({"q1": 0.8}).evaluate(compact)  # Q1 prices -20%
-    for zipcode, before, after in zip(["10001", "10002"], baseline, what_if):
-        print(f"  zip {zipcode}: revenue {before:9.2f} -> {after:9.2f} "
-              "(Q1 prices cut 20%)")
+    reloaded = CompressedProvenance.load(path)
+    assert reloaded.ask(q1_discount) == artifact.ask(q1_discount)
+    print(f"artifact round-tripped through {path}")
 
 
 if __name__ == "__main__":

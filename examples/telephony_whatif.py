@@ -1,16 +1,15 @@
-"""The paper's running example, end to end.
+"""The paper's running example at benchmark scale, via the facade.
 
-Generates a telephony database (§4.2), runs the revenue-per-zip query
-with plan/month parameterization through the provenance-aware engine,
-compresses the provenance, and compares what-if answers and timings on
-raw vs compressed provenance.
+Generates a telephony database (§4.2), captures the revenue-per-zip
+provenance, compresses it through a :class:`ProvenanceSession`, answers
+a scenario suite off the artifact (with exactness flags), and measures
+the Figure 10 assignment speedup.
 
 Run:  python examples/telephony_whatif.py
 """
 
-from repro.algorithms import greedy_vvs
-from repro.core import AbstractionForest
-from repro.scenarios import Scenario, assignment_speedup
+from repro import ProvenanceSession, Scenario, ScenarioSuite
+from repro.scenarios import assignment_speedup
 from repro.workloads.telephony import TelephonyBenchmark
 
 
@@ -22,49 +21,51 @@ def main():
     print(f"database: {len(cust)} customers, {len(calls)} call records, "
           f"{len(plans)} plan prices")
 
-    provenance = bench.provenance()
+    # Capture + hierarchy in one session: plans in 8 groups, months in
+    # quarters.
+    session = ProvenanceSession.from_polynomials(
+        bench.provenance(),
+        forest=[bench.plans_abstraction_tree((8,)),
+                bench.months_abstraction_tree()],
+    )
+    provenance = session.polynomials
     print(f"provenance: {len(provenance)} polynomials "
           f"({provenance.num_monomials} monomials, "
           f"{provenance.num_variables} variables)")
 
-    # Abstraction: plans in 8 groups, months in quarters.
-    forest = AbstractionForest(
-        [bench.plans_abstraction_tree((8,)), bench.months_abstraction_tree()]
-    )
     bound = provenance.num_monomials // 2
-    result = greedy_vvs(provenance, forest, bound)
-    print(f"\ngreedy abstraction to bound {bound}: "
-          f"{result.abstracted_size} monomials "
-          f"({result.variable_loss} variables lost, "
-          f"{result.abstracted_granularity} kept)")
+    artifact = session.compress(bound=bound)  # auto -> greedy (two trees)
+    print(f"\n{artifact.algorithm} abstraction to bound {bound}: "
+          f"{artifact.abstracted_size} monomials "
+          f"({artifact.variable_loss} variables lost, "
+          f"{artifact.abstracted_granularity} kept)")
 
-    compact = result.apply(provenance)
-
-    # Scenarios an analyst might run (all quarter/group-uniform ones are
-    # answered EXACTLY by the compressed provenance).
-    quarter_cut = Scenario.uniform("Q1 prices -20%", ["m1", "m2", "m3"], 0.8)
-    if quarter_cut.is_supported_by(result.vvs):
-        exact = "exactly"
-    else:
-        exact = "approximately"
-    raw_answers = quarter_cut.evaluate(provenance)
-    lifted = quarter_cut.lift(result.vvs) if exact == "exactly" else None
-    print(f"\nscenario '{quarter_cut.name}' is answered {exact} "
-          "after compression")
-    if lifted is not None:
-        compact_answers = lifted.evaluate(compact)
+    # Scenarios an analyst might run. Quarter-uniform ones are answered
+    # EXACTLY by the artifact; a single-month change is approximate
+    # once months have merged into quarters.
+    suite = ScenarioSuite([
+        Scenario.uniform("Q1 prices -20%", ["m1", "m2", "m3"], 0.8),
+        Scenario("January only -20%", {"m1": 0.8}),
+    ])
+    raw = suite.evaluate(provenance)
+    for answer in artifact.ask_many(suite):
+        mode = "exactly" if answer.exact else "approximately"
+        print(f"\nscenario '{answer.name}' is answered {mode} "
+              "after compression")
         worst = max(
-            abs(a - b) for a, b in zip(raw_answers, compact_answers)
+            abs(a - b) for a, b in zip(answer.values, raw[answer.name])
         )
-        print(f"  max discrepancy across {len(raw_answers)} zips: {worst:.2e}")
+        print(f"  max discrepancy across {len(answer)} zips: {worst:.2e}")
 
     # Figure 10's measurement: how much faster do suites of scenarios run?
-    suite = [
+    speed_suite = [
         Scenario.uniform(f"scenario-{i}", [f"m{m}" for m in range(1, 13)],
                          1.0 - 0.05 * i)
         for i in range(10)
     ]
-    report = assignment_speedup(provenance, compact, suite, vvs=result.vvs)
+    report = assignment_speedup(
+        provenance, artifact.polynomials, speed_suite, vvs=artifact.vvs
+    )
     print(f"\nassignment time: raw {report.raw_seconds * 1e3:.2f} ms vs "
           f"compressed {report.abstracted_seconds * 1e3:.2f} ms "
           f"(speedup {report.speedup_percent:.1f}%, "

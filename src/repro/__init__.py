@@ -17,14 +17,20 @@ The package provides:
   generator with queries Q1/Q5/Q10, and abstraction-tree generators;
 * ``repro.hardness`` — the Appendix A NP-hardness machinery, executable.
 
+* ``repro.api`` — the session facade tying it all together:
+  ``ProvenanceSession`` (query → compress) and ``CompressedProvenance``
+  (the shippable artifact answering scenario suites).
+
 Quickstart::
 
-    from repro import (AbstractionForest, AbstractionTree, optimal_vvs,
-                       parse_set)
-    polys = parse_set(["2*b1*m1 + 3*b1*m3 + 4*b2*m1 + 5*b2*m3"])
-    tree = AbstractionTree.from_nested(("SB", ["b1", "b2"]))
-    result = optimal_vvs(polys, tree, bound=2)
-    print(result.vvs, result.abstracted_size, result.variable_loss)
+    from repro import ProvenanceSession, Scenario
+    session = ProvenanceSession.from_strings(
+        ["2*b1*m1 + 3*b1*m3 + 4*b2*m1 + 5*b2*m3"],
+        forest=("SB", ["b1", "b2"]),
+    )
+    artifact = session.compress(bound=2)          # algorithm="auto"
+    answer = artifact.ask(Scenario("cheap Jan", {"m1": 0.5}))
+    print(answer.values, answer.exact)
 """
 
 from repro.core import (
@@ -72,22 +78,49 @@ __all__ = [
     "optimal_vvs",
     "greedy_vvs",
     "brute_force_vvs",
+    "Scenario",
+    "ScenarioSuite",
+    "evaluate_scenarios",
+    "serialize",
+    "ProvenanceSession",
+    "CompressedProvenance",
+    "Answer",
     "__version__",
 ]
 
+#: Lazily-imported public names: attribute → (module, member). Keeps
+#: `import repro` light (no numpy, no engine) and cycle-free; resolved
+#: on first access by ``__getattr__`` and advertised by ``__dir__``.
+_LAZY_EXPORTS = {
+    "optimal_vvs": ("repro.algorithms.optimal", "optimal_vvs"),
+    "greedy_vvs": ("repro.algorithms.greedy", "greedy_vvs"),
+    "brute_force_vvs": ("repro.algorithms.brute_force", "brute_force_vvs"),
+    "Scenario": ("repro.scenarios.scenario", "Scenario"),
+    "ScenarioSuite": ("repro.scenarios.scenario", "ScenarioSuite"),
+    "evaluate_scenarios": ("repro.scenarios.analysis", "evaluate_scenarios"),
+    "serialize": ("repro.core.serialize", None),
+    "ProvenanceSession": ("repro.api.session", "ProvenanceSession"),
+    "CompressedProvenance": ("repro.api.artifact", "CompressedProvenance"),
+    "Answer": ("repro.api.artifact", "Answer"),
+}
+
 
 def __getattr__(name):
-    # Lazy imports to keep `import repro` light and cycle-free.
-    if name == "optimal_vvs":
-        from repro.algorithms.optimal import optimal_vvs
+    try:
+        module_name, member = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
 
-        return optimal_vvs
-    if name == "greedy_vvs":
-        from repro.algorithms.greedy import greedy_vvs
+    module = importlib.import_module(module_name)
+    value = module if member is None else getattr(module, member)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
 
-        return greedy_vvs
-    if name == "brute_force_vvs":
-        from repro.algorithms.brute_force import brute_force_vvs
 
-        return brute_force_vvs
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+def __dir__():
+    # Advertise the lazy names too, so dir(repro)/tab-completion sees
+    # the full public surface before anything has been resolved.
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

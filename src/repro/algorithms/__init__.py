@@ -10,7 +10,9 @@
   (CIKM 2015) pairwise-merge summarization used as the external
   comparison in Figure 12;
 * :func:`~repro.algorithms.decision.exists_precise` — Definition 10's
-  decision problem (exact DP for one tree, enumeration otherwise).
+  decision problem (exact DP for one tree, enumeration otherwise);
+* :mod:`~repro.algorithms.registry` — the name→solver registry behind
+  the CLI and the :mod:`repro.api` facade, with the ``"auto"`` policy.
 """
 
 from repro.algorithms.brute_force import TooManyCutsError, brute_force_vvs
@@ -19,9 +21,11 @@ from repro.algorithms.decision import exists_precise, precise_pairs
 from repro.algorithms.exact import SearchBudgetExceededError, exact_forest_vvs
 from repro.algorithms.greedy import GreedyStep, greedy_vvs
 from repro.algorithms.optimal import optimal_vvs, optimal_vvs_naive
+from repro.algorithms import registry
 from repro.algorithms.result import AbstractionResult, InfeasibleBoundError
 
 __all__ = [
+    "registry",
     "optimal_vvs",
     "optimal_vvs_naive",
     "greedy_vvs",

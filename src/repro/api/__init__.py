@@ -1,0 +1,19 @@
+"""High-level facade: query → compress → ask, as one object graph.
+
+* :class:`~repro.api.session.ProvenanceSession` — capture provenance
+  (SQL via :mod:`repro.engine`, polynomial strings, or existing
+  objects), attach an abstraction forest, ``compress(bound=...)``;
+* :class:`~repro.api.artifact.CompressedProvenance` — the shippable
+  compression artifact; ``ask`` / ``ask_many`` answer scenarios with
+  an exactness flag; one JSON envelope via
+  :mod:`repro.core.serialize`;
+* :class:`~repro.api.artifact.Answer` — values + ``exact``.
+
+Algorithm selection goes through
+:mod:`repro.algorithms.registry` (``"auto"`` policy included).
+"""
+
+from repro.api.artifact import Answer, CompressedProvenance
+from repro.api.session import ProvenanceSession, as_forest
+
+__all__ = ["ProvenanceSession", "CompressedProvenance", "Answer", "as_forest"]

@@ -1,0 +1,233 @@
+"""The shippable compression artifact: abstracted provenance + its cut.
+
+The paper's deployment story (§1, "Offline vs. Online Compression") is
+artifact-shaped: provenance is captured once, compressed under a
+budget, and *shipped* to analysts who then valuate many hypothetical
+scenarios against it. :class:`CompressedProvenance` is that artifact —
+one object (and one tagged JSON envelope, see
+:mod:`repro.core.serialize`) bundling everything an analyst needs:
+
+* the abstracted polynomials ``P↓S`` (with the compiled NumPy batch
+  evaluator cached on them);
+* the abstraction forest and the chosen
+  :class:`~repro.core.forest.ValidVariableSet`;
+* the loss accounting relative to the original provenance.
+
+Answering is :meth:`~CompressedProvenance.ask` /
+:meth:`~CompressedProvenance.ask_many`, which return
+:class:`Answer` objects carrying the values *and* an ``exact`` flag:
+``True`` exactly when the scenario is uniform on the cut (the lifting
+homomorphism applies — no accuracy lost), ``False`` when the
+group-mean :func:`~repro.scenarios.analysis.approximate_lift` fallback
+answered approximately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.forest import AbstractionForest, ValidVariableSet
+from repro.core.polynomial import PolynomialSet
+from repro.core.valuation import Valuation
+from repro.core import serialize
+from repro.scenarios.analysis import approximate_lift
+
+__all__ = ["Answer", "CompressedProvenance"]
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One scenario's valuation against a compression artifact.
+
+    * ``name`` — the scenario's name (generated for anonymous inputs);
+    * ``values`` — one float per polynomial of the artifact, in order;
+    * ``exact`` — ``True`` iff the scenario was uniform on the cut, so
+      the abstracted answer equals the raw-provenance answer; ``False``
+      means the group-mean approximate lift answered best-effort.
+    """
+
+    name: str
+    values: tuple
+    exact: bool
+
+    def __iter__(self):
+        """Iterate the per-polynomial values."""
+        return iter(self.values)
+
+    def __len__(self):
+        """Number of polynomials answered."""
+        return len(self.values)
+
+
+class CompressedProvenance:
+    """Abstracted provenance bundled with its cut, losses and evaluator.
+
+    Built by :meth:`repro.api.session.ProvenanceSession.compress` (or
+    :meth:`from_result` over a raw
+    :class:`~repro.algorithms.result.AbstractionResult`); serialized
+    with :func:`repro.core.serialize.dumps` and restored with
+    :func:`~repro.core.serialize.loads` / :meth:`load`.
+    """
+
+    __slots__ = (
+        "polynomials",
+        "forest",
+        "vvs",
+        "algorithm",
+        "bound",
+        "original_size",
+        "original_granularity",
+        "monomial_loss",
+        "variable_loss",
+    )
+
+    def __init__(self, polynomials, forest, vvs, *, algorithm, bound,
+                 original_size, original_granularity,
+                 monomial_loss, variable_loss):
+        if not isinstance(polynomials, PolynomialSet):
+            raise TypeError(
+                f"expected PolynomialSet, got {type(polynomials).__name__}"
+            )
+        if not isinstance(vvs, ValidVariableSet):
+            raise TypeError(
+                f"expected ValidVariableSet, got {type(vvs).__name__}"
+            )
+        self.polynomials = polynomials
+        self.forest = forest
+        self.vvs = vvs
+        self.algorithm = str(algorithm)
+        self.bound = int(bound)
+        self.original_size = int(original_size)
+        self.original_granularity = int(original_granularity)
+        self.monomial_loss = int(monomial_loss)
+        self.variable_loss = int(variable_loss)
+
+    @classmethod
+    def from_result(cls, result, original, *, algorithm, bound):
+        """Package an :class:`AbstractionResult` computed on ``original``."""
+        return cls(
+            result.apply(original),
+            result.vvs.forest,
+            result.vvs,
+            algorithm=algorithm,
+            bound=bound,
+            original_size=original.num_monomials,
+            original_granularity=original.num_variables,
+            monomial_loss=result.monomial_loss,
+            variable_loss=result.variable_loss,
+        )
+
+    # -------------------------------------------------------------- measures
+
+    @property
+    def abstracted_size(self):
+        """``|P↓S|_M`` — monomials after compression."""
+        return self.polynomials.num_monomials
+
+    @property
+    def abstracted_granularity(self):
+        """``|P↓S|_V`` — surviving degrees of freedom."""
+        return self.polynomials.num_variables
+
+    @property
+    def compression_ratio(self):
+        """``|P↓S|_M / |P|_M`` (1.0 for empty provenance)."""
+        if self.original_size == 0:
+            return 1.0
+        return self.abstracted_size / self.original_size
+
+    def __len__(self):
+        """Number of polynomials (query result groups)."""
+        return len(self.polynomials)
+
+    # ------------------------------------------------------------- answering
+
+    def supports(self, scenario, default=1.0):
+        """``True`` iff ``scenario`` is answered exactly (uniform on the cut)."""
+        return Valuation.coerce(scenario, default).is_uniform_on(self.vvs)
+
+    def ask(self, scenario, default=1.0):
+        """Answer one scenario (Scenario / Valuation / mapping).
+
+        Uniform-on-the-cut scenarios are lifted exactly onto the
+        meta-variables; others fall back to the group-mean
+        :func:`~repro.scenarios.analysis.approximate_lift` and are
+        flagged ``exact=False``.
+        """
+        return self.ask_many([scenario], default=default)[0]
+
+    def ask_many(self, scenarios, default=1.0):
+        """Answer a whole suite in one vectorized pass.
+
+        :param scenarios: a :class:`~repro.scenarios.scenario.ScenarioSuite`
+            or any iterable of Scenario / Valuation / mapping entries.
+        :returns: a list of :class:`Answer`, one per scenario, in order.
+        """
+        items = list(scenarios)
+        names = []
+        exacts = []
+        lifted = []
+        for index, item in enumerate(items):
+            valuation = Valuation.coerce(item, default)
+            name = getattr(item, "name", None)
+            names.append(str(name) if name is not None else f"scenario-{index}")
+            exact = valuation.is_uniform_on(self.vvs)
+            exacts.append(exact)
+            if exact:
+                lifted.append(valuation.lift(self.vvs))
+            else:
+                lifted.append(approximate_lift(valuation, self.vvs))
+        if not items:
+            return []
+        matrix = self.polynomials.evaluate_batch(lifted)
+        return [
+            Answer(name, tuple(float(v) for v in row), exact)
+            for name, exact, row in zip(names, exacts, matrix)
+        ]
+
+    # ----------------------------------------------------------- persistence
+
+    def dumps(self):
+        """The one-envelope JSON string (``kind: compressed_provenance``)."""
+        return serialize.dumps(self)
+
+    def save(self, path):
+        """Write the JSON envelope to ``path``; returns ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.dumps())
+        return path
+
+    @classmethod
+    def load(cls, path):
+        """Read an artifact envelope written by :meth:`save`."""
+        with open(path) as handle:
+            artifact = serialize.loads(handle.read())
+        if not isinstance(artifact, cls):
+            raise TypeError(
+                f"{path}: expected a {cls.__name__} envelope, "
+                f"got {type(artifact).__name__}"
+            )
+        return artifact
+
+    # --------------------------------------------------------------- dunders
+
+    def __eq__(self, other):
+        if not isinstance(other, CompressedProvenance):
+            return NotImplemented
+        return (
+            self.polynomials == other.polynomials
+            and self.vvs.labels == other.vvs.labels
+            and self.algorithm == other.algorithm
+            and self.bound == other.bound
+            and self.original_size == other.original_size
+            and self.original_granularity == other.original_granularity
+            and self.monomial_loss == other.monomial_loss
+            and self.variable_loss == other.variable_loss
+        )
+
+    def __repr__(self):
+        return (
+            f"CompressedProvenance({len(self.polynomials)} polynomials, "
+            f"{self.original_size}->{self.abstracted_size} monomials, "
+            f"algorithm={self.algorithm!r}, bound={self.bound})"
+        )

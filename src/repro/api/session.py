@@ -1,0 +1,193 @@
+"""The query→compress→ask session facade.
+
+One object graph for the whole pipeline the paper describes: capture
+provenance (from a SQL query, parsed polynomial strings, or an existing
+:class:`~repro.core.polynomial.PolynomialSet`), attach the abstraction
+forest, compress under a budget with a registry-chosen algorithm, and
+get back a shippable :class:`~repro.api.artifact.CompressedProvenance`
+that answers scenario suites::
+
+    from repro import ProvenanceSession, Scenario
+
+    session = ProvenanceSession.from_query(sql, relations, params=params,
+                                           forest=[plans_tree, months_tree])
+    artifact = session.compress(bound=500)            # algorithm="auto"
+    answer = artifact.ask(Scenario.uniform("q1 -20%", ["m1", "m2", "m3"], 0.8))
+    answer.values, answer.exact
+
+Before this facade, the same flow threaded six modules by hand
+(``repro.engine`` → ``repro.core`` → ``repro.algorithms`` →
+``repro.scenarios`` → ``repro.core.serialize`` → CLI); each step here
+delegates to exactly those modules, so low-level use keeps working
+unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import registry
+from repro.core.abstraction import ensure_set
+from repro.core.forest import AbstractionForest
+from repro.core.parser import parse_set
+from repro.core.polynomial import Polynomial, PolynomialSet
+from repro.core.tree import AbstractionTree
+from repro.api.artifact import CompressedProvenance
+
+__all__ = ["ProvenanceSession", "as_forest"]
+
+
+def as_forest(spec):
+    """Normalize a forest specification to an :class:`AbstractionForest`.
+
+    Accepts a forest (unchanged), a single tree, a nested-tuple tree
+    spec (``("SB", ["b1", "b2"])``), or an iterable mixing trees and
+    nested specs. ``None`` stays ``None`` (no forest attached yet).
+    """
+    if spec is None or isinstance(spec, AbstractionForest):
+        return spec
+    if isinstance(spec, AbstractionTree):
+        return AbstractionForest([spec])
+    if isinstance(spec, tuple):
+        return AbstractionForest([AbstractionTree.from_nested(spec)])
+    trees = [
+        tree if isinstance(tree, AbstractionTree)
+        else AbstractionTree.from_nested(tree)
+        for tree in spec
+    ]
+    return AbstractionForest(trees)
+
+
+class ProvenanceSession:
+    """Captured provenance plus its abstraction forest, ready to compress.
+
+    Sessions are immutable: :meth:`with_forest` returns a new session,
+    :meth:`compress` returns an artifact and leaves the session usable
+    for further compressions at other bounds/algorithms.
+    """
+
+    __slots__ = ("polynomials", "forest")
+
+    def __init__(self, polynomials, forest=None):
+        self.polynomials = ensure_set(polynomials)
+        self.forest = as_forest(forest)
+
+    # --------------------------------------------------------- entry points
+
+    @classmethod
+    def from_polynomials(cls, polynomials, forest=None):
+        """Wrap an existing :class:`Polynomial`/:class:`PolynomialSet`."""
+        return cls(polynomials, forest)
+
+    @classmethod
+    def from_strings(cls, texts, forest=None):
+        """Parse polynomial strings (see :func:`repro.core.parser.parse_set`).
+
+        >>> session = ProvenanceSession.from_strings(
+        ...     ["2*b1*m1 + 3*b2*m1"], forest=("SB", ["b1", "b2"]))
+        >>> session.polynomials.num_monomials
+        2
+        """
+        return cls(parse_set(texts), forest)
+
+    @classmethod
+    def from_query(cls, sql, relations, params=None, forest=None):
+        """Capture provenance by running SQL through :mod:`repro.engine`.
+
+        :param sql: a SPJ + ``SUM`` aggregate query (the §2.1 class).
+        :param relations: ``{table_name: Relation}``.
+        :param params: optional ``row_dict -> [variable, ...]`` callable
+            placing scenario variables on each contributing row (over
+            qualified column names, as in
+            :func:`repro.engine.sql.execute`).
+        :param forest: the abstraction hierarchy (any
+            :func:`as_forest` spec).
+
+        Aggregate queries contribute one polynomial per group;
+        non-aggregate queries contribute each result row's annotation
+        polynomial (constant annotations become constant polynomials).
+        """
+        from repro.engine.sql import execute
+        from repro.engine.table import Relation
+
+        result = execute(sql, relations, params=params)
+        if isinstance(result, Relation):
+            polynomials = PolynomialSet(
+                annotation if isinstance(annotation, Polynomial)
+                else Polynomial.constant(annotation)
+                for _, annotation in sorted(
+                    result.rows.items(), key=lambda item: repr(item[0])
+                )
+            )
+        else:
+            polynomials = result.polynomials
+        return cls(polynomials, forest)
+
+    # -------------------------------------------------------------- fluent
+
+    def with_forest(self, forest):
+        """A new session over the same provenance with ``forest`` attached."""
+        return ProvenanceSession(self.polynomials, forest)
+
+    def profile(self):
+        """Summary statistics (see :func:`repro.core.statistics.profile`)."""
+        from repro.core.statistics import profile
+
+        return profile(self.polynomials)
+
+    def evaluate(self, scenario, default=1.0):
+        """Valuate one scenario against the *raw* provenance."""
+        from repro.core.valuation import Valuation
+
+        return Valuation.coerce(scenario, default).evaluate(self.polynomials)
+
+    # ------------------------------------------------------------- compress
+
+    def compress(self, bound, algorithm=registry.AUTO, **options):
+        """Select and apply a VVS; package the result as an artifact.
+
+        :param bound: maximum number of monomials ``B``.
+        :param algorithm: a registered name (``"optimal"``, ``"greedy"``,
+            ``"brute-force"``, …) or ``"auto"`` — pick the optimal DP
+            for a single compatible tree, the greedy otherwise (see
+            :func:`repro.algorithms.registry.choose`).
+        :param options: forwarded to the solver (e.g. ``clean=False``).
+        :raises ValueError: when the session has no forest.
+        :raises InfeasibleBoundError: propagated from bound-strict
+            solvers (``optimal``/``brute-force``); the greedy instead
+            compresses as far as the forest allows.
+        """
+        if self.forest is None:
+            raise ValueError(
+                "this session has no abstraction forest; build one with "
+                "with_forest(...) or pass forest= to the constructor"
+            )
+        name, solver = registry.resolve(
+            algorithm, self.polynomials, self.forest
+        )
+        target = self.forest
+        if name == "optimal":
+            if algorithm == registry.AUTO:
+                # The policy judged the *cleaned* forest (a multi-tree
+                # forest whose extra trees vanish under footnote 1 is
+                # still a single-tree DP instance) — solve that one.
+                target = self.forest.clean(self.polynomials).trees[0]
+            elif len(self.forest.trees) != 1:
+                raise ValueError(
+                    "the optimal algorithm handles exactly one tree "
+                    "(the multi-tree problem is NP-hard); use "
+                    "algorithm='greedy' or 'auto'"
+                )
+            else:
+                target = self.forest.trees[0]
+        result = solver(self.polynomials, target, bound, **options)
+        return CompressedProvenance.from_result(
+            result, self.polynomials, algorithm=name, bound=bound
+        )
+
+    # --------------------------------------------------------------- dunder
+
+    def __repr__(self):
+        trees = len(self.forest.trees) if self.forest is not None else 0
+        return (
+            f"ProvenanceSession({len(self.polynomials)} polynomials, "
+            f"{self.polynomials.num_monomials} monomials, {trees} trees)"
+        )

@@ -7,13 +7,17 @@ analysts. This CLI is that pipeline::
     python -m repro inspect  provenance.json
     python -m repro compress provenance.json forest.json \
         --bound 500 --algorithm greedy --output compressed.json \
-        --vvs-output cut.json
+        --vvs-output cut.json --artifact artifact.json
+    python -m repro ask      artifact.json --set m1=0.8
     python -m repro valuate  compressed.json --set q1=0.8 --set Business=1.1
     python -m repro decide   provenance.json forest.json --size 4 --granularity 5
     python -m repro bench    --smoke
 
 Files are the JSON produced by :mod:`repro.core.serialize` (tagged
-``polynomial_set`` / ``forest`` payloads).
+``polynomial_set`` / ``forest`` / ``compressed_provenance`` payloads).
+Algorithms come from :mod:`repro.algorithms.registry` — ``--algorithm
+auto`` picks the optimal DP for single-tree forests and the greedy
+otherwise.
 """
 
 from __future__ import annotations
@@ -22,23 +26,18 @@ import argparse
 import json
 import sys
 
-from repro.algorithms.brute_force import brute_force_vvs
-from repro.algorithms.greedy import greedy_vvs
-from repro.algorithms.optimal import optimal_vvs
+from repro.algorithms import registry
 from repro.algorithms.result import InfeasibleBoundError
 from repro.algorithms.decision import exists_precise
+from repro.api.artifact import CompressedProvenance
+from repro.api.session import ProvenanceSession
 from repro.core import serialize
 from repro.core.forest import AbstractionForest
 from repro.core.polynomial import PolynomialSet
 from repro.core.valuation import Valuation
+from repro.scenarios.scenario import Scenario, ScenarioSuite
 
 __all__ = ["main"]
-
-_ALGORITHMS = {
-    "optimal": optimal_vvs,
-    "greedy": greedy_vvs,
-    "brute-force": brute_force_vvs,
-}
 
 
 def _load(path, expected):
@@ -77,33 +76,33 @@ def _cmd_inspect(args):
 def _cmd_compress(args):
     provenance = _load(args.provenance, PolynomialSet)
     forest = _load(args.forest, AbstractionForest)
-    algorithm = _ALGORITHMS[args.algorithm]
-    if args.algorithm == "optimal" and len(forest.trees) != 1:
-        raise SystemExit(
-            "the optimal algorithm handles exactly one tree "
-            "(the multi-tree problem is NP-hard); use --algorithm greedy"
-        )
-    target = forest.trees[0] if args.algorithm == "optimal" else forest
+    session = ProvenanceSession(provenance, forest)
     try:
-        result = algorithm(provenance, target, args.bound)
+        artifact = session.compress(args.bound, algorithm=args.algorithm)
     except InfeasibleBoundError as error:
         raise SystemExit(f"infeasible: {error}")
-    abstracted = result.apply(provenance)
-    print(f"selected VVS:  {sorted(result.vvs.labels)}")
-    print(f"size:          {provenance.num_monomials} -> {result.abstracted_size}")
-    print(f"granularity:   {provenance.num_variables} -> "
-          f"{result.abstracted_granularity}")
-    if result.abstracted_size > args.bound:
+    except ValueError as error:
+        # e.g. optimal requested on a multi-tree forest (NP-hard).
+        raise SystemExit(str(error))
+    print(f"algorithm:     {artifact.algorithm}")
+    print(f"selected VVS:  {sorted(artifact.vvs.labels)}")
+    print(f"size:          {artifact.original_size} -> {artifact.abstracted_size}")
+    print(f"granularity:   {artifact.original_granularity} -> "
+          f"{artifact.abstracted_granularity}")
+    if artifact.abstracted_size > args.bound:
         print(f"WARNING: bound {args.bound} not reached "
               "(no adequate VVS exists; returned the best cut found)")
     if args.output:
         with open(args.output, "w") as handle:
-            handle.write(serialize.dumps(abstracted))
+            handle.write(serialize.dumps(artifact.polynomials))
         print(f"wrote compressed provenance to {args.output}")
     if args.vvs_output:
         with open(args.vvs_output, "w") as handle:
-            json.dump(serialize.vvs_to_dict(result.vvs), handle, sort_keys=True)
+            json.dump(serialize.vvs_to_dict(artifact.vvs), handle, sort_keys=True)
         print(f"wrote VVS to {args.vvs_output}")
+    if args.artifact:
+        artifact.save(args.artifact)
+        print(f"wrote compression artifact to {args.artifact}")
     return 0
 
 
@@ -122,9 +121,51 @@ def _parse_assignment(settings):
 
 def _cmd_valuate(args):
     provenance = _load(args.provenance, PolynomialSet)
-    valuation = Valuation(_parse_assignment(args.set))
+    valuation = Valuation.coerce(_parse_assignment(args.set))
     for index, value in enumerate(valuation.evaluate(provenance)):
         print(f"polynomial[{index}] = {value}")
+    return 0
+
+
+def _load_suite(path):
+    """Read a scenario suite: ``{"scenarios": [{name, changes}, ...]}``.
+
+    A bare JSON list of scenario objects is accepted too.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    entries = payload.get("scenarios") if isinstance(payload, dict) else payload
+    if not isinstance(entries, list):
+        raise SystemExit(
+            f"{path}: expected a list of scenarios or "
+            '{"scenarios": [...]}'
+        )
+    suite = ScenarioSuite()
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("changes"), dict
+        ):
+            raise SystemExit(
+                f"{path}: scenario #{index} must be an object with a "
+                '"changes" mapping (and an optional "name")'
+            )
+        suite.add(Scenario(entry.get("name", f"scenario-{index}"),
+                           entry["changes"]))
+    return suite
+
+
+def _cmd_ask(args):
+    artifact = _load(args.artifact, CompressedProvenance)
+    suite = _load_suite(args.suite) if args.suite else ScenarioSuite()
+    if args.set:
+        suite.add(Scenario(args.name, _parse_assignment(args.set)))
+    if not len(suite):
+        raise SystemExit("nothing to ask: pass --set VAR=VALUE and/or --suite")
+    for answer in artifact.ask_many(suite):
+        mode = "exact" if answer.exact else "approximate"
+        print(f"{answer.name} ({mode}):")
+        for index, value in enumerate(answer.values):
+            print(f"  polynomial[{index}] = {value}")
     return 0
 
 
@@ -191,11 +232,32 @@ def build_parser():
     compress.add_argument("forest")
     compress.add_argument("--bound", type=int, required=True,
                           help="maximum number of monomials B")
-    compress.add_argument("--algorithm", choices=sorted(_ALGORITHMS),
-                          default="greedy")
+    compress.add_argument("--algorithm", choices=registry.available(),
+                          default="greedy",
+                          help="a registered solver, or 'auto' to pick "
+                               "one from the input (default: greedy)")
     compress.add_argument("--output", help="write P↓S here (JSON)")
     compress.add_argument("--vvs-output", help="write the chosen cut here")
+    compress.add_argument("--artifact",
+                          help="write the full compression artifact here "
+                               "(answerable with `repro ask`)")
     compress.set_defaults(run=_cmd_compress)
+
+    ask = commands.add_parser(
+        "ask", help="answer scenarios against a compression artifact"
+    )
+    ask.add_argument("artifact",
+                     help="a compressed_provenance JSON envelope "
+                          "(from `repro compress --artifact`)")
+    ask.add_argument("--set", action="append", default=[],
+                     metavar="VAR=VALUE",
+                     help="ad-hoc scenario assignment (repeatable)")
+    ask.add_argument("--name", default="adhoc",
+                     help="name for the --set scenario (default: adhoc)")
+    ask.add_argument("--suite",
+                     help="JSON file with a scenario suite "
+                          '({"scenarios": [{"name", "changes"}, ...]})')
+    ask.set_defaults(run=_cmd_ask)
 
     valuate = commands.add_parser("valuate", help="apply a what-if scenario")
     valuate.add_argument("provenance")

@@ -68,14 +68,18 @@ class CompiledPolynomialSet:
         self.num_variables = max(1, len(vids))
         self.num_polynomials = len(polynomial_set)
 
-        # Factor lists per monomial, in polynomial order; zero
-        # polynomials contribute one 0-coefficient constant monomial.
+        # Factor lists per monomial, in polynomial order. Monomials run
+        # in each polynomial's canonical sorted order (not dict
+        # insertion order) so float summation order — and therefore the
+        # batch answers — is identical however the polynomial was built
+        # (parsed, substituted, or deserialized). Zero polynomials
+        # contribute one 0-coefficient constant monomial.
         factor_runs = []
         coeffs = []
         poly_starts = [0]
         columns = self._columns
         for polynomial in polynomial_set:
-            for monomial, coeff in polynomial.terms.items():
+            for coeff, monomial in polynomial:
                 coeffs.append(float(coeff))
                 factor_runs.append(
                     [(columns[vid], exp) for vid, exp in monomial.key]
@@ -114,23 +118,21 @@ class CompiledPolynomialSet:
     def assignment_matrix(self, assignments, default=1.0):
         """The ``(S, V)`` matrix of variable values for the scenarios.
 
-        Accepts plain mappings (unassigned variables take ``default``)
-        and :class:`~repro.core.valuation.Valuation`-shaped objects
-        (anything with ``assignment``/``default`` attributes — their own
-        default wins). Assignments of variables the multiset never
-        mentions are ignored, matching :meth:`Polynomial.evaluate`.
+        Each entry goes through
+        :meth:`~repro.core.valuation.Valuation.coerce`: plain mappings
+        (unassigned variables take ``default``), Valuations (their own
+        default wins) and Scenario-like objects (anything with a
+        ``valuation(default)`` method) all work. Assignments of
+        variables the multiset never mentions are ignored, matching
+        :meth:`Polynomial.evaluate`.
         """
         from repro.core.interning import VARIABLES
+        from repro.core.valuation import Valuation
 
         rows = []
         for entry in assignments:
-            mapping = getattr(entry, "assignment", None)
-            if mapping is None:
-                mapping = entry
-                row_default = default
-            else:
-                row_default = getattr(entry, "default", default)
-            rows.append((mapping, row_default))
+            valuation = Valuation.coerce(entry, default)
+            rows.append((valuation.assignment, valuation.default))
 
         matrix = numpy.empty((len(rows), self.num_variables), dtype=numpy.float64)
         columns = self._columns

@@ -587,8 +587,10 @@ class PolynomialSet:
 
         :param assignments: an iterable of assignments — plain dicts,
             :class:`~repro.core.valuation.Valuation` objects (their own
-            ``default`` is honoured), or anything with an ``assignment``
-            attribute.
+            ``default`` is honoured), Scenario-like objects (a callable
+            ``valuation(default)`` method), or anything with an
+            ``assignment`` attribute (see
+            :meth:`Valuation.coerce <repro.core.valuation.Valuation.coerce>`).
         :param default: value of unassigned variables for plain dicts.
         :returns: a ``(num_assignments, len(self))`` ``numpy.ndarray``;
             row ``i`` equals ``self.evaluate(assignments[i])`` up to

@@ -10,6 +10,7 @@ VVSs, plus byte-size accounting used by the experiment harness.
 from __future__ import annotations
 
 import json
+import sys
 
 from repro.core.forest import AbstractionForest, ValidVariableSet
 from repro.core.polynomial import Monomial, Polynomial, PolynomialSet
@@ -26,6 +27,10 @@ __all__ = [
     "forest_from_dict",
     "vvs_to_dict",
     "vvs_from_dict",
+    "vvs_envelope_to_dict",
+    "vvs_envelope_from_dict",
+    "artifact_to_dict",
+    "artifact_from_dict",
     "dumps",
     "loads",
     "serialized_size",
@@ -108,11 +113,71 @@ def vvs_from_dict(data, forest):
     return ValidVariableSet(forest, frozenset(data["labels"]))
 
 
+def vvs_envelope_to_dict(vvs):
+    """Self-contained VVS payload: the labels *and* their forest.
+
+    Unlike :func:`vvs_to_dict` (labels only, for callers that already
+    hold the forest), this form round-trips through :func:`dumps` /
+    :func:`loads` on its own.
+    """
+    return {
+        "labels": sorted(vvs.labels),
+        "forest": forest_to_dict(vvs.forest),
+    }
+
+
+def vvs_envelope_from_dict(data):
+    """Inverse of :func:`vvs_envelope_to_dict`."""
+    return vvs_from_dict(data, forest_from_dict(data["forest"]))
+
+
+def artifact_to_dict(artifact):
+    """A :class:`~repro.api.artifact.CompressedProvenance` as one payload.
+
+    Everything the analyst side needs: the abstracted polynomials, the
+    forest, the chosen cut, the loss accounting and the build
+    parameters (algorithm name + bound).
+    """
+    return {
+        "algorithm": artifact.algorithm,
+        "bound": artifact.bound,
+        "forest": forest_to_dict(artifact.forest),
+        "vvs": sorted(artifact.vvs.labels),
+        "polynomials": polynomial_set_to_dict(artifact.polynomials),
+        "stats": {
+            "original_size": artifact.original_size,
+            "original_granularity": artifact.original_granularity,
+            "monomial_loss": artifact.monomial_loss,
+            "variable_loss": artifact.variable_loss,
+        },
+    }
+
+
+def artifact_from_dict(data):
+    """Inverse of :func:`artifact_to_dict`."""
+    from repro.api.artifact import CompressedProvenance
+
+    forest = forest_from_dict(data["forest"])
+    stats = data["stats"]
+    return CompressedProvenance(
+        polynomial_set_from_dict(data["polynomials"]),
+        forest,
+        vvs_from_dict({"labels": data["vvs"]}, forest),
+        algorithm=data["algorithm"],
+        bound=data["bound"],
+        original_size=stats["original_size"],
+        original_granularity=stats["original_granularity"],
+        monomial_loss=stats["monomial_loss"],
+        variable_loss=stats["variable_loss"],
+    )
+
+
 _TO_DICT = {
     Polynomial: ("polynomial", polynomial_to_dict),
     PolynomialSet: ("polynomial_set", polynomial_set_to_dict),
     AbstractionTree: ("tree", tree_to_dict),
     AbstractionForest: ("forest", forest_to_dict),
+    ValidVariableSet: ("vvs", vvs_envelope_to_dict),
 }
 
 _FROM_DICT = {
@@ -120,7 +185,20 @@ _FROM_DICT = {
     "polynomial_set": polynomial_set_from_dict,
     "tree": tree_from_dict,
     "forest": forest_from_dict,
+    "vvs": vvs_envelope_from_dict,
+    "compressed_provenance": artifact_from_dict,
 }
+
+
+def _artifact_class():
+    """The CompressedProvenance class, if its module is loaded.
+
+    :mod:`repro.api.artifact` imports this module, so the import cannot
+    be top-level; and if the module was never imported, no instance can
+    exist for :func:`dumps` to see — ``sys.modules`` is sufficient.
+    """
+    module = sys.modules.get("repro.api.artifact")
+    return getattr(module, "CompressedProvenance", None)
 
 
 def dumps(obj):
@@ -132,6 +210,12 @@ def dumps(obj):
     for cls, (tag, encode) in _TO_DICT.items():
         if isinstance(obj, cls):
             return json.dumps({"kind": tag, "data": encode(obj)}, sort_keys=True)
+    artifact_cls = _artifact_class()
+    if artifact_cls is not None and isinstance(obj, artifact_cls):
+        return json.dumps(
+            {"kind": "compressed_provenance", "data": artifact_to_dict(obj)},
+            sort_keys=True,
+        )
     raise TypeError(f"cannot serialize {type(obj).__name__}")
 
 

@@ -42,6 +42,29 @@ class Valuation:
         """Assign ``value`` to every variable in ``variables``."""
         return cls({var: value for var in variables}, default=default)
 
+    @classmethod
+    def coerce(cls, value, default=1.0):
+        """Normalize a scenario-like object to a :class:`Valuation`.
+
+        Accepts a :class:`Valuation` (returned unchanged, its own
+        default wins), anything with a callable ``valuation(default)``
+        method (e.g. :class:`~repro.scenarios.scenario.Scenario`),
+        Valuation-shaped objects (an ``assignment`` mapping attribute,
+        optionally a ``default``), or a plain variable→value mapping.
+
+        >>> Valuation.coerce({"m1": 0.8})["m1"]
+        0.8
+        """
+        if isinstance(value, cls):
+            return value
+        valuation = getattr(value, "valuation", None)
+        if callable(valuation):
+            return valuation(default)
+        mapping = getattr(value, "assignment", None)
+        if mapping is not None:
+            return cls(mapping, default=getattr(value, "default", default))
+        return cls(value, default=default)
+
     def __getitem__(self, variable):
         return self.assignment.get(variable, self.default)
 

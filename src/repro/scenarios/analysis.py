@@ -28,16 +28,6 @@ __all__ = [
 ]
 
 
-def _as_valuation(scenario, default=1.0):
-    """Normalize a Scenario / Valuation / plain dict to a Valuation."""
-    if isinstance(scenario, Valuation):
-        return scenario
-    valuation = getattr(scenario, "valuation", None)
-    if callable(valuation):
-        return valuation(default)
-    return Valuation(scenario, default=default)
-
-
 def evaluate_scenarios(polynomials, scenarios, default=1.0):
     """Valuate a whole scenario suite in one vectorized pass.
 
@@ -50,7 +40,7 @@ def evaluate_scenarios(polynomials, scenarios, default=1.0):
     (cached on the set), so a suite of hundreds of scenarios costs a few
     matrix operations instead of hundreds of per-monomial Python loops.
     """
-    valuations = [_as_valuation(s, default) for s in scenarios]
+    valuations = [Valuation.coerce(s, default) for s in scenarios]
     return polynomials.evaluate_batch(valuations)
 
 
@@ -128,9 +118,11 @@ def approximate_lift(scenario, vvs, default=1.0):
 
     Each group's meta-variable takes the *mean* of its leaves' values —
     the least-squares representative. Exact when the scenario is
-    uniform on the group.
+    uniform on the group. ``scenario`` may be a :class:`Scenario`, a
+    :class:`~repro.core.valuation.Valuation` or a plain mapping.
     """
-    valuation = scenario.valuation(default)
+    valuation = Valuation.coerce(scenario, default)
+    default = valuation.default
     lifted = dict(valuation.assignment)
     for label in vvs.labels:
         group = vvs.group(label)

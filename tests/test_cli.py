@@ -83,6 +83,82 @@ class TestCompress:
                 "--algorithm", "optimal",
             ])
 
+    def test_auto_reports_resolved_algorithm(self, files, capsys):
+        _, provenance, forest = files
+        assert main([
+            "compress", provenance, forest, "--bound", "9",
+            "--algorithm", "auto",
+        ]) == 0
+        # A single-tree forest resolves to the optimal DP.
+        assert "algorithm:     optimal" in capsys.readouterr().out
+
+
+class TestAsk:
+    def test_compress_ask_pipeline(self, files, capsys, tmp_path):
+        """compress --artifact then ask: the file-shaped session flow."""
+        _, provenance, forest = files
+        artifact = str(tmp_path / "artifact.json")
+        assert main([
+            "compress", provenance, forest, "--bound", "9",
+            "--algorithm", "optimal", "--artifact", artifact,
+        ]) == 0
+        capsys.readouterr()
+        # Uniform on every group of the cut -> exact.
+        assert main([
+            "ask", artifact, "--set", "b1=0.8", "--set", "b2=0.8",
+            "--name", "business-discount",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "business-discount (exact):" in out
+        assert "polynomial[0]" in out and "polynomial[1]" in out
+
+    def test_ask_suite_file(self, files, capsys, tmp_path):
+        _, provenance, forest = files
+        artifact = str(tmp_path / "artifact.json")
+        main([
+            "compress", provenance, forest, "--bound", "9",
+            "--algorithm", "optimal", "--artifact", artifact,
+        ])
+        suite = tmp_path / "suite.json"
+        suite.write_text(json.dumps({"scenarios": [
+            {"name": "all-business", "changes": {"b1": 1.2, "b2": 1.2, "e": 1.2}},
+            {"name": "b1-only", "changes": {"b1": 1.2}},
+        ]}))
+        capsys.readouterr()
+        assert main(["ask", artifact, "--suite", str(suite)]) == 0
+        out = capsys.readouterr().out
+        assert "all-business (exact):" in out
+        assert "b1-only (approximate):" in out
+
+    def test_ask_rejects_non_mapping_changes(self, files, capsys, tmp_path):
+        _, provenance, forest = files
+        artifact = str(tmp_path / "artifact.json")
+        main([
+            "compress", provenance, forest, "--bound", "9",
+            "--algorithm", "optimal", "--artifact", artifact,
+        ])
+        suite = tmp_path / "suite.json"
+        suite.write_text(json.dumps(
+            {"scenarios": [{"name": "bad", "changes": "m1=0.8"}]}
+        ))
+        with pytest.raises(SystemExit, match='"changes" mapping'):
+            main(["ask", artifact, "--suite", str(suite)])
+
+    def test_ask_requires_scenarios(self, files, tmp_path):
+        _, provenance, forest = files
+        artifact = str(tmp_path / "artifact.json")
+        main([
+            "compress", provenance, forest, "--bound", "9",
+            "--algorithm", "optimal", "--artifact", artifact,
+        ])
+        with pytest.raises(SystemExit, match="nothing to ask"):
+            main(["ask", artifact])
+
+    def test_ask_rejects_non_artifact(self, files):
+        _, provenance, _ = files
+        with pytest.raises(SystemExit, match="expected a CompressedProvenance"):
+            main(["ask", provenance, "--set", "m1=0.5"])
+
 
 class TestValuate:
     def test_identity_valuation(self, files, capsys):
@@ -133,11 +209,14 @@ class TestBench:
             "--output", str(output),
         ]) == 0
         document = json.loads(output.read_text())
-        assert document["schema"] == "repro-bench-core/1"
+        assert document["schema"] == "repro-bench-core/2"
         assert document["mode"] == "tiny"
         results = document["results"]
         assert set(results) == {
-            "greedy", "optimal", "abstraction", "batch_valuation"
+            "greedy", "optimal", "abstraction", "batch_valuation", "session"
         }
         assert results["greedy"]["speedup"] > 0
         assert results["batch_valuation"]["max_abs_error"] < 1e-6
+        assert results["session"]["algorithm"] == "greedy"
+        assert results["session"]["artifact_bytes"] > 0
+        assert results["session"]["exact_answers"] >= 0

@@ -23,6 +23,10 @@ PUBLIC_MODULES = [
     "repro.algorithms.exact",
     "repro.algorithms.competitor",
     "repro.algorithms.decision",
+    "repro.algorithms.registry",
+    "repro.api",
+    "repro.api.session",
+    "repro.api.artifact",
     "repro.semiring",
     "repro.engine",
     "repro.engine.sql",
@@ -47,6 +51,20 @@ def test_all_exports_resolve(module_name):
     module = importlib.import_module(module_name)
     for name in getattr(module, "__all__", []):
         assert getattr(module, name, None) is not None, f"{module_name}.{name}"
+
+
+def test_lazy_exports_are_discoverable():
+    """dir(repro) advertises every lazy name, and each one resolves."""
+    import repro
+
+    listed = dir(repro)
+    for name in ["optimal_vvs", "greedy_vvs", "brute_force_vvs",
+                 "Scenario", "ScenarioSuite", "evaluate_scenarios",
+                 "serialize", "ProvenanceSession", "CompressedProvenance",
+                 "Answer"]:
+        assert name in listed, name
+        assert name in repro.__all__, name
+        assert getattr(repro, name) is not None, name
 
 
 @pytest.mark.parametrize("module_name", PUBLIC_MODULES)

@@ -1,0 +1,116 @@
+"""Tests for the algorithm registry and its ``auto`` policy."""
+
+import pytest
+
+from repro.algorithms import registry
+from repro.algorithms.brute_force import brute_force_vvs
+from repro.algorithms.greedy import greedy_vvs
+from repro.algorithms.optimal import optimal_vvs
+from repro.core.forest import AbstractionForest
+from repro.core.parser import parse_set
+from repro.core.tree import AbstractionTree
+
+
+@pytest.fixture
+def polys():
+    return parse_set(["2*b1*m1 + 3*b1*m3 + 4*b2*m1 + 5*b2*m3"])
+
+
+@pytest.fixture
+def single_tree_forest():
+    return AbstractionForest([AbstractionTree.from_nested(("SB", ["b1", "b2"]))])
+
+
+@pytest.fixture
+def two_tree_forest():
+    return AbstractionForest([
+        AbstractionTree.from_nested(("SB", ["b1", "b2"])),
+        AbstractionTree.from_nested(("Y", ["m1", "m3"])),
+    ])
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert registry.names() == ["brute-force", "greedy", "optimal"]
+        assert registry.available() == ["brute-force", "greedy", "optimal", "auto"]
+
+    def test_resolves_to_identical_callables(self):
+        """The registry must hand back the *same* public functions, so
+        old entry points and registry-mediated calls cannot diverge."""
+        assert registry.get("optimal") is optimal_vvs
+        assert registry.get("greedy") is greedy_vvs
+        assert registry.get("brute-force") is brute_force_vvs
+
+    def test_unknown_name(self):
+        with pytest.raises(registry.UnknownAlgorithmError, match="unknown"):
+            registry.get("simulated-annealing")
+
+    def test_register_rejects_collision(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("greedy")(lambda *a, **k: None)
+
+    def test_register_rejects_auto(self):
+        with pytest.raises(ValueError, match="reserved"):
+            registry.register("auto")(lambda *a, **k: None)
+
+    def test_register_and_resolve_custom(self, polys, single_tree_forest):
+        @registry.register("test-custom")
+        def custom(polynomials, forest, bound, **kwargs):
+            return greedy_vvs(polynomials, forest, bound, **kwargs)
+
+        try:
+            name, fn = registry.resolve("test-custom")
+            assert name == "test-custom" and fn is custom
+        finally:
+            registry._REGISTRY.pop("test-custom")
+
+
+class TestAutoPolicy:
+    def test_single_compatible_tree_uses_optimal(self, polys, single_tree_forest):
+        assert registry.choose(polys, single_tree_forest) == "optimal"
+
+    def test_forest_uses_greedy(self, polys, two_tree_forest):
+        assert registry.choose(polys, two_tree_forest) == "greedy"
+
+    def test_accepts_bare_tree(self, polys):
+        tree = AbstractionTree.from_nested(("SB", ["b1", "b2"]))
+        assert registry.choose(polys, tree) == "optimal"
+
+    def test_cleaning_reduces_to_single_tree(self, polys):
+        # The second tree's leaves never occur in the provenance, so
+        # footnote-1 cleaning drops it and the DP applies.
+        forest = AbstractionForest([
+            AbstractionTree.from_nested(("SB", ["b1", "b2"])),
+            AbstractionTree.from_nested(("Z", ["z1", "z2"])),
+        ])
+        assert registry.choose(polys, forest) == "optimal"
+
+    def test_resolve_auto_requires_input(self):
+        with pytest.raises(ValueError, match="auto"):
+            registry.resolve("auto")
+
+    def test_resolve_auto(self, polys, two_tree_forest):
+        name, fn = registry.resolve("auto", polys, two_tree_forest)
+        assert name == "greedy" and fn is greedy_vvs
+
+
+class TestBackwardCompatibility:
+    """The pre-registry entry points stay importable and identical."""
+
+    def test_old_imports_still_work(self):
+        from repro import brute_force_vvs as top_bf
+        from repro import greedy_vvs as top_greedy
+        from repro import optimal_vvs as top_optimal
+        from repro.algorithms import greedy_vvs as pkg_greedy
+
+        assert top_optimal is optimal_vvs
+        assert top_greedy is greedy_vvs is pkg_greedy
+        assert top_bf is brute_force_vvs
+
+    def test_registry_and_direct_call_agree(self, polys, single_tree_forest):
+        direct = optimal_vvs(polys, single_tree_forest.trees[0], bound=2)
+        via_registry = registry.get("optimal")(
+            polys, single_tree_forest.trees[0], bound=2
+        )
+        assert direct.vvs.labels == via_registry.vvs.labels
+        assert direct.abstracted_size == via_registry.abstracted_size

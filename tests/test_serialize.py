@@ -1,5 +1,7 @@
 """Unit tests for JSON serialization of provenance artifacts."""
 
+import json
+
 import pytest
 
 from repro.core import serialize
@@ -54,6 +56,49 @@ class TestVVS:
         data = serialize.vvs_to_dict(vvs)
         restored = serialize.vvs_from_dict(data, forest)
         assert restored == vvs
+
+    def test_vvs_envelope_roundtrip(self, figure2_tree):
+        """A VVS dumps/loads on its own (forest travels inside)."""
+        forest = AbstractionForest([figure2_tree])
+        vvs = forest.vvs({"Business", "Special", "Standard"})
+        text = serialize.dumps(vvs)
+        restored = serialize.loads(text)
+        assert restored.labels == vvs.labels
+        assert restored.forest.labels == forest.labels
+        # Byte-identical re-serialization: envelopes are stable.
+        assert serialize.dumps(restored) == text
+
+    def test_vvs_envelope_revalidates(self, figure2_tree):
+        envelope = json.loads(serialize.dumps(
+            AbstractionForest([figure2_tree]).vvs({"Plans"})
+        ))
+        # 'Business' alone leaves the Standard/Special leaves uncovered.
+        envelope["data"]["labels"] = ["Business"]
+        with pytest.raises(ValueError, match="not covered"):
+            serialize.loads(json.dumps(envelope))
+
+
+class TestArtifactEnvelope:
+    @pytest.fixture
+    def artifact(self, ex13_polys, figure2_tree):
+        from repro.api import ProvenanceSession
+
+        return ProvenanceSession(ex13_polys, figure2_tree).compress(bound=9)
+
+    def test_byte_identical_roundtrip(self, artifact):
+        text = serialize.dumps(artifact)
+        assert json.loads(text)["kind"] == "compressed_provenance"
+        assert serialize.dumps(serialize.loads(text)) == text
+
+    def test_roundtrip_preserves_losses(self, artifact):
+        restored = serialize.loads(serialize.dumps(artifact))
+        assert restored == artifact
+        assert restored.original_size == artifact.original_size
+        assert restored.original_granularity == artifact.original_granularity
+        assert restored.monomial_loss == artifact.monomial_loss
+        assert restored.variable_loss == artifact.variable_loss
+        assert restored.algorithm == artifact.algorithm
+        assert restored.bound == artifact.bound
 
 
 class TestSizeAndErrors:

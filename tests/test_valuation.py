@@ -99,3 +99,32 @@ class TestUniformityAndLifting:
         assert abstracted.evaluate(scenario.lift(vvs).assignment) == pytest.approx(
             polys.evaluate(scenario.assignment)
         )
+
+
+class TestCoerce:
+    def test_valuation_passthrough(self):
+        v = Valuation({"m1": 0.8}, default=2.0)
+        assert Valuation.coerce(v) is v
+
+    def test_mapping(self):
+        v = Valuation.coerce({"m1": 0.8}, default=0.5)
+        assert v["m1"] == 0.8 and v.default == 0.5
+
+    def test_scenario_like(self):
+        class ScenarioLike:
+            def valuation(self, default=1.0):
+                return Valuation({"m1": 0.8}, default=default)
+
+        v = Valuation.coerce(ScenarioLike(), default=0.5)
+        assert v["m1"] == 0.8 and v.default == 0.5
+
+    def test_valuation_shaped_duck_type(self):
+        """Objects with assignment/default attributes keep working (the
+        contract evaluate_batch documents)."""
+        class Shaped:
+            assignment = {"m1": 0.8}
+            default = 3.0
+
+        v = Valuation.coerce(Shaped())
+        assert v["m1"] == 0.8 and v.default == 3.0
+        assert v["unassigned"] == 3.0
