@@ -1,8 +1,8 @@
 """Perf regression benchmark: the hot paths, before vs after, as JSON.
 
-Times the four hot layers of the system on standard synthetic workloads
-and writes ``BENCH_core.json`` at the repository root so every PR leaves
-a perf trajectory behind:
+Times the hot layers of the system on standard synthetic workloads and
+writes ``BENCH_core.json`` at the repository root so every PR leaves a
+perf trajectory behind:
 
 * **greedy** — the incremental lazy-priority-queue :func:`greedy_vvs`
   against the retained full-rescan :func:`_reference_greedy` (same cuts,
@@ -13,10 +13,21 @@ a perf trajectory behind:
 * **batch valuation** — a 256-scenario suite through
   ``PolynomialSet.evaluate_batch`` against the per-scenario interpreter
   loop (same values, asserted);
+* **sweep** — a seeded Monte-Carlo ``Sweep`` evaluated serially vs.
+  sharded across a process pool (bit-identical matrices, asserted),
+  plus streaming ``top_k`` over the sweep;
 * **session** — the end-to-end facade: ``ProvenanceSession`` →
   ``compress`` (auto policy) → ``ask_many`` over the suite, plus the
   artifact's JSON round-trip (reloaded artifact answers asserted
   identical).
+
+The JSON document (schema ``repro-bench-core/3``) keys one run entry
+per mode under ``runs`` and merges into an existing file, so the
+checked-in baseline can carry the ``full`` trajectory *and* the
+``smoke`` entry CI gates on. ``--check BASELINE`` compares the current
+run's speedup/error fields against the same-mode entry of a committed
+baseline and exits non-zero on regression (see
+:data:`CHECK_FIELDS`) — the CI perf gate.
 
 Self-contained on purpose: imports only ``repro`` and the standard
 library, so ``python -m repro bench`` can run it from a checkout
@@ -30,6 +41,7 @@ Usage::
 
     python benchmarks/bench_regression.py [--smoke | --tiny]
         [--repeat N] [--output PATH] [--quiet]
+        [--check BASELINE [--tolerance 0.35]]
     python -m repro bench [same flags]
 """
 
@@ -48,29 +60,53 @@ from repro.core import serialize
 from repro.core.abstraction import abstract, abstract_counts
 from repro.core.forest import AbstractionForest
 from repro.core.valuation import Valuation
+from repro.scenarios.analysis import top_k
+from repro.scenarios.parallel import evaluate_scenarios_parallel
+from repro.scenarios.sweep import Sweep
 from repro.util.rng import derive_rng
 from repro.util.timing import time_call
 from repro.workloads.random_polys import random_polynomials
 from repro.workloads.trees import layered_tree
 
-SCHEMA = "repro-bench-core/2"
+SCHEMA = "repro-bench-core/3"
 
 #: Workload scales per mode: (pool leaves, tree fanouts, #polynomials,
-#: monomials per polynomial, free variables, #scenarios).
+#: monomials per polynomial, free variables, #scenarios, sweep size).
 MODES = {
     "full": dict(
         leaves=512, fanouts=(4, 4, 4, 4), polynomials=80,
         monomials=120, free_variables=40, scenarios=256,
+        sweep_scenarios=49152, sweep_changes=20,
     ),
     "smoke": dict(
         leaves=256, fanouts=(4, 4, 4), polynomials=30,
         monomials=60, free_variables=20, scenarios=256,
+        sweep_scenarios=24576, sweep_changes=20,
     ),
     "tiny": dict(
         leaves=32, fanouts=(4, 4), polynomials=6,
         monomials=15, free_variables=5, scenarios=16,
+        sweep_scenarios=96, sweep_changes=5,
     ),
 }
+
+#: The (stage, field, direction, floor_cap) tuples ``--check`` gates
+#: on. Only dimensionless ratios and error bounds are compared — raw
+#: seconds are machine-dependent, speedups of two timings on the *same*
+#: machine mostly are not. ``sweep.speedup`` is the exception: it
+#: scales with core count, so its required floor is capped at the 2×
+#: multi-core contract — a baseline regenerated on a many-core box must
+#: not demand many-core ratios from a 4-core CI runner.
+CHECK_FIELDS = (
+    ("greedy", "speedup", "higher", None),
+    ("batch_valuation", "speedup", "higher", None),
+    ("batch_valuation", "max_abs_error", "lower", None),
+    ("sweep", "speedup", "higher", 2.0),
+    ("sweep", "max_abs_error", "lower", None),
+)
+
+#: Default allowed relative regression for ``--check``.
+DEFAULT_TOLERANCE = 0.35
 
 #: The second (months-style) hierarchy of the greedy forest workload.
 SIDE_TREE_LEAVES = 12
@@ -205,6 +241,68 @@ def bench_batch_valuation(provenance, scenarios, repeat):
     }
 
 
+def sweep_workers():
+    """Worker count for the sweep stage: the cores available, capped.
+
+    Capped at 4 so the committed numbers stay comparable between
+    typical CI runners and developer machines; floored at 2 so the
+    process-pool path is exercised even on single-core boxes (where the
+    recorded speedup honestly reports the overhead).
+    """
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+def bench_sweep(provenance, repeat, spec):
+    """Serial vs. sharded evaluation of a Monte-Carlo sweep.
+
+    The sweep is evaluated once per timing arm — serially (chunked, one
+    process) and across a process pool whose workers regenerate their
+    shards from the sweep spec. The two ``(S, P)`` matrices are
+    asserted *bit-identical*; ``top_k`` over the same sweep is timed to
+    track the streaming-analytics overhead.
+    """
+    sweep = Sweep.random(
+        sorted(provenance.variables),
+        spec["sweep_scenarios"],
+        changes=spec["sweep_changes"],
+        seed=17,
+    )
+    workers = sweep_workers()
+    provenance.evaluate_batch([{}])  # compile outside the timers
+    serial_seconds, serial = time_call(
+        evaluate_scenarios_parallel, provenance, sweep, workers=0,
+        repeat=repeat,
+    )
+    parallel_seconds, parallel = time_call(
+        evaluate_scenarios_parallel, provenance, sweep, workers=workers,
+        min_parallel=0, repeat=repeat,
+    )
+    difference = abs(parallel - serial)
+    max_error = float(difference.max()) if difference.size else 0.0
+    if max_error != 0.0:
+        raise AssertionError(
+            f"parallel sweep diverged from serial: max error {max_error}"
+        )
+    top_seconds, ranked = time_call(
+        top_k, provenance, sweep, 10, repeat=repeat
+    )
+    return {
+        "scenarios": len(sweep),
+        "changes_per_scenario": spec["sweep_changes"],
+        "polynomials": len(provenance),
+        "monomials": provenance.num_monomials,
+        "workers": workers,
+        "cpu_count": os.cpu_count() or 1,
+        "seconds_serial": serial_seconds,
+        "seconds_parallel": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds
+        if parallel_seconds else float("inf"),
+        "max_abs_error": max_error,
+        "seconds_top_k": top_seconds,
+        "top_scenario": ranked[0].name if ranked else None,
+    }
+
+
 def bench_session(provenance, forest, scenarios, repeat):
     """End-to-end facade: compress to an artifact, ask the whole suite.
 
@@ -244,8 +342,84 @@ def default_output():
     return os.path.join(root, "BENCH_core.json")
 
 
-def run(mode="full", repeat=3, output=None, quiet=False):
-    """Run every bench; write and return the JSON document."""
+def _merge_runs(path, entry):
+    """The schema-3 document for ``path`` with ``entry`` merged in.
+
+    An existing same-schema file keeps its *other* modes' runs — the
+    committed baseline carries the ``full`` trajectory and the
+    ``smoke`` entry CI gates on in one file. Any other content (older
+    schemas, corrupt files) is replaced wholesale.
+    """
+    runs = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict) and existing.get("schema") == SCHEMA:
+            stored = existing.get("runs")
+            if isinstance(stored, dict):
+                runs.update(stored)
+    runs[entry["mode"]] = entry
+    return {"schema": SCHEMA, "runs": runs}
+
+
+def check_regression(entry, baseline, tolerance=DEFAULT_TOLERANCE):
+    """Compare a run entry against a committed baseline document.
+
+    Gates only the :data:`CHECK_FIELDS` — measured speedup ratios may
+    not drop below ``baseline · (1 − tolerance)`` and error bounds may
+    not rise above ``baseline · (1 + tolerance) + 1e-9``. Comparison is
+    strictly same-mode: smoke runs check against the baseline's smoke
+    entry, never against full-scale numbers.
+
+    :returns: a list of human-readable failure strings (empty = pass).
+    """
+    if not isinstance(baseline, dict) or baseline.get("schema") != SCHEMA:
+        return [
+            f"baseline schema is {baseline.get('schema')!r}, expected "
+            f"{SCHEMA!r} — regenerate the baseline with this bench"
+        ]
+    base_entry = baseline.get("runs", {}).get(entry["mode"])
+    if base_entry is None:
+        return [
+            f"baseline has no {entry['mode']!r} run — regenerate it with "
+            f"`python -m repro bench --{entry['mode']}`"
+        ]
+    failures = []
+    for stage, field, direction, floor_cap in CHECK_FIELDS:
+        base_value = base_entry.get("results", {}).get(stage, {}).get(field)
+        if base_value is None:
+            failures.append(f"baseline is missing {stage}.{field}")
+            continue
+        current = entry["results"][stage][field]
+        if direction == "higher":
+            floor = base_value * (1.0 - tolerance)
+            if floor_cap is not None:
+                floor = min(floor, floor_cap)
+            if current < floor:
+                failures.append(
+                    f"{stage}.{field} regressed: {current:.3f} < "
+                    f"{floor:.3f} (baseline {base_value:.3f}, "
+                    f"tolerance {tolerance})"
+                )
+        else:
+            ceiling = base_value * (1.0 + tolerance) + 1e-9
+            if current > ceiling:
+                failures.append(
+                    f"{stage}.{field} regressed: {current:.3g} > "
+                    f"{ceiling:.3g} (baseline {base_value:.3g}, "
+                    f"tolerance {tolerance})"
+                )
+    return failures
+
+
+def run(mode="full", repeat=3, output=None, quiet=False, write=True):
+    """Run every bench; merge into the JSON document and return it.
+
+    ``write=False`` skips touching the output file (check-only runs).
+    """
     def say(message):
         if not quiet:
             print(message, flush=True)
@@ -282,6 +456,13 @@ def run(mode="full", repeat=3, output=None, quiet=False):
         "{seconds_batch:.3f}s ({speedup:.1f}x over {scenarios} "
         "scenarios)".format(**results["batch_valuation"])
     )
+    results["sweep"] = bench_sweep(provenance, repeat, MODES[mode])
+    say(
+        "sweep: serial {seconds_serial:.3f}s -> parallel "
+        "{seconds_parallel:.3f}s ({speedup:.1f}x, {workers} workers on "
+        "{cpu_count} cores, {scenarios} scenarios; top-k "
+        "{seconds_top_k:.3f}s)".format(**results["sweep"])
+    )
     results["session"] = bench_session(provenance, forest, scenarios, repeat)
     say(
         "session: compress {seconds_compress:.3f}s ({algorithm}), "
@@ -289,19 +470,21 @@ def run(mode="full", repeat=3, output=None, quiet=False):
         "({artifact_bytes} artifact bytes)".format(**results["session"])
     )
 
-    document = {
-        "schema": SCHEMA,
+    entry = {
         "mode": mode,
         "repeat": repeat,
         "workload": MODES[mode],
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
         "results": results,
     }
     path = output or default_output()
-    with open(path, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    say(f"wrote {path}")
+    document = _merge_runs(path, entry)
+    if write:
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        say(f"wrote {path}")
     return document
 
 
@@ -321,12 +504,50 @@ def main(argv=None):
                         "(default: BENCH_core.json at the repo root)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress output")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare the run's speedup/error fields "
+                             "against this baseline JSON; exit 1 on "
+                             "regression")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed relative regression for --check "
+                             f"(default {DEFAULT_TOLERANCE})")
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error(f"--repeat must be >= 1, got {args.repeat}")
+    if not 0 <= args.tolerance < 1:
+        parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
     mode_name = "tiny" if args.tiny else "smoke" if args.smoke else "full"
-    run(mode=mode_name, repeat=args.repeat, output=args.output,
-        quiet=args.quiet)
+
+    baseline = None
+    if args.check:
+        # Load the baseline *before* running: with the default output
+        # path the run would otherwise overwrite the very numbers it is
+        # checked against. A --check run without an explicit --output
+        # is check-only and leaves the baseline file untouched.
+        try:
+            with open(args.check) as handle:
+                baseline = json.load(handle)
+        except OSError as error:
+            raise SystemExit(f"--check: cannot read baseline: {error}")
+        except ValueError as error:
+            raise SystemExit(f"--check: baseline is not JSON: {error}")
+
+    document = run(
+        mode=mode_name, repeat=args.repeat, output=args.output,
+        quiet=args.quiet, write=args.check is None or bool(args.output),
+    )
+    if baseline is None:
+        return 0
+    failures = check_regression(
+        document["runs"][mode_name], baseline, args.tolerance
+    )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    checked = ", ".join(f"{s}.{f}" for s, f, _, _ in CHECK_FIELDS)
+    if not args.quiet:
+        print(f"check passed vs {args.check} (mode={mode_name}; {checked})")
     return 0
 
 

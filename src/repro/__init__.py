@@ -80,7 +80,10 @@ __all__ = [
     "brute_force_vvs",
     "Scenario",
     "ScenarioSuite",
+    "Sweep",
     "evaluate_scenarios",
+    "top_k",
+    "sensitivity",
     "serialize",
     "ProvenanceSession",
     "CompressedProvenance",
@@ -97,7 +100,10 @@ _LAZY_EXPORTS = {
     "brute_force_vvs": ("repro.algorithms.brute_force", "brute_force_vvs"),
     "Scenario": ("repro.scenarios.scenario", "Scenario"),
     "ScenarioSuite": ("repro.scenarios.scenario", "ScenarioSuite"),
+    "Sweep": ("repro.scenarios.sweep", "Sweep"),
     "evaluate_scenarios": ("repro.scenarios.analysis", "evaluate_scenarios"),
+    "top_k": ("repro.scenarios.analysis", "top_k"),
+    "sensitivity": ("repro.scenarios.analysis", "sensitivity"),
     "serialize": ("repro.core.serialize", None),
     "ProvenanceSession": ("repro.api.session", "ProvenanceSession"),
     "CompressedProvenance": ("repro.api.artifact", "CompressedProvenance"),

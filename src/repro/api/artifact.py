@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.forest import AbstractionForest, ValidVariableSet
+from repro.core.forest import ValidVariableSet
 from repro.core.polynomial import PolynomialSet
 from repro.core.valuation import Valuation
 from repro.core import serialize
@@ -146,6 +146,22 @@ class CompressedProvenance:
         """``True`` iff ``scenario`` is answered exactly (uniform on the cut)."""
         return Valuation.coerce(scenario, default).is_uniform_on(self.vvs)
 
+    def lift(self, scenario, default=1.0):
+        """The scenario on this artifact's meta-variables.
+
+        Exact (the lifting homomorphism) when the scenario is uniform
+        on the cut; the group-mean
+        :func:`~repro.scenarios.analysis.approximate_lift` otherwise.
+        This is the per-scenario transform :meth:`ask_many` applies —
+        exposed so analytics (:func:`repro.scenarios.analysis.top_k`,
+        :func:`~repro.scenarios.analysis.sensitivity`, the CLI
+        ``sweep`` subcommand) can run sweeps against an artifact.
+        """
+        valuation = Valuation.coerce(scenario, default)
+        if valuation.is_uniform_on(self.vvs):
+            return valuation.lift(self.vvs)
+        return approximate_lift(valuation, self.vvs)
+
     def ask(self, scenario, default=1.0):
         """Answer one scenario (Scenario / Valuation / mapping).
 
@@ -156,18 +172,24 @@ class CompressedProvenance:
         """
         return self.ask_many([scenario], default=default)[0]
 
-    def ask_many(self, scenarios, default=1.0):
-        """Answer a whole suite in one vectorized pass.
+    def ask_many(self, scenarios, default=1.0, workers=None):
+        """Answer a whole scenario family in one vectorized pass.
 
-        :param scenarios: a :class:`~repro.scenarios.scenario.ScenarioSuite`
-            or any iterable of Scenario / Valuation / mapping entries.
+        :param scenarios: a :class:`~repro.scenarios.scenario.ScenarioSuite`,
+            a :class:`~repro.scenarios.sweep.Sweep`, or any iterable of
+            Scenario / Valuation / mapping entries.
+        :param workers: shard the batch evaluation of the lifted
+            valuations across this many worker processes (see
+            :func:`repro.scenarios.analysis.evaluate_scenarios`);
+            ``None`` stays in process. Answers are bit-identical.
         :returns: a list of :class:`Answer`, one per scenario, in order.
         """
-        items = list(scenarios)
+        from repro.scenarios.analysis import evaluate_scenarios
+
         names = []
         exacts = []
         lifted = []
-        for index, item in enumerate(items):
+        for index, item in enumerate(scenarios):
             valuation = Valuation.coerce(item, default)
             name = getattr(item, "name", None)
             names.append(str(name) if name is not None else f"scenario-{index}")
@@ -177,9 +199,11 @@ class CompressedProvenance:
                 lifted.append(valuation.lift(self.vvs))
             else:
                 lifted.append(approximate_lift(valuation, self.vvs))
-        if not items:
+        if not lifted:
             return []
-        matrix = self.polynomials.evaluate_batch(lifted)
+        matrix = evaluate_scenarios(
+            self.polynomials, lifted, default=default, workers=workers
+        )
         return [
             Answer(name, tuple(float(v) for v in row), exact)
             for name, exact, row in zip(names, exacts, matrix)

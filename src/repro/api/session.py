@@ -139,6 +139,51 @@ class ProvenanceSession:
 
         return Valuation.coerce(scenario, default).evaluate(self.polynomials)
 
+    def ask(self, scenario, default=1.0):
+        """Answer one scenario against the raw provenance.
+
+        Raw provenance loses nothing, so the returned
+        :class:`~repro.api.artifact.Answer` is always ``exact=True`` —
+        the uncompressed counterpart of
+        :meth:`CompressedProvenance.ask
+        <repro.api.artifact.CompressedProvenance.ask>`.
+        """
+        return self.ask_many([scenario], default=default)[0]
+
+    def ask_many(self, scenarios, default=1.0, workers=None):
+        """Answer a scenario family against the raw provenance.
+
+        :param scenarios: a :class:`~repro.scenarios.sweep.Sweep`, a
+            :class:`~repro.scenarios.scenario.ScenarioSuite`, or any
+            iterable of Scenario / Valuation / mapping entries.
+        :param workers: shard the batch evaluation across this many
+            worker processes (see
+            :func:`repro.scenarios.analysis.evaluate_scenarios`);
+            ``None`` stays in process. Answers are bit-identical.
+        :returns: a list of :class:`~repro.api.artifact.Answer`, one
+            per scenario, in order — all ``exact=True`` (nothing was
+            abstracted away).
+        """
+        from repro.api.artifact import Answer
+        from repro.scenarios.analysis import evaluate_scenarios
+
+        # Materialize once: the Answer list is O(S) anyway, and a lazy
+        # Sweep would otherwise be generated twice (once for evaluation,
+        # once here for the names).
+        items = scenarios if isinstance(scenarios, list) else list(scenarios)
+        matrix = evaluate_scenarios(
+            self.polynomials, items, default=default, workers=workers
+        )
+        answers = []
+        for index, (item, row) in enumerate(zip(items, matrix)):
+            name = getattr(item, "name", None)
+            answers.append(Answer(
+                str(name) if name is not None else f"scenario-{index}",
+                tuple(float(v) for v in row),
+                True,
+            ))
+        return answers
+
     # ------------------------------------------------------------- compress
 
     def compress(self, bound, algorithm=registry.AUTO, **options):

@@ -9,9 +9,11 @@ analysts. This CLI is that pipeline::
         --bound 500 --algorithm greedy --output compressed.json \
         --vvs-output cut.json --artifact artifact.json
     python -m repro ask      artifact.json --set m1=0.8
+    python -m repro sweep    artifact.json --oaat all \
+        --multipliers 0.8,1.2 --workers 4 --top-k 5 --sensitivity
     python -m repro valuate  compressed.json --set q1=0.8 --set Business=1.1
     python -m repro decide   provenance.json forest.json --size 4 --granularity 5
-    python -m repro bench    --smoke
+    python -m repro bench    --smoke --check BENCH_core.json
 
 Files are the JSON produced by :mod:`repro.core.serialize` (tagged
 ``polynomial_set`` / ``forest`` / ``compressed_provenance`` payloads).
@@ -169,6 +171,108 @@ def _cmd_ask(args):
     return 0
 
 
+def _split_csv(text, flag):
+    values = [item.strip() for item in text.split(",")]
+    values = [item for item in values if item]
+    if not values:
+        raise SystemExit(f"{flag} expects a comma-separated list, got {text!r}")
+    return values
+
+
+def _parse_multipliers(args, flag="--multipliers"):
+    if not args.multipliers:
+        raise SystemExit(f"{args.mode_flag} requires {flag} M1,M2,...")
+    out = []
+    for item in _split_csv(args.multipliers, flag):
+        try:
+            out.append(float(item))
+        except ValueError:
+            raise SystemExit(f"{flag}: not a number: {item!r}")
+    return out
+
+
+def _build_sweep(args, variables):
+    """Construct the Sweep described by --grid/--oaat/--random flags."""
+    from repro.scenarios.sweep import Sweep
+
+    if args.grid:
+        args.mode_flag = "--grid"
+        groups = {}
+        for spec in args.grid:
+            name, eq, members = spec.partition("=")
+            if not eq or not name:
+                raise SystemExit(
+                    f"--grid expects GROUP=var1,var2,..., got {spec!r}"
+                )
+            groups[name] = _split_csv(members, "--grid")
+        return Sweep.grid(groups, _parse_multipliers(args))
+    if args.oaat is not None:
+        args.mode_flag = "--oaat"
+        swept = (
+            sorted(variables) if args.oaat == "all"
+            else _split_csv(args.oaat, "--oaat")
+        )
+        return Sweep.one_at_a_time(swept, _parse_multipliers(args))
+    args.mode_flag = "--random"
+    pool = (
+        _split_csv(args.variables, "--variables") if args.variables
+        else sorted(variables)
+    )
+    return Sweep.random(
+        pool, args.random, low=args.low, high=args.high,
+        changes=args.changes, seed=args.seed,
+    )
+
+
+def _cmd_sweep(args):
+    """Evaluate a scenario sweep; print top-k and (optionally) sensitivity."""
+    import time
+
+    from repro.scenarios.analysis import sensitivity, top_k
+
+    with open(args.target) as handle:
+        payload = serialize.loads(handle.read())
+    if isinstance(payload, CompressedProvenance):
+        polynomials, transform = payload.polynomials, payload.lift
+    elif isinstance(payload, PolynomialSet):
+        polynomials, transform = payload, None
+    else:
+        raise SystemExit(
+            f"{args.target}: expected a PolynomialSet or CompressedProvenance, "
+            f"got {type(payload).__name__}"
+        )
+    sweep = _build_sweep(args, polynomials.variables)
+    print(f"sweep:       {sweep.kind}, {len(sweep)} scenarios")
+    print(f"target:      {len(polynomials)} polynomials"
+          + (" (compressed artifact)" if transform else ""))
+    if args.workers:
+        print(f"workers:     {args.workers}")
+
+    started = time.perf_counter()
+    ranked = top_k(
+        polynomials, sweep, k=args.top_k, workers=args.workers,
+        transform=transform,
+    )
+    elapsed = time.perf_counter() - started
+    print(f"evaluated:   {len(sweep)} scenarios in {elapsed:.3f}s")
+    print(f"top {len(ranked)} by total value:")
+    for entry in ranked:
+        mode = ""
+        if transform is not None:
+            exact = payload.supports(sweep[entry.index])
+            mode = "  (exact)" if exact else "  (approximate)"
+        print(f"  {entry.rank:>2}. {entry.name}  score={entry.score:g}{mode}")
+    if args.sensitivity:
+        report = sensitivity(
+            polynomials, sweep, workers=args.workers, transform=transform
+        )
+        print("sensitivity (mean |Δ| per changed variable):")
+        for item in report[:args.top_k]:
+            print(f"  {item.variable:<12} {item.mean_delta:g} "
+                  f"(max {item.max_delta:g}, {item.scenarios} scenarios)")
+    return 0
+
+
 def _cmd_bench(args):
     """Run the perf regression benchmark (benchmarks/bench_regression.py).
 
@@ -202,6 +306,10 @@ def _cmd_bench(args):
         argv.extend(["--output", args.output])
     if args.quiet:
         argv.append("--quiet")
+    if args.check:
+        argv.extend(["--check", args.check])
+    if args.tolerance is not None:
+        argv.extend(["--tolerance", str(args.tolerance)])
     return module.main(argv)
 
 
@@ -259,6 +367,43 @@ def build_parser():
                           '({"scenarios": [{"name", "changes"}, ...]})')
     ask.set_defaults(run=_cmd_ask)
 
+    sweep = commands.add_parser(
+        "sweep",
+        help="evaluate a scenario sweep (grid/oaat/random) with analytics",
+    )
+    sweep.add_argument("target",
+                       help="a polynomial_set or compressed_provenance "
+                            "JSON envelope")
+    mode = sweep.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--grid", action="append", metavar="GROUP=V1,V2,...",
+                      help="a grid group (repeatable); scenarios take the "
+                           "cartesian product of --multipliers over groups")
+    mode.add_argument("--oaat", metavar="V1,V2,...|all",
+                      help="one-at-a-time sweep over these variables "
+                           "('all' = every variable of the target)")
+    mode.add_argument("--random", type=int, metavar="N",
+                      help="N seeded Monte-Carlo scenarios")
+    sweep.add_argument("--multipliers", metavar="M1,M2,...",
+                       help="candidate multipliers for --grid/--oaat")
+    sweep.add_argument("--variables", metavar="V1,V2,...",
+                       help="alphabet for --random (default: all variables)")
+    sweep.add_argument("--low", type=float, default=0.5,
+                       help="--random multiplier range lower bound")
+    sweep.add_argument("--high", type=float, default=1.5,
+                       help="--random multiplier range upper bound")
+    sweep.add_argument("--changes", type=int, default=None,
+                       help="variables perturbed per --random scenario "
+                            "(default: all)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="--random seed (sweeps are reproducible)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="shard evaluation across N worker processes")
+    sweep.add_argument("--top-k", type=int, default=10, dest="top_k",
+                       help="how many top scenarios to report (default 10)")
+    sweep.add_argument("--sensitivity", action="store_true",
+                       help="also rank variables by induced output delta")
+    sweep.set_defaults(run=_cmd_sweep)
+
     valuate = commands.add_parser("valuate", help="apply a what-if scenario")
     valuate.add_argument("provenance")
     valuate.add_argument("--set", action="append", default=[],
@@ -290,6 +435,12 @@ def build_parser():
                             "(default: BENCH_core.json at the repo root)")
     bench.add_argument("--quiet", action="store_true",
                        help="suppress progress output")
+    bench.add_argument("--check", metavar="BASELINE",
+                       help="compare speedup/error fields against this "
+                            "baseline JSON and fail on regression")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="allowed relative regression for --check "
+                            "(default 0.35)")
     bench.set_defaults(run=_cmd_bench)
 
     return parser

@@ -113,6 +113,49 @@ class CompiledPolynomialSet:
             selector = None if j == 0 else numpy.asarray(select, dtype=numpy.intp)
             self._layers.append((selector, cols, nonunit, exps[nonunit]))
 
+    # ------------------------------------------------------------- pickling
+
+    def __getstate__(self):
+        """Portable state for cross-process shipping.
+
+        Variable ids are process-local (they index the process-wide
+        interning table), so the column map travels keyed by variable
+        *name* and is re-interned on arrival. Everything else is plain
+        NumPy arrays and ints, so a compiled set pickles once and then
+        evaluates identically in any worker process — the contract
+        :mod:`repro.scenarios.parallel` relies on.
+        """
+        from repro.core.interning import VARIABLES
+
+        name = VARIABLES.name
+        return {
+            "columns_by_name": {
+                name(vid): col for vid, col in self._columns.items()
+            },
+            "num_polynomials": self.num_polynomials,
+            "num_monomials": self.num_monomials,
+            "num_variables": self.num_variables,
+            "coeffs": self._coeffs,
+            "poly_starts": self._poly_starts,
+            "layers": self._layers,
+        }
+
+    def __setstate__(self, state):
+        """Rebuild in the receiving process (re-interning the alphabet)."""
+        from repro.core.interning import VARIABLES
+
+        intern = VARIABLES.intern
+        self._columns = {
+            intern(name): col
+            for name, col in state["columns_by_name"].items()
+        }
+        self.num_polynomials = state["num_polynomials"]
+        self.num_monomials = state["num_monomials"]
+        self.num_variables = state["num_variables"]
+        self._coeffs = state["coeffs"]
+        self._poly_starts = state["poly_starts"]
+        self._layers = state["layers"]
+
     # ------------------------------------------------------------ assignment
 
     def assignment_matrix(self, assignments, default=1.0):

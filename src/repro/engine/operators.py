@@ -102,7 +102,7 @@ def join(left, right, on):
     """
     _require_same_semiring(left, right)
     pairs = _normalize_on(on)
-    left_positions = [left.schema.index(l) for l, _ in pairs]
+    left_positions = [left.schema.index(col) for col, _ in pairs]
     right_positions = [right.schema.index(r) for _, r in pairs]
     right_join_cols = {r for _, r in pairs}
     right_keep = [

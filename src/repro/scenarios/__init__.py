@@ -1,16 +1,23 @@
 """Hypothetical reasoning over (abstracted) provenance.
 
-Scenario specification, raw-vs-abstracted speedup and accuracy analysis
-(Figure 10), and the §6 sampling-based online compression pipeline.
+Scenario specification, declarative sweep families (grid / one-at-a-time
+/ Monte-Carlo), sharded parallel evaluation, top-k and sensitivity
+analytics, raw-vs-abstracted speedup and accuracy analysis (Figure 10),
+and the §6 sampling-based online compression pipeline.
 """
 
 from repro.scenarios.analysis import (
     SpeedupReport,
+    TopKEntry,
+    VariableSensitivity,
     approximate_lift,
     assignment_speedup,
     evaluate_scenarios,
     scenario_error,
+    sensitivity,
+    top_k,
 )
+from repro.scenarios.parallel import evaluate_scenarios_parallel
 from repro.scenarios.sampling import (
     OnlineCompressionResult,
     adapt_bound,
@@ -18,16 +25,28 @@ from repro.scenarios.sampling import (
     online_compress,
     sample_polynomials,
 )
-from repro.scenarios.scenario import Scenario, ScenarioSuite
+from repro.scenarios.scenario import (
+    Scenario,
+    ScenarioOverlapWarning,
+    ScenarioSuite,
+)
+from repro.scenarios.sweep import Sweep
 
 __all__ = [
     "Scenario",
+    "ScenarioOverlapWarning",
     "ScenarioSuite",
+    "Sweep",
     "SpeedupReport",
+    "TopKEntry",
+    "VariableSensitivity",
     "assignment_speedup",
     "approximate_lift",
     "evaluate_scenarios",
+    "evaluate_scenarios_parallel",
     "scenario_error",
+    "sensitivity",
+    "top_k",
     "sample_polynomials",
     "adapt_bound",
     "extrapolate_size",

@@ -14,6 +14,7 @@ Two quantities matter once provenance is abstracted:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from repro.core.valuation import Valuation
@@ -21,27 +22,208 @@ from repro.util.timing import time_call
 
 __all__ = [
     "SpeedupReport",
+    "TopKEntry",
+    "VariableSensitivity",
     "assignment_speedup",
     "approximate_lift",
     "evaluate_scenarios",
     "scenario_error",
+    "sensitivity",
+    "top_k",
 ]
 
 
-def evaluate_scenarios(polynomials, scenarios, default=1.0):
-    """Valuate a whole scenario suite in one vectorized pass.
+def evaluate_scenarios(polynomials, scenarios, default=1.0, *, workers=None,
+                       chunk_size=None):
+    """Valuate a whole scenario family in one vectorized pass.
 
-    :param scenarios: an iterable of :class:`Scenario`,
+    :param scenarios: a :class:`~repro.scenarios.sweep.Sweep`, a
+        :class:`~repro.scenarios.scenario.ScenarioSuite`, or any
+        iterable of :class:`Scenario`,
         :class:`~repro.core.valuation.Valuation` or plain dicts.
+    :param workers: shard the evaluation across this many worker
+        processes (see :func:`repro.scenarios.parallel.\
+evaluate_scenarios_parallel`); ``None`` — the default — stays in
+        process. Answers are bit-identical either way.
+    :param chunk_size: scenarios per shard/block for large inputs.
     :returns: a ``(num_scenarios, num_polynomials)`` NumPy array — row
         ``i`` is ``scenarios[i].evaluate(polynomials)``.
 
     The polynomial set is compiled to coefficient/exponent arrays once
     (cached on the set), so a suite of hundreds of scenarios costs a few
-    matrix operations instead of hundreds of per-monomial Python loops.
+    matrix operations instead of hundreds of per-monomial Python loops;
+    sweeps are consumed lazily in chunks, so a million-scenario grid
+    never materializes a scenario list.
     """
-    valuations = [Valuation.coerce(s, default) for s in scenarios]
-    return polynomials.evaluate_batch(valuations)
+    from repro.scenarios.parallel import evaluate_scenarios_parallel
+
+    return evaluate_scenarios_parallel(
+        polynomials, scenarios, workers=workers, default=default,
+        chunk_size=chunk_size,
+    )
+
+
+@dataclass(frozen=True)
+class TopKEntry:
+    """One ranked scenario from :func:`top_k`.
+
+    * ``rank`` — 1-based position in the ranking;
+    * ``index`` — the scenario's position in the input family;
+    * ``name`` — the scenario's name (generated for anonymous inputs);
+    * ``score`` — the objective value the ranking ordered by;
+    * ``values`` — the scenario's per-polynomial valuations.
+    """
+
+    rank: int
+    index: int
+    name: str
+    score: float
+    values: tuple
+
+
+def top_k(polynomials, scenarios, k=10, *, objective=None, largest=True,
+          default=1.0, workers=None, chunk_size=None, transform=None):
+    """The ``k`` scenarios with the most extreme objective values.
+
+    Answers the analyst question sweeps exist for — "*which* what-if
+    moves the result most?" — without holding the full answer matrix:
+    evaluation streams in chunks (optionally sharded across
+    ``workers`` processes) and only a ``k``-entry heap persists, so
+    million-scenario sweeps rank in O(k) memory.
+
+    :param objective: ``row -> float`` over a scenario's per-polynomial
+        values (a NumPy vector); the default sums them (total output).
+    :param largest: rank by highest objective (default) or lowest.
+    :param transform: optional per-scenario callable applied before
+        evaluation (e.g. lifting onto an artifact's cut); names and
+        indexes still refer to the original scenarios.
+    :returns: a list of :class:`TopKEntry`, best first; ties break
+        toward the earlier scenario index, so rankings are
+        deterministic.
+    """
+    from repro.scenarios.parallel import iter_value_blocks
+
+    k = int(k)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    sign = 1.0 if largest else -1.0
+    heap = []  # (keyed score, -index, name, values) — heap[0] is worst kept
+    # materialize=False lets Sweep shards skip a second parent-side
+    # generation pass: only the k kept entries get their names resolved
+    # (by index) after the stream is drained.
+    for start, chunk, values in iter_value_blocks(
+        polynomials, scenarios, default=default, workers=workers,
+        chunk_size=chunk_size, transform=transform, materialize=False,
+    ):
+        for offset in range(values.shape[0]):
+            row = values[offset]
+            score = float(objective(row) if objective else row.sum())
+            index = start + offset
+            if chunk is None:
+                name = None  # resolved from the Sweep at the end
+            else:
+                name = getattr(chunk[offset], "name", None)
+                name = str(name) if name is not None else f"scenario-{index}"
+            item = (
+                sign * score,
+                -index,
+                name,
+                tuple(float(v) for v in row),
+            )
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif item > heap[0]:
+                heapq.heapreplace(heap, item)
+    ranked = sorted(heap, reverse=True)
+    return [
+        TopKEntry(
+            rank=position + 1,
+            index=-negated_index,
+            name=(name if name is not None
+                  else scenarios[-negated_index].name),
+            score=sign * keyed_score,
+            values=values,
+        )
+        for position, (keyed_score, negated_index, name, values)
+        in enumerate(ranked)
+    ]
+
+
+@dataclass(frozen=True)
+class VariableSensitivity:
+    """One variable's aggregate effect across a scenario family.
+
+    * ``variable`` — the scenario variable;
+    * ``mean_delta`` — mean L1 output delta (vs. the all-default
+      baseline) over the scenarios that change the variable;
+    * ``max_delta`` — the largest such delta;
+    * ``scenarios`` — how many scenarios changed the variable.
+    """
+
+    variable: str
+    mean_delta: float
+    max_delta: float
+    scenarios: int
+
+
+def sensitivity(polynomials, scenarios, *, default=1.0, workers=None,
+                chunk_size=None, transform=None):
+    """Rank variables by the output delta their scenarios induce.
+
+    For each scenario the L1 distance between its per-polynomial values
+    and the all-``default`` baseline's is attributed to every variable
+    the scenario changes; variables are then ranked by mean attributed
+    delta. Over a :meth:`Sweep.one_at_a_time
+    <repro.scenarios.sweep.Sweep.one_at_a_time>` family each scenario
+    touches one variable, so the ranking is a clean per-variable
+    tornado; over grids/Monte-Carlo it is a screening estimate (deltas
+    of co-changed variables are attributed to each).
+
+    Evaluation streams in chunks (optionally across ``workers``
+    processes); memory stays O(variables), not O(scenarios).
+
+    :returns: a list of :class:`VariableSensitivity`, largest
+        ``mean_delta`` first (ties break by variable name).
+    """
+    import numpy
+
+    from repro.scenarios.parallel import iter_value_blocks
+
+    compiled = polynomials.compiled() if hasattr(polynomials, "compiled") \
+        else polynomials
+    baseline_entry = (
+        Valuation({}, default=default) if transform is None
+        else transform(Valuation({}, default=default))
+    )
+    baseline = compiled.evaluate([baseline_entry])[0]
+
+    totals = {}
+    maxima = {}
+    counts = {}
+    for _, chunk, values in iter_value_blocks(
+        compiled, scenarios, default=default, workers=workers,
+        chunk_size=chunk_size, transform=transform,
+    ):
+        deltas = numpy.abs(values - baseline).sum(axis=1)
+        for offset, entry in enumerate(chunk):
+            delta = float(deltas[offset])
+            changed = Valuation.coerce(entry, default).assignment
+            for variable in changed:
+                totals[variable] = totals.get(variable, 0.0) + delta
+                counts[variable] = counts.get(variable, 0) + 1
+                if delta > maxima.get(variable, -1.0):
+                    maxima[variable] = delta
+    report = [
+        VariableSensitivity(
+            variable=variable,
+            mean_delta=totals[variable] / counts[variable],
+            max_delta=maxima[variable],
+            scenarios=counts[variable],
+        )
+        for variable in totals
+    ]
+    report.sort(key=lambda entry: (-entry.mean_delta, entry.variable))
+    return report
 
 
 @dataclass

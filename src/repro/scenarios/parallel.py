@@ -1,0 +1,320 @@
+"""Sharded scenario evaluation across a process pool.
+
+:meth:`~repro.core.polynomial.PolynomialSet.evaluate_batch` already
+turns a scenario suite into a handful of NumPy array operations, but it
+runs them on one core. For the sweep volumes the paper's workload
+implies (grids and Monte-Carlo families of 10⁴–10⁶ scenarios), the
+remaining wall-clock is CPU-bound and embarrassingly parallel: every
+scenario row of the ``(S, P)`` answer matrix is independent.
+
+:func:`evaluate_scenarios_parallel` shards that matrix across a
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+* each worker receives the pickled :class:`~repro.core.batch.\
+  CompiledPolynomialSet` **once** (via the pool initializer; the column
+  map travels by variable name, so workers re-intern and answer
+  bit-identically whatever their start method);
+* the parent then streams *work descriptions*, not data — for a
+  :class:`~repro.scenarios.sweep.Sweep` an ``(start, stop)`` index
+  range (workers regenerate their shard from the sweep spec), for a
+  generic iterable a chunk of plain ``(assignment, default)`` rows;
+* results come back as ``(chunk, P)`` arrays and are concatenated in
+  submission order, so the parallel answer is **bit-identical** to the
+  serial one (row-wise float operations are unchanged; only the outer
+  loop moved).
+
+Small inputs fall back to the serial compiled path — below
+:data:`MIN_PARALLEL_SCENARIOS` rows the pool start-up would dominate.
+Serial evaluation of large/unsized inputs is chunked too, so a
+million-scenario sweep never materializes a Python list of dicts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+
+import numpy
+
+from repro.core.valuation import Valuation
+from repro.scenarios.sweep import DEFAULT_CHUNK_SIZE, Sweep
+
+__all__ = [
+    "MIN_PARALLEL_SCENARIOS",
+    "evaluate_scenarios_parallel",
+    "iter_value_blocks",
+]
+
+#: Below this many scenarios, parallel requests run serially: pool
+#: start-up (fork + one compiled-set pickle per worker) costs more than
+#: evaluating the suite outright.
+MIN_PARALLEL_SCENARIOS = 512
+
+#: Keep at most this many chunks in flight per worker — bounds parent
+#: memory while keeping every worker busy.
+_INFLIGHT_PER_WORKER = 4
+
+# ---------------------------------------------------------------- workers
+
+#: The compiled set installed in each worker by the pool initializer.
+_WORKER_COMPILED = None
+
+
+def _init_worker(compiled):
+    """Pool initializer: adopt the compiled set (pickled exactly once)."""
+    global _WORKER_COMPILED
+    _WORKER_COMPILED = compiled
+
+
+def _evaluate_rows(rows):
+    """Worker task: valuate explicit ``(assignment, default)`` rows."""
+    valuations = [
+        Valuation(assignment, default=default) for assignment, default in rows
+    ]
+    return _WORKER_COMPILED.evaluate(valuations)
+
+
+def _evaluate_span(sweep, start, stop, default):
+    """Worker task: regenerate a sweep shard by index range and valuate."""
+    return _WORKER_COMPILED.evaluate(
+        sweep.materialize(start, stop), default
+    )
+
+
+# ----------------------------------------------------------------- helpers
+
+
+def _coerce_rows(scenarios, default):
+    """Plain-data ``(assignment, default)`` rows for pickling."""
+    rows = []
+    for entry in scenarios:
+        valuation = Valuation.coerce(entry, default)
+        rows.append((valuation.assignment, valuation.default))
+    return rows
+
+
+def _chunked(iterable, size):
+    """Yield lists of up to ``size`` items (no full materialization)."""
+    iterator = iter(iterable)
+    while True:
+        chunk = list(itertools.islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def _compiled_of(polynomials):
+    """The compiled evaluator of a set (or a compiled set, unchanged)."""
+    compiled = getattr(polynomials, "compiled", None)
+    if callable(compiled):
+        return compiled()
+    return polynomials
+
+
+def _resolve_workers(workers):
+    """Normalize the ``workers`` argument to an int worker count."""
+    if workers is None:
+        return 0
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+# ---------------------------------------------------------------- serial
+
+
+def _evaluate_serial(compiled, scenarios, default, chunk_size):
+    """Chunked single-process evaluation (bounded memory)."""
+    if isinstance(scenarios, Sweep):
+        blocks = [
+            compiled.evaluate(scenarios.materialize(start, stop), default)
+            for start, stop in scenarios.chunks(chunk_size)
+        ]
+    else:
+        blocks = [
+            compiled.evaluate(chunk, default)
+            for chunk in _chunked(scenarios, chunk_size)
+        ]
+    if not blocks:
+        return numpy.zeros((0, compiled.num_polynomials), dtype=numpy.float64)
+    if len(blocks) == 1:
+        return blocks[0]
+    return numpy.concatenate(blocks, axis=0)
+
+
+# --------------------------------------------------------------- parallel
+
+
+def _submit_stream(executor, tasks, max_inflight):
+    """Submit ``(fn, args)`` tasks with backpressure; yield ordered results.
+
+    Results come back in submission order — the reassembled matrix is
+    bit-identical to a serial pass over the same chunks.
+    """
+    pending = deque()
+    for fn, args in tasks:
+        while len(pending) >= max_inflight:
+            yield pending.popleft().result()
+        pending.append(executor.submit(fn, *args))
+    while pending:
+        yield pending.popleft().result()
+
+
+def evaluate_scenarios_parallel(polynomials, scenarios, *, workers,
+                                default=1.0, chunk_size=None,
+                                min_parallel=MIN_PARALLEL_SCENARIOS):
+    """Valuate a scenario family sharded across worker processes.
+
+    :param polynomials: a :class:`~repro.core.polynomial.PolynomialSet`
+        (compiled on demand, cached) or a prebuilt
+        :class:`~repro.core.batch.CompiledPolynomialSet`.
+    :param scenarios: a :class:`~repro.scenarios.sweep.Sweep` (workers
+        regenerate shards from the spec — nothing but index ranges
+        cross the pipe) or any iterable of Scenario / Valuation /
+        mapping entries (streamed in chunks of plain rows).
+    :param workers: process count; ``None``/``0``/``1`` evaluates
+        serially (still chunked), as does any input smaller than
+        ``min_parallel``.
+    :param chunk_size: scenarios per shard (default
+        :data:`~repro.scenarios.sweep.DEFAULT_CHUNK_SIZE`).
+    :param min_parallel: the serial-fallback threshold; pass ``0`` to
+        force the pool (the equivalence tests do).
+    :returns: the ``(S, P)`` answer matrix — bit-identical to
+        :meth:`PolynomialSet.evaluate_batch
+        <repro.core.polynomial.PolynomialSet.evaluate_batch>` on the
+        same scenarios.
+    """
+    compiled = _compiled_of(polynomials)
+    workers = _resolve_workers(workers)
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    total = len(scenarios) if hasattr(scenarios, "__len__") else None
+    if workers <= 1 or (total is not None and total < min_parallel):
+        return _evaluate_serial(compiled, scenarios, default, chunk_size)
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    if isinstance(scenarios, Sweep):
+        tasks = (
+            (_evaluate_span, (scenarios, start, stop, default))
+            for start, stop in scenarios.chunks(chunk_size)
+        )
+    else:
+        tasks = (
+            (_evaluate_rows, (_coerce_rows(chunk, default),))
+            for chunk in _chunked(scenarios, chunk_size)
+        )
+
+    blocks = []
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(compiled,)
+    ) as executor:
+        blocks.extend(
+            _submit_stream(executor, tasks, workers * _INFLIGHT_PER_WORKER)
+        )
+    if not blocks:
+        return numpy.zeros((0, compiled.num_polynomials), dtype=numpy.float64)
+    if len(blocks) == 1:
+        return blocks[0]
+    return numpy.concatenate(blocks, axis=0)
+
+
+def iter_value_blocks(polynomials, scenarios, *, default=1.0, workers=None,
+                      chunk_size=None, transform=None, materialize=True):
+    """Stream ``(start, scenarios_chunk, values_chunk)`` blocks.
+
+    The O(k)-memory backbone of :func:`~repro.scenarios.analysis.top_k`
+    and :func:`~repro.scenarios.analysis.sensitivity`: the full
+    ``(S, P)`` matrix is never held — each yielded block pairs a chunk
+    of the original scenario objects with its ``(chunk, P)`` values.
+    With ``workers > 1``, chunk evaluation shards across a process pool
+    for every input shape: Sweep shards ship as index ranges;
+    generic iterables (and transformed entries — transforms run in the
+    parent, they may close over un-picklable state) ship as plain rows.
+
+    :param transform: optional per-scenario callable applied before
+        evaluation (e.g. lifting onto an artifact's meta-variables);
+        the yielded scenario objects stay untransformed so callers keep
+        names and change-sets.
+    :param materialize: when ``False`` and the input is a
+        :class:`~repro.scenarios.sweep.Sweep` evaluated without a
+        transform, blocks carry ``None`` instead of the scenario chunk
+        — the caller indexes ``scenarios[i]`` for the few entries it
+        keeps instead of the parent regenerating every shard the
+        workers already generated.
+    """
+    compiled = _compiled_of(polynomials)
+    workers = _resolve_workers(workers)
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    use_pool = workers > 1 and (
+        not hasattr(scenarios, "__len__")
+        or len(scenarios) >= MIN_PARALLEL_SCENARIOS
+    )
+    span_mode = isinstance(scenarios, Sweep) and transform is None
+
+    if not use_pool:
+        start = 0
+        if span_mode and not materialize:
+            for start, stop in scenarios.chunks(chunk_size):
+                values = compiled.evaluate(
+                    scenarios.materialize(start, stop), default
+                )
+                yield start, None, values
+            return
+        for chunk in _chunked(scenarios, chunk_size):
+            entries = chunk if transform is None else [
+                transform(entry) for entry in chunk
+            ]
+            yield start, chunk, compiled.evaluate(entries, default)
+            start += len(chunk)
+        return
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    if span_mode:
+        def tasks():
+            for start, stop in scenarios.chunks(chunk_size):
+                chunk = None if not materialize else (start, stop)
+                yield start, chunk, (
+                    _evaluate_span, (scenarios, start, stop, default)
+                )
+    else:
+        def tasks():
+            start = 0
+            for chunk in _chunked(scenarios, chunk_size):
+                entries = chunk if transform is None else [
+                    transform(entry) for entry in chunk
+                ]
+                rows = _coerce_rows(entries, default)
+                yield start, chunk, (_evaluate_rows, (rows,))
+                start += len(chunk)
+
+    max_inflight = workers * _INFLIGHT_PER_WORKER
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(compiled,)
+    ) as executor:
+        pending = deque()
+        for start, chunk, (fn, args) in tasks():
+            while len(pending) >= max_inflight:
+                done_start, done_chunk, future = pending.popleft()
+                yield done_start, _realize(scenarios, done_chunk), \
+                    future.result()
+            pending.append((start, chunk, executor.submit(fn, *args)))
+        while pending:
+            done_start, done_chunk, future = pending.popleft()
+            yield done_start, _realize(scenarios, done_chunk), future.result()
+
+
+def _realize(scenarios, chunk):
+    """Materialize a deferred ``(start, stop)`` span chunk (or pass through)."""
+    if isinstance(chunk, tuple):
+        return scenarios.materialize(*chunk)
+    return chunk

@@ -9,9 +9,15 @@ point of provisioning (§1).
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.valuation import Valuation
 
-__all__ = ["Scenario", "ScenarioSuite"]
+__all__ = ["Scenario", "ScenarioOverlapWarning", "ScenarioSuite"]
+
+
+class ScenarioOverlapWarning(UserWarning):
+    """Both sides of a :meth:`Scenario.compose` change the same variable."""
 
 
 class Scenario:
@@ -42,7 +48,30 @@ class Scenario:
         return Valuation(self.changes, default=default)
 
     def compose(self, other, name=None):
-        """Apply both scenarios (multipliers multiply on overlap)."""
+        """Apply both scenarios, left then right.
+
+        Variables changed by only one side keep that side's multiplier.
+        On overlap the multipliers **multiply** — ``other`` never
+        overwrites ``self``; composing "March −20%" (0.8) with "March
+        −50%" (0.5) yields 0.4, not 0.5. Because a combined multiplier
+        is easy to misread as an override, every overlapping variable
+        triggers a :class:`ScenarioOverlapWarning` naming it.
+
+        >>> import warnings
+        >>> with warnings.catch_warnings():
+        ...     warnings.simplefilter("ignore", ScenarioOverlapWarning)
+        ...     Scenario("a", {"x": 0.8}).compose(Scenario("b", {"x": 0.5}))
+        Scenario('a+b', 1 changes)
+        """
+        overlap = sorted(var for var in other.changes if var in self.changes)
+        if overlap:
+            warnings.warn(
+                f"composing {self.name!r} with {other.name!r}: both change "
+                f"{', '.join(overlap)} — the multipliers multiply "
+                "(they do not override)",
+                ScenarioOverlapWarning,
+                stacklevel=2,
+            )
         changes = dict(self.changes)
         for var, multiplier in other.changes.items():
             changes[var] = changes.get(var, 1.0) * multiplier

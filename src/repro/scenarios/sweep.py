@@ -1,0 +1,327 @@
+"""Declarative scenario sweeps: grids, knockouts, Monte-Carlo — lazily.
+
+The paper's premise is *repeated* hypothetical evaluation: an analyst
+re-valuates (abstracted) provenance under many alternative scenarios,
+and compression pays off precisely because the scenario volume is high
+(§1, Figure 10). Hand-writing :class:`~repro.scenarios.scenario.Scenario`
+objects caps that volume at whatever fits in a Python list; a
+:class:`Sweep` instead *describes* a family of scenarios and
+materializes each one on demand:
+
+* :meth:`Sweep.grid` — the cartesian product of per-group multiplier
+  choices ("every combination of plan discount × month surcharge");
+* :meth:`Sweep.one_at_a_time` — per-variable knockout/boost sweeps
+  ("each supplier ±20%, one at a time");
+* :meth:`Sweep.random` — seeded Monte-Carlo over multiplier ranges.
+
+A sweep is an indexable, re-iterable, picklable sequence of scenarios:
+``sweep[i]`` is a pure function of the spec, so a million-scenario
+sweep occupies a few hundred bytes, two iterations yield identical
+scenarios, and worker processes regenerate their shard from
+``(sweep, start, stop)`` without the parent ever building a list of
+dicts (see :mod:`repro.scenarios.parallel`). ``Sweep.random`` derives
+an independent RNG per index from SHA-256 (:func:`repro.util.rng`), so
+scenario ``i`` is the same whatever order, process or chunk produces
+it.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.scenario import Scenario, ScenarioSuite
+from repro.util.rng import derive_rng
+
+__all__ = ["Sweep"]
+
+#: Default chunk size for :meth:`Sweep.chunks` and the parallel engine.
+DEFAULT_CHUNK_SIZE = 1024
+
+
+def _format_multiplier(value):
+    """Compact scenario-name rendering of a multiplier."""
+    text = f"{float(value):g}"
+    return text
+
+
+class Sweep:
+    """A lazy, indexable family of scenarios (see the module docstring).
+
+    Build one with :meth:`grid`, :meth:`one_at_a_time` or
+    :meth:`random`; consume it anywhere a scenario iterable is accepted
+    (:func:`~repro.scenarios.analysis.evaluate_scenarios`,
+    :func:`~repro.scenarios.analysis.top_k`,
+    :meth:`ProvenanceSession.ask_many
+    <repro.api.session.ProvenanceSession.ask_many>`, the CLI ``sweep``
+    subcommand).
+
+    >>> sweep = Sweep.grid({"g": ["a", "b"]}, [0.8, 1.2])
+    >>> len(sweep)
+    2
+    >>> [s.changes for s in sweep]
+    [{'a': 0.8, 'b': 0.8}, {'a': 1.2, 'b': 1.2}]
+    """
+
+    __slots__ = ("kind", "name", "_spec", "_length")
+
+    def __init__(self, kind, name, spec, length):
+        self.kind = str(kind)
+        self.name = str(name)
+        self._spec = spec
+        self._length = int(length)
+
+    # ------------------------------------------------------------- factories
+
+    @classmethod
+    def grid(cls, var_groups, multipliers, name="grid"):
+        """The cartesian product of per-group multiplier choices.
+
+        :param var_groups: which variables move together — a mapping
+            ``{group_name: [variables]}``, an iterable of variable
+            lists (auto-named ``g0, g1, …``), or an iterable of single
+            variable names (each its own group).
+        :param multipliers: the candidate multipliers — one iterable
+            applied to every group, or a ``{group_name: [values]}``
+            mapping / aligned list of iterables for per-group choices.
+        :returns: a sweep of ``∏ len(multipliers_g)`` scenarios; the
+            scenario at mixed-radix index ``i`` assigns each group's
+            chosen multiplier to all of the group's variables.
+
+        >>> sweep = Sweep.grid({"p": ["a"], "q": ["b"]}, [0.5, 2.0])
+        >>> len(sweep)
+        4
+        >>> sweep[3].changes
+        {'a': 2.0, 'b': 2.0}
+        """
+        if hasattr(var_groups, "items"):
+            groups = [
+                (str(label), tuple(str(v) for v in variables))
+                for label, variables in var_groups.items()
+            ]
+        else:
+            groups = []
+            for index, entry in enumerate(var_groups):
+                if isinstance(entry, str):
+                    groups.append((entry, (entry,)))
+                else:
+                    variables = tuple(str(v) for v in entry)
+                    groups.append((f"g{index}", variables))
+        if not groups:
+            raise ValueError("grid sweep needs at least one variable group")
+        for label, variables in groups:
+            if not variables:
+                raise ValueError(f"group {label!r} has no variables")
+
+        if hasattr(multipliers, "items"):
+            per_group = []
+            for label, _ in groups:
+                if label not in multipliers:
+                    raise ValueError(f"no multipliers for group {label!r}")
+                per_group.append(tuple(float(m) for m in multipliers[label]))
+        else:
+            choices = list(multipliers)
+            if choices and not isinstance(choices[0], (int, float)):
+                if len(choices) != len(groups):
+                    raise ValueError(
+                        f"{len(groups)} groups but {len(choices)} "
+                        "multiplier lists"
+                    )
+                per_group = [tuple(float(m) for m in c) for c in choices]
+            else:
+                shared = tuple(float(m) for m in choices)
+                per_group = [shared for _ in groups]
+        length = 1
+        for label_choices in per_group:
+            if not label_choices:
+                raise ValueError("every group needs at least one multiplier")
+            length *= len(label_choices)
+        spec = (tuple(groups), tuple(per_group))
+        return cls("grid", name, spec, length)
+
+    @classmethod
+    def one_at_a_time(cls, variables, multipliers, baseline=None, name="oaat"):
+        """Per-variable knockout/boost sweeps: move one variable at a time.
+
+        :param variables: the variables to sweep.
+        :param multipliers: the values each variable is tried at (e.g.
+            ``[0.0]`` for knockouts, ``[0.8, 1.2]`` for ±20%).
+        :param baseline: optional changes applied under every scenario
+            (a :class:`Scenario` or a plain mapping); the swept
+            variable's multiplier replaces any baseline change for that
+            variable.
+        :returns: a sweep of ``len(variables) · len(multipliers)``
+            scenarios ordered variable-major.
+
+        >>> sweep = Sweep.one_at_a_time(["a", "b"], [0.0])
+        >>> [s.changes for s in sweep]
+        [{'a': 0.0}, {'b': 0.0}]
+        """
+        swept = tuple(str(v) for v in variables)
+        values = tuple(float(m) for m in multipliers)
+        if not swept:
+            raise ValueError("one_at_a_time sweep needs at least one variable")
+        if not values:
+            raise ValueError("one_at_a_time sweep needs at least one multiplier")
+        base_changes = getattr(baseline, "changes", baseline)
+        base = (
+            tuple(sorted((str(v), float(m)) for v, m in base_changes.items()))
+            if base_changes
+            else ()
+        )
+        spec = (swept, values, base)
+        return cls("oaat", name, spec, len(swept) * len(values))
+
+    @classmethod
+    def random(cls, variables, count, low=0.5, high=1.5, changes=None,
+               seed=0, name="random"):
+        """Seeded Monte-Carlo scenarios over a multiplier range.
+
+        :param variables: the alphabet scenarios draw from.
+        :param count: how many scenarios.
+        :param low: lower bound of the uniform multiplier range.
+        :param high: upper bound of the uniform multiplier range.
+        :param changes: how many variables each scenario perturbs
+            (default: all of them).
+        :param seed: the sweep's seed. Scenario ``i`` is generated from
+            an RNG derived from ``(seed, name, i)`` alone, so the sweep
+            is reproducible across runs, processes and iteration
+            orders — chunked parallel evaluation sees exactly the
+            scenarios a serial pass would.
+
+        >>> a = Sweep.random(["x", "y"], 3, seed=7)
+        >>> b = Sweep.random(["x", "y"], 3, seed=7)
+        >>> [s.changes for s in a] == [s.changes for s in b]
+        True
+        """
+        pool = tuple(str(v) for v in variables)
+        if not pool:
+            raise ValueError("random sweep needs at least one variable")
+        count = int(count)
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if changes is None:
+            changes = len(pool)
+        changes = int(changes)
+        if not 1 <= changes <= len(pool):
+            raise ValueError(
+                f"changes must be in [1, {len(pool)}], got {changes}"
+            )
+        low, high = float(low), float(high)
+        if high < low:
+            raise ValueError(f"empty multiplier range [{low}, {high}]")
+        spec = (pool, low, high, changes, int(seed))
+        return cls("random", name, spec, count)
+
+    # ----------------------------------------------------------- realization
+
+    def scenario(self, index):
+        """Materialize the scenario at ``index`` (a pure function).
+
+        >>> Sweep.one_at_a_time(["a", "b"], [0.5]).scenario(1).changes
+        {'b': 0.5}
+        """
+        index = int(index)
+        if not 0 <= index < self._length:
+            raise IndexError(
+                f"sweep index {index} out of range [0, {self._length})"
+            )
+        if self.kind == "grid":
+            return self._grid_scenario(index)
+        if self.kind == "oaat":
+            return self._oaat_scenario(index)
+        return self._random_scenario(index)
+
+    def _grid_scenario(self, index):
+        groups, per_group = self._spec
+        # Mixed-radix decode, last group fastest (itertools.product order).
+        chosen = [None] * len(groups)
+        remaining = index
+        for position in range(len(groups) - 1, -1, -1):
+            choices = per_group[position]
+            chosen[position] = choices[remaining % len(choices)]
+            remaining //= len(choices)
+        changes = {}
+        labels = []
+        for (label, variables), choice in zip(groups, chosen):
+            labels.append(f"{label}={_format_multiplier(choice)}")
+            for variable in variables:
+                changes[variable] = choice
+        return Scenario(f"{self.name}[{','.join(labels)}]", changes)
+
+    def _oaat_scenario(self, index):
+        swept, values, base = self._spec
+        variable = swept[index // len(values)]
+        value = values[index % len(values)]
+        changes = dict(base)
+        changes[variable] = value
+        return Scenario(
+            f"{self.name}[{variable}={_format_multiplier(value)}]", changes
+        )
+
+    def _random_scenario(self, index):
+        pool, low, high, changes, seed = self._spec
+        rng = derive_rng(seed, f"sweep.random:{self.name}:{index}")
+        if changes == len(pool):
+            chosen = pool
+        else:
+            chosen = rng.sample(pool, changes)
+        return Scenario(
+            f"{self.name}[{index}]",
+            {variable: rng.uniform(low, high) for variable in chosen},
+        )
+
+    # ------------------------------------------------------------- sequence
+
+    def __len__(self):
+        return self._length
+
+    def __getitem__(self, index):
+        """``sweep[i]`` — the scenario at ``i`` (negative indexes work)."""
+        if isinstance(index, slice):
+            return [self.scenario(i) for i in range(*index.indices(self._length))]
+        if index < 0:
+            index += self._length
+        return self.scenario(index)
+
+    def __iter__(self):
+        """Generate the scenarios in index order (re-iterable)."""
+        for index in range(self._length):
+            yield self.scenario(index)
+
+    def chunks(self, size=DEFAULT_CHUNK_SIZE):
+        """Yield ``(start, stop)`` index ranges covering the sweep.
+
+        >>> list(Sweep.random(["x"], 5, seed=1).chunks(2))
+        [(0, 2), (2, 4), (4, 5)]
+        """
+        if size < 1:
+            raise ValueError(f"chunk size must be >= 1, got {size}")
+        for start in range(0, self._length, size):
+            yield start, min(start + size, self._length)
+
+    def materialize(self, start=0, stop=None):
+        """The scenarios of ``[start, stop)`` as a list (a shard)."""
+        if stop is None:
+            stop = self._length
+        return [self.scenario(i) for i in range(start, stop)]
+
+    def suite(self):
+        """An eager :class:`~repro.scenarios.scenario.ScenarioSuite`.
+
+        Materializes every scenario — meant for sweeps small enough to
+        hold; large sweeps should be consumed lazily (iteration,
+        :func:`~repro.scenarios.analysis.evaluate_scenarios`,
+        :func:`~repro.scenarios.analysis.top_k`).
+        """
+        return ScenarioSuite(self)
+
+    # -------------------------------------------------------------- pickling
+
+    def __getstate__(self):
+        """Plain-tuple state (sweeps ship to worker processes)."""
+        return (self.kind, self.name, self._spec, self._length)
+
+    def __setstate__(self, state):
+        """Restore from :meth:`__getstate__`'s tuple."""
+        self.kind, self.name, self._spec, self._length = state
+
+    def __repr__(self):
+        return f"Sweep({self.kind!r}, {self.name!r}, {self._length} scenarios)"

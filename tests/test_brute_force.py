@@ -4,7 +4,6 @@ import pytest
 
 from repro.algorithms.brute_force import TooManyCutsError, brute_force_vvs
 from repro.algorithms.result import InfeasibleBoundError
-from repro.core.forest import AbstractionForest
 from repro.core.parser import parse_set
 from repro.core.tree import AbstractionTree
 

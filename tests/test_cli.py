@@ -209,14 +209,114 @@ class TestBench:
             "--output", str(output),
         ]) == 0
         document = json.loads(output.read_text())
-        assert document["schema"] == "repro-bench-core/2"
-        assert document["mode"] == "tiny"
-        results = document["results"]
+        assert document["schema"] == "repro-bench-core/3"
+        entry = document["runs"]["tiny"]
+        assert entry["mode"] == "tiny"
+        results = entry["results"]
         assert set(results) == {
-            "greedy", "optimal", "abstraction", "batch_valuation", "session"
+            "greedy", "optimal", "abstraction", "batch_valuation",
+            "sweep", "session",
         }
         assert results["greedy"]["speedup"] > 0
         assert results["batch_valuation"]["max_abs_error"] < 1e-6
+        assert results["sweep"]["max_abs_error"] == 0.0
+        assert results["sweep"]["workers"] >= 2
         assert results["session"]["algorithm"] == "greedy"
         assert results["session"]["artifact_bytes"] > 0
         assert results["session"]["exact_answers"] >= 0
+
+    def test_check_passes_against_own_run(self, tmp_path):
+        """A run checked against its own freshly-written JSON passes."""
+        output = tmp_path / "bench.json"
+        assert main([
+            "bench", "--tiny", "--quiet", "--repeat", "1",
+            "--output", str(output),
+        ]) == 0
+        assert main([
+            "bench", "--tiny", "--quiet", "--repeat", "1",
+            "--output", str(output), "--check", str(output),
+        ]) == 0
+
+    def test_check_fails_on_regressed_baseline(self, tmp_path, capsys):
+        """A baseline demanding impossible speedups trips the gate."""
+        output = tmp_path / "bench.json"
+        assert main([
+            "bench", "--tiny", "--quiet", "--repeat", "1",
+            "--output", str(output),
+        ]) == 0
+        document = json.loads(output.read_text())
+        document["runs"]["tiny"]["results"]["greedy"]["speedup"] = 1e9
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(document))
+        code = main([
+            "bench", "--tiny", "--quiet", "--repeat", "1",
+            "--check", str(baseline),
+        ])
+        assert code == 1
+        assert "greedy.speedup regressed" in capsys.readouterr().err
+
+    def test_check_rejects_missing_mode(self, tmp_path, capsys):
+        """The gate is strictly same-mode: no smoke baseline, no pass."""
+        output = tmp_path / "bench.json"
+        assert main([
+            "bench", "--tiny", "--quiet", "--repeat", "1",
+            "--output", str(output),
+        ]) == 0
+        document = json.loads(output.read_text())
+        del document["runs"]["tiny"]
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(document))
+        code = main([
+            "bench", "--tiny", "--quiet", "--repeat", "1",
+            "--check", str(baseline),
+        ])
+        assert code == 1
+
+
+class TestSweep:
+    def test_oaat_sweep_reports_top_k(self, files, capsys):
+        _, provenance, _ = files
+        assert main([
+            "sweep", provenance, "--oaat", "all",
+            "--multipliers", "0.8,1.2", "--top-k", "3", "--sensitivity",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "top 3 by total value:" in out
+        assert "sensitivity" in out
+
+    def test_grid_sweep_counts_cartesian_product(self, files, capsys):
+        _, provenance, _ = files
+        assert main([
+            "sweep", provenance,
+            "--grid", "plans=b1,b2", "--grid", "months=m1,m3",
+            "--multipliers", "0.5,1.0,2.0", "--top-k", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "grid, 9 scenarios" in out
+
+    def test_random_sweep_against_artifact(self, files, tmp_path, capsys):
+        _, provenance, forest = files
+        artifact = str(tmp_path / "artifact.json")
+        assert main([
+            "compress", provenance, forest, "--bound", "9",
+            "--artifact", artifact,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "sweep", artifact, "--random", "20", "--seed", "3",
+            "--top-k", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(compressed artifact)" in out
+        assert "random, 20 scenarios" in out
+
+    def test_grid_requires_multipliers(self, files):
+        _, provenance, _ = files
+        with pytest.raises(SystemExit):
+            main(["sweep", provenance, "--grid", "g=b1,b2"])
+
+    def test_bad_grid_spec(self, files):
+        _, provenance, _ = files
+        with pytest.raises(SystemExit):
+            main(["sweep", provenance, "--grid", "nogroup",
+                  "--multipliers", "0.5"])

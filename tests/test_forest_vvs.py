@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.forest import AbstractionForest, CompatibilityError, ValidVariableSet
+from repro.core.forest import AbstractionForest, CompatibilityError
 from repro.core.parser import parse_set
 from repro.core.tree import AbstractionTree
 

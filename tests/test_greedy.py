@@ -6,7 +6,6 @@ from repro.algorithms.brute_force import brute_force_vvs
 from repro.algorithms.greedy import greedy_vvs
 from repro.algorithms.optimal import optimal_vvs
 from repro.core.abstraction import abstract, monomial_loss, variable_loss
-from repro.core.forest import AbstractionForest
 from repro.core.parser import parse_set
 from repro.core.tree import AbstractionTree
 from repro.workloads.random_polys import random_compatible_instance

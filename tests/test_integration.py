@@ -13,10 +13,8 @@ from repro.core.forest import AbstractionForest
 from repro.engine import Query
 from repro.scenarios import Scenario
 from repro.workloads.telephony import (
-    TelephonyBenchmark,
     figure1_database,
     months_tree,
-    plans_tree,
     revenue_by_zip,
 )
 from repro.workloads.tpch import q1_pricing_summary, supplier_tree

@@ -1,0 +1,323 @@
+"""Parallel evaluation equivalence, analytics, and cross-process sweeps.
+
+The contract under test: sharding evaluation across a process pool is
+*bit-identical* to the serial pass (the issue's property), sweeps are
+reproducible across processes, and the streaming analytics (top_k /
+sensitivity) agree with full-matrix computations.
+"""
+
+import concurrent.futures
+import pickle
+from fractions import Fraction
+
+import numpy
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parser import parse_set
+from repro.core.valuation import Valuation
+from repro.scenarios import (
+    Scenario,
+    Sweep,
+    evaluate_scenarios,
+    sensitivity,
+    top_k,
+)
+from repro.scenarios.parallel import evaluate_scenarios_parallel
+from repro.workloads.random_polys import random_polynomials
+
+VARIABLES = ["a", "b", "c", "d"]
+
+
+@pytest.fixture(scope="module")
+def polys():
+    return parse_set(
+        ["2*a*x + 3*b*x + 4*c*y + 5*d*y", "6*a*z + 7*b*z", "1 + c*d"]
+    )
+
+
+def _workload():
+    pool = [f"v{i}" for i in range(12)]
+    return random_polynomials(8, 20, [pool], seed=5, extra_variables=4)
+
+
+class TestParallelEquivalence:
+    def test_sweep_parallel_bit_identical(self, polys):
+        sweep = Sweep.random(VARIABLES + ["x", "y"], 600, seed=11, changes=3)
+        serial = evaluate_scenarios(polys, sweep)
+        parallel = evaluate_scenarios_parallel(
+            polys, sweep, workers=2, min_parallel=0, chunk_size=128
+        )
+        assert serial.shape == (600, 3)
+        assert numpy.array_equal(serial, parallel)
+
+    def test_iterable_parallel_bit_identical(self, polys):
+        scenarios = [
+            Scenario(f"s{i}", {"a": 0.5 + i / 100, "x": 1.0 + i / 50})
+            for i in range(300)
+        ]
+        serial = evaluate_scenarios(polys, scenarios)
+        parallel = evaluate_scenarios_parallel(
+            polys, scenarios, workers=2, min_parallel=0, chunk_size=64
+        )
+        assert numpy.array_equal(serial, parallel)
+
+    def test_float_valuations_bit_identical(self, polys):
+        valuations = [
+            Valuation({"a": 0.1 * i, "c": 1.0 / (i + 1)}) for i in range(80)
+        ]
+        serial = evaluate_scenarios(polys, valuations)
+        parallel = evaluate_scenarios_parallel(
+            polys, valuations, workers=2, min_parallel=0, chunk_size=17
+        )
+        assert numpy.array_equal(serial, parallel)
+
+    def test_fraction_valuations_bit_identical(self, polys):
+        """Exact Fraction assignments degrade to float the same way on
+        both sides of the pool boundary (the issue's property test)."""
+        valuations = [
+            Valuation({"a": Fraction(1, 3), "b": Fraction(i, 7)},
+                      default=Fraction(1, 1))
+            for i in range(60)
+        ]
+        serial = evaluate_scenarios(polys, valuations)
+        parallel = evaluate_scenarios_parallel(
+            polys, valuations, workers=2, min_parallel=0, chunk_size=13
+        )
+        assert numpy.array_equal(serial, parallel)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(
+        st.dictionaries(
+            st.sampled_from(VARIABLES + ["x", "y", "z"]),
+            st.one_of(
+                st.floats(0.0, 4.0, allow_nan=False),
+                st.fractions(min_value=0, max_value=4),
+            ),
+            max_size=4,
+        ),
+        min_size=1, max_size=24,
+    ))
+    def test_property_chunked_serial_identical(self, assignments):
+        """Chunked evaluation (the shard shape) equals one-shot batch for
+        arbitrary float/Fraction assignments."""
+        polys = parse_set(
+            ["2*a*x + 3*b*x + 4*c*y + 5*d*y", "6*a*z + 7*b*z", "1 + c*d"]
+        )
+        one_shot = polys.evaluate_batch(assignments)
+        chunked = evaluate_scenarios_parallel(
+            polys, assignments, workers=0, chunk_size=5
+        )
+        assert numpy.array_equal(one_shot, chunked)
+
+    def test_workload_scale_parallel_identical(self):
+        polys = _workload()
+        sweep = Sweep.random(
+            sorted(polys.variables), 700, seed=23, changes=6
+        )
+        serial = evaluate_scenarios(polys, sweep)
+        parallel = evaluate_scenarios(polys, sweep, workers=2)
+        forced = evaluate_scenarios_parallel(
+            polys, sweep, workers=2, min_parallel=0
+        )
+        assert numpy.array_equal(serial, parallel)
+        assert numpy.array_equal(serial, forced)
+
+    def test_empty_and_edge_inputs(self, polys):
+        assert evaluate_scenarios_parallel(
+            polys, [], workers=2
+        ).shape == (0, 3)
+        assert evaluate_scenarios_parallel(
+            polys, Sweep.random(["a"], 0, seed=1), workers=2
+        ).shape == (0, 3)
+        with pytest.raises(ValueError):
+            evaluate_scenarios_parallel(polys, [], workers=-1)
+        with pytest.raises(ValueError):
+            evaluate_scenarios_parallel(polys, [], workers=2, chunk_size=0)
+
+    def test_serial_threshold_respected(self, polys):
+        """Small suites never pay for a pool (same answers either way)."""
+        scenarios = [Scenario("s", {"a": 0.5})] * 10
+        assert numpy.array_equal(
+            evaluate_scenarios(polys, scenarios, workers=4),
+            evaluate_scenarios(polys, scenarios),
+        )
+
+
+def _remote_changes(spec):
+    sweep, start, stop = spec
+    return [s.changes for s in sweep.materialize(start, stop)]
+
+
+class TestCrossProcessReproducibility:
+    def test_random_sweep_identical_in_worker_process(self):
+        """Sweep.random(seed=...) regenerates bit-identical scenarios in
+        a different process (the issue's property test)."""
+        sweep = Sweep.random(["x", "y", "z"], 40, seed=13, changes=2)
+        local = [s.changes for s in sweep]
+        with concurrent.futures.ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(_remote_changes, (sweep, 0, 40)).result()
+            shard = pool.submit(_remote_changes, (sweep, 10, 30)).result()
+        assert remote == local
+        assert shard == local[10:30]
+
+    def test_compiled_set_pickles_to_identical_answers(self):
+        polys = _workload()
+        compiled = polys.compiled()
+        clone = pickle.loads(pickle.dumps(compiled))
+        scenarios = Sweep.random(
+            sorted(polys.variables), 32, seed=3
+        ).materialize()
+        assert numpy.array_equal(
+            compiled.evaluate(scenarios), clone.evaluate(scenarios)
+        )
+
+
+class TestTopK:
+    def test_matches_full_matrix_ranking(self, polys):
+        sweep = Sweep.random(VARIABLES + ["x", "y"], 200, seed=5, changes=2)
+        matrix = evaluate_scenarios(polys, sweep)
+        totals = matrix.sum(axis=1)
+        expected = sorted(
+            range(200), key=lambda i: (-totals[i], i)
+        )[:5]
+        ranked = top_k(polys, sweep, k=5)
+        assert [entry.index for entry in ranked] == expected
+        assert [entry.rank for entry in ranked] == [1, 2, 3, 4, 5]
+        assert ranked[0].score == pytest.approx(totals[expected[0]])
+        assert len(ranked[0].values) == 3
+
+    def test_smallest_ranking(self, polys):
+        sweep = Sweep.one_at_a_time(VARIABLES, [0.0])
+        ranked = top_k(polys, sweep, k=2, largest=False)
+        full = evaluate_scenarios(polys, sweep).sum(axis=1)
+        assert ranked[0].score == pytest.approx(full.min())
+
+    def test_custom_objective(self, polys):
+        sweep = Sweep.one_at_a_time(VARIABLES, [0.5, 1.5])
+        ranked = top_k(
+            polys, sweep, k=1, objective=lambda row: float(row[1])
+        )
+        matrix = evaluate_scenarios(polys, sweep)
+        assert ranked[0].score == pytest.approx(matrix[:, 1].max())
+
+    def test_k_larger_than_family(self, polys):
+        ranked = top_k(polys, Sweep.one_at_a_time(["a"], [0.5]), k=10)
+        assert len(ranked) == 1
+        with pytest.raises(ValueError):
+            top_k(polys, [], k=0)
+
+    def test_bad_chunk_size_raises_not_empty(self, polys):
+        """chunk_size <= 0 must raise, never silently return []."""
+        sweep = Sweep.one_at_a_time(["a"], [0.5])
+        with pytest.raises(ValueError):
+            top_k(polys, sweep, k=1, chunk_size=0)
+        with pytest.raises(ValueError):
+            sensitivity(polys, sweep, chunk_size=-3)
+
+    def test_parallel_matches_serial(self):
+        polys = _workload()
+        sweep = Sweep.random(sorted(polys.variables), 600, seed=2, changes=4)
+        serial = top_k(polys, sweep, k=7)
+        parallel = top_k(polys, sweep, k=7, workers=2, chunk_size=128)
+        assert serial == parallel
+
+    def test_parallel_over_plain_list_matches_serial(self):
+        """Non-Sweep iterables shard too (rows ship to the pool)."""
+        polys = _workload()
+        scenarios = Sweep.random(
+            sorted(polys.variables), 600, seed=12, changes=4
+        ).materialize()
+        serial = top_k(polys, scenarios, k=5)
+        parallel = top_k(polys, scenarios, k=5, workers=2, chunk_size=128)
+        assert serial == parallel
+
+    def test_parallel_with_transform_matches_serial(self):
+        """Transforms run in the parent; evaluation still shards."""
+        polys = _workload()
+        sweep = Sweep.random(sorted(polys.variables), 600, seed=8, changes=3)
+
+        def damp(entry):
+            v = Valuation.coerce(entry)
+            return Valuation(
+                {k: (val + 1.0) / 2.0 for k, val in v.assignment.items()},
+                default=v.default,
+            )
+
+        serial = top_k(polys, sweep, k=5, transform=damp)
+        parallel = top_k(
+            polys, sweep, k=5, transform=damp, workers=2, chunk_size=128
+        )
+        assert serial == parallel
+
+
+class TestSensitivity:
+    def test_oaat_ranks_by_induced_delta(self, polys):
+        # knocking out each variable moves the totals by its coefficients
+        sweep = Sweep.one_at_a_time(VARIABLES, [0.0])
+        report = sensitivity(polys, sweep)
+        deltas = {item.variable: item.mean_delta for item in report}
+        # b appears as 3*b*x and 7*b*z -> delta 10 with all-1 defaults.
+        assert deltas["b"] == pytest.approx(10.0)
+        assert deltas["a"] == pytest.approx(8.0)
+        assert report[0].variable == "b"
+        assert report[0].scenarios == 1
+
+    def test_multi_change_scenarios_attribute_to_all(self, polys):
+        report = sensitivity(polys, [Scenario("s", {"a": 0.0, "b": 0.0})])
+        deltas = {item.variable: item.mean_delta for item in report}
+        assert deltas["a"] == deltas["b"] == pytest.approx(18.0)
+
+    def test_parallel_matches_serial(self):
+        polys = _workload()
+        sweep = Sweep.random(sorted(polys.variables), 600, seed=6, changes=3)
+        assert sensitivity(polys, sweep) == sensitivity(
+            polys, sweep, workers=2, chunk_size=150
+        )
+
+
+class TestFacadeWorkers:
+    def test_session_ask_many_workers_identical(self):
+        from repro.api.session import ProvenanceSession
+
+        polys = _workload()
+        session = ProvenanceSession.from_polynomials(polys)
+        sweep = Sweep.random(sorted(polys.variables), 40, seed=4)
+        serial = session.ask_many(sweep)
+        parallel = session.ask_many(sweep, workers=2)
+        assert serial == parallel
+        assert all(answer.exact for answer in serial)
+        assert serial[0].name == sweep[0].name
+        one = session.ask(sweep[0])
+        assert one.values == serial[0].values
+
+    def test_artifact_ask_many_workers_identical(self):
+        from repro.api.session import ProvenanceSession
+        from repro.workloads.trees import layered_tree
+
+        polys = _workload()
+        pool = sorted(v for v in polys.variables if v.startswith("v"))
+        tree = layered_tree(pool, (4,), prefix="g")
+        session = ProvenanceSession.from_polynomials(polys, forest=tree)
+        artifact = session.compress(bound=max(1, polys.num_monomials // 2))
+        sweep = Sweep.random(pool, 50, seed=9, changes=2)
+        assert artifact.ask_many(sweep) == artifact.ask_many(sweep, workers=2)
+
+    def test_artifact_lift_feeds_top_k(self):
+        from repro.api.session import ProvenanceSession
+        from repro.workloads.trees import layered_tree
+
+        polys = _workload()
+        pool = sorted(v for v in polys.variables if v.startswith("v"))
+        tree = layered_tree(pool, (4,), prefix="g")
+        session = ProvenanceSession.from_polynomials(polys, forest=tree)
+        artifact = session.compress(bound=max(1, polys.num_monomials // 2))
+        sweep = Sweep.one_at_a_time(pool, [0.5])
+        ranked = top_k(
+            artifact.polynomials, sweep, k=3, transform=artifact.lift
+        )
+        answers = artifact.ask_many(sweep)
+        totals = [sum(answer.values) for answer in answers]
+        best = max(range(len(totals)), key=lambda i: (totals[i], -i))
+        assert ranked[0].index == best
+        assert ranked[0].score == pytest.approx(totals[best])

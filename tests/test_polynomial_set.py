@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.parser import parse, parse_set
-from repro.core.polynomial import Polynomial, PolynomialSet
+from repro.core.polynomial import PolynomialSet
 
 
 class TestMultisetSemantics:

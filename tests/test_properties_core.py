@@ -5,7 +5,7 @@ from hypothesis import assume, given, settings, strategies as st
 from repro.core.abstraction import LossIndex, abstract, abstract_counts
 from repro.core.forest import AbstractionForest
 from repro.core.parser import parse
-from repro.core.polynomial import Monomial, Polynomial, PolynomialSet
+from repro.core.polynomial import Monomial, Polynomial
 from repro.core.serialize import dumps, loads
 from repro.core.valuation import Valuation
 from repro.workloads.random_polys import random_compatible_instance

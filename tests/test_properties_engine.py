@@ -10,7 +10,6 @@ aggregate's polynomials preserve total value.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.polynomial import Polynomial
 from repro.engine import Relation, aggregate_sum, join, project, rename, select, union
 from repro.semiring import PROVENANCE
 
@@ -70,7 +69,8 @@ class TestJoinLaws:
     def test_selection_commutes_with_join(self, row_list):
         left = _relation(row_list, "l")
         right = rename(_relation(row_list, "r"), {"v": "w"})
-        predicate = lambda row: row["k"] >= 2
+        def predicate(row):
+            return row["k"] >= 2
         select_then_join = join(select(left, predicate), right, on="k")
         join_then_select = select(join(left, right, on="k"), predicate)
         assert select_then_join == join_then_select

@@ -9,6 +9,7 @@ from repro.core.parser import parse_set
 from repro.core.tree import AbstractionTree
 from repro.scenarios import (
     Scenario,
+    ScenarioOverlapWarning,
     ScenarioSuite,
     adapt_bound,
     approximate_lift,
@@ -46,8 +47,23 @@ class TestScenario:
         assert values[1] == pytest.approx(3 + 7)
 
     def test_compose_multiplies(self):
-        s = Scenario("a", {"x": 0.8}).compose(Scenario("b", {"x": 0.5, "y": 2.0}))
+        with pytest.warns(ScenarioOverlapWarning, match="both change x"):
+            s = Scenario("a", {"x": 0.8}).compose(
+                Scenario("b", {"x": 0.5, "y": 2.0})
+            )
         assert s.changes == {"x": 0.4, "y": 2.0}
+
+    def test_compose_disjoint_does_not_warn(self, recwarn):
+        s = Scenario("a", {"x": 0.8}).compose(Scenario("b", {"y": 2.0}))
+        assert s.changes == {"x": 0.8, "y": 2.0}
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, ScenarioOverlapWarning)]
+
+    def test_compose_warning_names_every_overlap(self):
+        with pytest.warns(ScenarioOverlapWarning, match="x, y"):
+            Scenario("a", {"x": 0.8, "y": 1.0}).compose(
+                Scenario("b", {"x": 0.5, "y": 2.0})
+            )
 
     def test_supported_by(self, instance):
         _, forest = instance

@@ -1,6 +1,5 @@
 """Tests for provenance profiling and abstraction-tree induction."""
 
-import pytest
 
 from repro.core.parser import parse_set
 from repro.core.polynomial import PolynomialSet

@@ -1,0 +1,184 @@
+"""Tests for the declarative sweep engine (repro.scenarios.sweep)."""
+
+import pickle
+
+import pytest
+
+from repro.core.parser import parse_set
+from repro.scenarios import Scenario, ScenarioSuite, Sweep, evaluate_scenarios
+
+
+@pytest.fixture
+def polys():
+    return parse_set(["2*a*x + 3*b*x + 4*c*y", "6*a*z + 7*b*z"])
+
+
+class TestGrid:
+    def test_cartesian_count_and_order(self):
+        sweep = Sweep.grid({"p": ["a"], "q": ["b"]}, [0.5, 2.0])
+        assert len(sweep) == 4
+        assert [s.changes for s in sweep] == [
+            {"a": 0.5, "b": 0.5},
+            {"a": 0.5, "b": 2.0},
+            {"a": 2.0, "b": 0.5},
+            {"a": 2.0, "b": 2.0},
+        ]
+
+    def test_group_multiplier_moves_all_members(self):
+        sweep = Sweep.grid({"g": ["a", "b", "c"]}, [0.8])
+        assert sweep[0].changes == {"a": 0.8, "b": 0.8, "c": 0.8}
+
+    def test_per_group_multipliers_mapping(self):
+        sweep = Sweep.grid(
+            {"p": ["a"], "q": ["b"]}, {"p": [0.5], "q": [1.0, 2.0]}
+        )
+        assert len(sweep) == 2
+        assert [s.changes["b"] for s in sweep] == [1.0, 2.0]
+
+    def test_list_of_lists_and_bare_names(self):
+        assert len(Sweep.grid([["a", "b"], ["c"]], [0.9, 1.1])) == 4
+        assert Sweep.grid(["a", "b"], [0.9])[0].changes == {"a": 0.9, "b": 0.9}
+
+    def test_names_identify_choices(self):
+        sweep = Sweep.grid({"p": ["a"], "q": ["b"]}, [0.5, 2.0])
+        assert sweep[3].name == "grid[p=2,q=2]"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sweep.grid({}, [0.5])
+        with pytest.raises(ValueError):
+            Sweep.grid({"g": []}, [0.5])
+        with pytest.raises(ValueError):
+            Sweep.grid({"g": ["a"]}, [])
+        with pytest.raises(ValueError):
+            Sweep.grid({"g": ["a"]}, {"other": [0.5]})
+        with pytest.raises(ValueError):
+            Sweep.grid({"g": ["a"], "h": ["b"]}, [[0.5]])
+
+
+class TestOneAtATime:
+    def test_variable_major_order(self):
+        sweep = Sweep.one_at_a_time(["a", "b"], [0.0, 1.2])
+        assert [s.changes for s in sweep] == [
+            {"a": 0.0}, {"a": 1.2}, {"b": 0.0}, {"b": 1.2}
+        ]
+
+    def test_baseline_applies_under_each_scenario(self):
+        sweep = Sweep.one_at_a_time(
+            ["a", "b"], [0.5], baseline={"c": 2.0, "a": 9.0}
+        )
+        assert sweep[0].changes == {"a": 0.5, "c": 2.0}  # sweep wins on "a"
+        assert sweep[1].changes == {"a": 9.0, "b": 0.5, "c": 2.0}
+
+    def test_baseline_accepts_scenario(self):
+        base = Scenario("base", {"c": 2.0})
+        assert Sweep.one_at_a_time(["a"], [0.5], baseline=base)[0].changes == {
+            "a": 0.5, "c": 2.0
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sweep.one_at_a_time([], [0.5])
+        with pytest.raises(ValueError):
+            Sweep.one_at_a_time(["a"], [])
+
+
+class TestRandom:
+    def test_reproducible_same_seed(self):
+        a = Sweep.random(["x", "y", "z"], 20, seed=7)
+        b = Sweep.random(["x", "y", "z"], 20, seed=7)
+        assert [s.changes for s in a] == [s.changes for s in b]
+
+    def test_different_seeds_differ(self):
+        a = Sweep.random(["x", "y", "z"], 5, seed=7)
+        b = Sweep.random(["x", "y", "z"], 5, seed=8)
+        assert [s.changes for s in a] != [s.changes for s in b]
+
+    def test_index_access_is_iteration_order_independent(self):
+        sweep = Sweep.random(["x", "y"], 10, seed=3, changes=1)
+        forward = [sweep.scenario(i).changes for i in range(10)]
+        backward = [sweep.scenario(i).changes
+                    for i in reversed(range(10))][::-1]
+        assert forward == backward
+
+    def test_multipliers_within_range(self):
+        sweep = Sweep.random(["x"], 50, low=0.9, high=1.1, seed=2)
+        for scenario in sweep:
+            for value in scenario.changes.values():
+                assert 0.9 <= value <= 1.1
+
+    def test_changes_limits_perturbed_variables(self):
+        sweep = Sweep.random(["x", "y", "z"], 20, changes=2, seed=4)
+        assert all(len(s.changes) == 2 for s in sweep)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sweep.random([], 5)
+        with pytest.raises(ValueError):
+            Sweep.random(["x"], -1)
+        with pytest.raises(ValueError):
+            Sweep.random(["x"], 5, changes=2)
+        with pytest.raises(ValueError):
+            Sweep.random(["x"], 5, low=2.0, high=1.0)
+
+
+class TestSequenceProtocol:
+    def test_negative_and_slice_indexing(self):
+        sweep = Sweep.one_at_a_time(["a", "b", "c"], [0.5])
+        assert sweep[-1].changes == {"c": 0.5}
+        assert [s.changes for s in sweep[1:]] == [{"b": 0.5}, {"c": 0.5}]
+        with pytest.raises(IndexError):
+            sweep.scenario(3)
+
+    def test_reiteration_yields_identical_scenarios(self):
+        sweep = Sweep.random(["x", "y"], 8, seed=1)
+        assert [s.changes for s in sweep] == [s.changes for s in sweep]
+
+    def test_chunks_cover_exactly(self):
+        sweep = Sweep.random(["x"], 10, seed=1)
+        assert list(sweep.chunks(4)) == [(0, 4), (4, 8), (8, 10)]
+        with pytest.raises(ValueError):
+            list(sweep.chunks(0))
+
+    def test_materialize_shard(self):
+        sweep = Sweep.one_at_a_time(["a", "b", "c"], [0.5])
+        shard = sweep.materialize(1, 3)
+        assert [s.changes for s in shard] == [{"b": 0.5}, {"c": 0.5}]
+
+    def test_suite_materializes(self):
+        suite = Sweep.one_at_a_time(["a", "b"], [0.5]).suite()
+        assert isinstance(suite, ScenarioSuite)
+        assert len(suite) == 2
+
+    def test_pickle_round_trip(self):
+        sweep = Sweep.random(["x", "y"], 12, seed=9, changes=1)
+        clone = pickle.loads(pickle.dumps(sweep))
+        assert [s.changes for s in clone] == [s.changes for s in sweep]
+        assert repr(clone) == repr(sweep)
+
+    def test_sweeps_stay_lazy(self):
+        """A million-scenario sweep is spec-sized, not list-sized."""
+        sweep = Sweep.grid(
+            {f"g{i}": [f"v{i}"] for i in range(20)}, [0.5, 1.0]
+        )
+        assert len(sweep) == 2 ** 20
+        assert len(pickle.dumps(sweep)) < 2000
+        assert sweep[2 ** 20 - 1].changes["v19"] == 1.0
+
+
+class TestSweepEvaluation:
+    def test_evaluate_scenarios_accepts_sweep(self, polys):
+        sweep = Sweep.one_at_a_time(["a", "b"], [0.0])
+        matrix = evaluate_scenarios(polys, sweep)
+        assert matrix.shape == (2, 2)
+        # knocking out "a" zeroes its monomials: 3x + 4y with x=y=z=1.
+        assert matrix[0][0] == pytest.approx(3 + 4)
+        assert matrix[0][1] == pytest.approx(7)
+
+    def test_sweep_matches_manual_scenarios(self, polys):
+        sweep = Sweep.grid({"p": ["a", "b"]}, [0.5, 1.5])
+        via_sweep = evaluate_scenarios(polys, sweep)
+        manual = evaluate_scenarios(
+            polys, [Scenario("m", dict(s.changes)) for s in sweep]
+        )
+        assert (via_sweep == manual).all()

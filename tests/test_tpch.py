@@ -11,7 +11,6 @@ from repro.workloads.tpch import (
     q1_pricing_summary,
     q5_local_supplier_volume,
     q6_forecast_revenue,
-    q10_returned_items,
     query_provenance,
     supplier_tree,
     supplier_variables,
