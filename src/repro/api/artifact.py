@@ -172,7 +172,7 @@ class CompressedProvenance:
         """
         return self.ask_many([scenario], default=default)[0]
 
-    def ask_many(self, scenarios, default=1.0, workers=None):
+    def ask_many(self, scenarios, default=1.0, workers=None, engine="auto"):
         """Answer a whole scenario family in one vectorized pass.
 
         :param scenarios: a :class:`~repro.scenarios.scenario.ScenarioSuite`,
@@ -182,6 +182,11 @@ class CompressedProvenance:
             valuations across this many worker processes (see
             :func:`repro.scenarios.analysis.evaluate_scenarios`);
             ``None`` stays in process. Answers are bit-identical.
+        :param engine: dense vs. delta batch evaluation of the lifted
+            valuations; ``"auto"`` (the default) picks delta for
+            sparse families — lifting onto a cut only shrinks a
+            scenario's change-set, so sparse scenarios stay sparse on
+            meta-variables. Answers are bit-identical either way.
         :returns: a list of :class:`Answer`, one per scenario, in order.
         """
         from repro.scenarios.analysis import evaluate_scenarios
@@ -202,7 +207,8 @@ class CompressedProvenance:
         if not lifted:
             return []
         matrix = evaluate_scenarios(
-            self.polynomials, lifted, default=default, workers=workers
+            self.polynomials, lifted, default=default, workers=workers,
+            engine=engine,
         )
         return [
             Answer(name, tuple(float(v) for v in row), exact)

@@ -150,7 +150,7 @@ class ProvenanceSession:
         """
         return self.ask_many([scenario], default=default)[0]
 
-    def ask_many(self, scenarios, default=1.0, workers=None):
+    def ask_many(self, scenarios, default=1.0, workers=None, engine="auto"):
         """Answer a scenario family against the raw provenance.
 
         :param scenarios: a :class:`~repro.scenarios.sweep.Sweep`, a
@@ -160,6 +160,10 @@ class ProvenanceSession:
             worker processes (see
             :func:`repro.scenarios.analysis.evaluate_scenarios`);
             ``None`` stays in process. Answers are bit-identical.
+        :param engine: dense vs. delta batch evaluation; ``"auto"``
+            (the default) picks delta for sparse scenario families
+            (see :func:`repro.core.batch.choose_engine`). Answers are
+            bit-identical whichever engine runs.
         :returns: a list of :class:`~repro.api.artifact.Answer`, one
             per scenario, in order — all ``exact=True`` (nothing was
             abstracted away).
@@ -172,7 +176,8 @@ class ProvenanceSession:
         # once here for the names).
         items = scenarios if isinstance(scenarios, list) else list(scenarios)
         matrix = evaluate_scenarios(
-            self.polynomials, items, default=default, workers=workers
+            self.polynomials, items, default=default, workers=workers,
+            engine=engine,
         )
         answers = []
         for index, (item, row) in enumerate(zip(items, matrix)):

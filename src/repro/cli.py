@@ -243,15 +243,24 @@ def _cmd_sweep(args):
         )
     sweep = _build_sweep(args, polynomials.variables)
     print(f"sweep:       {sweep.kind}, {len(sweep)} scenarios")
+    if sweep.kind == "random":
+        # Reproducibility from the report alone: echo the seed even
+        # when it was defaulted rather than passed explicitly.
+        print(f"seed:        {args.seed}")
     print(f"target:      {len(polynomials)} polynomials"
           + (" (compressed artifact)" if transform else ""))
+    resolved = polynomials.compiled().resolve_engine(
+        args.engine, mean_changes=sweep.mean_changes()
+    )
+    print(f"engine:      {resolved}"
+          + (" (auto)" if args.engine == "auto" else ""))
     if args.workers:
         print(f"workers:     {args.workers}")
 
     started = time.perf_counter()
     ranked = top_k(
         polynomials, sweep, k=args.top_k, workers=args.workers,
-        transform=transform,
+        transform=transform, engine=args.engine,
     )
     elapsed = time.perf_counter() - started
     print(f"evaluated:   {len(sweep)} scenarios in {elapsed:.3f}s")
@@ -264,7 +273,8 @@ def _cmd_sweep(args):
         print(f"  {entry.rank:>2}. {entry.name}  score={entry.score:g}{mode}")
     if args.sensitivity:
         report = sensitivity(
-            polynomials, sweep, workers=args.workers, transform=transform
+            polynomials, sweep, workers=args.workers, transform=transform,
+            engine=args.engine,
         )
         print("sensitivity (mean |Δ| per changed variable):")
         for item in report[:args.top_k]:
@@ -396,6 +406,13 @@ def build_parser():
                             "(default: all)")
     sweep.add_argument("--seed", type=int, default=0,
                        help="--random seed (sweeps are reproducible)")
+    sweep.add_argument("--engine", choices=["dense", "delta", "auto"],
+                       default="auto",
+                       help="batch evaluation engine: dense recomputes "
+                            "every monomial per scenario, delta patches "
+                            "only changed ones around a baseline, auto "
+                            "picks by scenario density (bit-identical "
+                            "answers; default: auto)")
     sweep.add_argument("--workers", type=int, default=None,
                        help="shard evaluation across N worker processes")
     sweep.add_argument("--top-k", type=int, default=10, dest="top_k",

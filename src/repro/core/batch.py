@@ -33,13 +33,190 @@ non-empty and the hot path has no special cases.
 Coefficients and assignment values are degraded to ``float64`` — exact
 ``fractions.Fraction`` arithmetic needs the scalar
 :meth:`Polynomial.evaluate` path.
+
+Delta engine: the paper's workload perturbs a *handful* of variables
+per scenario around a shared baseline ("repeatedly modifying the data
+and observing the induced effect"), so recomputing every monomial for
+every scenario wastes almost all of the dense work on values that did
+not move. ``engine="delta"`` valuates the all-default baseline once,
+then per scenario recomputes only the monomial rows whose variables
+changed (found through an inverted column→monomial index built lazily
+from the compiled layers) and re-reduces only the polynomial segments
+containing them. The patched segments are summed by the *same*
+``add.reduceat`` machinery over the same float values in the same
+order, so delta answers are **bit-identical** to dense ones — the
+property the test suite asserts. ``engine="auto"`` picks delta when
+the mean number of changed variables per scenario is a small fraction
+of the alphabet (:func:`choose_engine`).
 """
 
 from __future__ import annotations
 
 import numpy
 
-__all__ = ["CompiledPolynomialSet"]
+__all__ = [
+    "CompiledPolynomialSet",
+    "DELTA_SPARSITY_THRESHOLD",
+    "ENGINES",
+    "choose_engine",
+]
+
+#: The valid ``engine=`` names accepted across the stack.
+ENGINES = ("dense", "delta", "auto")
+
+#: ``engine="auto"`` picks the delta path when the mean number of
+#: changed variables per scenario is at most this fraction of the
+#: compiled alphabet — the "mean changed-vars ≪ V" heuristic, used
+#: when nothing is known about monomial fan-in.
+DELTA_SPARSITY_THRESHOLD = 0.25
+
+#: The sharper form of the same heuristic a compiled set can apply:
+#: scenarios are sparse *for delta purposes* when the expected number
+#: of affected monomials — mean changed variables × average monomials
+#: per variable — is at most this fraction of the multiset. Changed
+#: variables undercount the work when variables fan into many
+#: monomials (20 changed vars of 288 sounds sparse, but can touch 20%
+#: of the monomials, where dense wins).
+DELTA_AFFECTED_THRESHOLD = 0.15
+
+#: At most this many per-default baselines are cached per compiled set
+#: (suites mixing unboundedly many defaults recompute past the cap).
+_MAX_BASELINE_CACHE = 32
+
+
+def _int_power(base, exps):
+    """Elementwise ``base ** exps`` for small non-negative int exponents.
+
+    NumPy's ``**`` ufunc is *not* bit-reproducible across array
+    groupings — the SIMD inner loop and the scalar tail can round the
+    same ``pow(x, 2)`` differently, so a value computed inside a large
+    dense layer and the same value recomputed in a small delta patch
+    could disagree in the last bit, breaking the engines'
+    bit-identity contract. Multiplication, by contrast, is correctly
+    rounded per element however the array is laid out, so integer
+    powers are computed as a left-associated multiply chain
+    (``x, x·x, (x·x)·x, …``) whose per-element operation sequence
+    depends only on that element's exponent. Provenance exponents are
+    tiny (overwhelmingly 1, never negative), so the O(max exponent)
+    loop is irrelevant in practice.
+
+    ``base`` may be any-dimensional with exponents aligned to its last
+    axis; a fresh array is returned (``base`` is not written).
+    """
+    result = base.copy()
+    result[..., exps == 0] = 1.0
+    highest = int(exps.max()) if exps.size else 0
+    for power in range(2, highest + 1):
+        deeper = exps >= power
+        result[..., deeper] *= base[..., deeper]
+    return result
+
+
+def choose_engine(mean_changes, num_variables, *,
+                  mean_monomials_per_variable=None, num_monomials=None):
+    """``"dense"`` or ``"delta"`` for scenarios averaging
+    ``mean_changes`` changed variables over a ``num_variables``
+    alphabet — the ``engine="auto"`` policy.
+
+    With the optional fan-in statistics (a compiled set always passes
+    them), the decision compares the *expected affected monomials* —
+    ``mean_changes × mean_monomials_per_variable`` — against
+    :data:`DELTA_AFFECTED_THRESHOLD` of the multiset; without them it
+    falls back to comparing ``mean_changes`` against
+    :data:`DELTA_SPARSITY_THRESHOLD` of the alphabet.
+
+    >>> choose_engine(1.0, 512)
+    'delta'
+    >>> choose_engine(400.0, 512)
+    'dense'
+    >>> choose_engine(20.0, 288, mean_monomials_per_variable=18.5,
+    ...               num_monomials=1781)
+    'dense'
+    """
+    if num_variables <= 0:
+        return "dense"
+    if mean_monomials_per_variable is not None and num_monomials:
+        affected = mean_changes * mean_monomials_per_variable
+        if affected <= DELTA_AFFECTED_THRESHOLD * num_monomials:
+            return "delta"
+        return "dense"
+    if mean_changes <= DELTA_SPARSITY_THRESHOLD * num_variables:
+        return "delta"
+    return "dense"
+
+
+class _DeltaIndex:
+    """The compile-time structures behind ``engine="delta"``.
+
+    Built lazily from the compiled layers on first delta evaluation
+    (dense-only users pay nothing) and rebuilt the same way after
+    unpickling — it never travels.
+
+    * ``depths`` — factor count per monomial row;
+    * ``pad_cols`` / ``pad_exps`` — ``(depth, M)`` padded factor
+      columns/exponents, so affected rows recompute with the exact
+      layer-by-layer multiply order of the dense path;
+    * ``col_starts`` / ``col_rows`` — the inverted CSR index: the
+      monomial rows touching each column (exponent-0 normalization
+      factors excluded — they touch nothing);
+    * ``mono_poly`` — monomial row → polynomial index;
+    * ``column_cache`` — per-column ``(rows, polys, reduce_idx)``
+      plans, the single-changed-variable fast path one-at-a-time
+      sweeps hit on every scenario.
+    """
+
+    __slots__ = (
+        "depths",
+        "pad_cols",
+        "pad_exps",
+        "col_starts",
+        "col_rows",
+        "mono_poly",
+        "any_nonunit",
+        "column_cache",
+    )
+
+    def __init__(self, layers, poly_starts, num_monomials, num_variables):
+        depth = len(layers)
+        self.depths = numpy.zeros(num_monomials, dtype=numpy.intp)
+        self.pad_cols = numpy.zeros((depth, num_monomials), dtype=numpy.intp)
+        self.pad_exps = numpy.ones((depth, num_monomials), dtype=numpy.int64)
+        row_parts = []
+        col_parts = []
+        for j, (selector, cols, nonunit, exps) in enumerate(layers):
+            rows = (
+                numpy.arange(num_monomials, dtype=numpy.intp)
+                if selector is None
+                else selector
+            )
+            self.depths[rows] += 1
+            self.pad_cols[j, rows] = cols
+            full_exps = numpy.ones(len(cols), dtype=numpy.int64)
+            full_exps[nonunit] = exps
+            self.pad_exps[j, rows] = full_exps
+            real = full_exps != 0
+            row_parts.append(rows[real])
+            col_parts.append(cols[real])
+        all_rows = numpy.concatenate(row_parts) if row_parts else \
+            numpy.zeros(0, dtype=numpy.intp)
+        all_cols = numpy.concatenate(col_parts) if col_parts else \
+            numpy.zeros(0, dtype=numpy.intp)
+        # CSR by column; rows within a column stay sorted ascending, so
+        # single-column plans need no extra sort and unions can unique
+        # a concatenation of sorted runs.
+        order = numpy.lexsort((all_rows, all_cols))
+        self.col_rows = all_rows[order]
+        counts = numpy.bincount(all_cols, minlength=num_variables)
+        self.col_starts = numpy.zeros(num_variables + 1, dtype=numpy.intp)
+        numpy.cumsum(counts, out=self.col_starts[1:])
+        self.mono_poly = numpy.repeat(
+            numpy.arange(len(poly_starts) - 1, dtype=numpy.intp),
+            numpy.diff(poly_starts),
+        )
+        self.any_nonunit = bool(
+            ((self.pad_exps != 1) & (self.pad_exps != 0)).any()
+        )
+        self.column_cache = {}
 
 
 class CompiledPolynomialSet:
@@ -58,6 +235,9 @@ class CompiledPolynomialSet:
         "_layers",
         "_coeffs",
         "_poly_starts",
+        "_mean_touches",
+        "_delta",
+        "_baselines",
     )
 
     def __init__(self, polynomial_set):
@@ -113,6 +293,22 @@ class CompiledPolynomialSet:
             selector = None if j == 0 else numpy.asarray(select, dtype=numpy.intp)
             self._layers.append((selector, cols, nonunit, exps[nonunit]))
 
+        self._mean_touches = self._compute_mean_touches()
+        # Delta-engine structures are derived lazily (and locally after
+        # unpickling) — dense-only users never build them.
+        self._delta = None
+        self._baselines = {}
+
+    def _compute_mean_touches(self):
+        """Average monomials touched per variable (exp-0 normalization
+        factors excluded) — the fan-in statistic ``engine="auto"``
+        needs. Derived from the layers, so it is rebuilt identically
+        after unpickling."""
+        real_factors = 0
+        for _, cols, nonunit, exps in self._layers:
+            real_factors += len(cols) - int((exps == 0).sum())
+        return real_factors / self.num_variables
+
     # ------------------------------------------------------------- pickling
 
     def __getstate__(self):
@@ -155,6 +351,12 @@ class CompiledPolynomialSet:
         self._coeffs = state["coeffs"]
         self._poly_starts = state["poly_starts"]
         self._layers = state["layers"]
+        self._mean_touches = self._compute_mean_touches()
+        # Derived delta structures rebuild on demand — they are pure
+        # functions of the layers, so a worker's first delta shard
+        # builds them (and the baseline) exactly once per process.
+        self._delta = None
+        self._baselines = {}
 
     # ------------------------------------------------------------ assignment
 
@@ -193,11 +395,72 @@ class CompiledPolynomialSet:
 
     # ------------------------------------------------------------ evaluation
 
-    def evaluate(self, assignments, default=1.0):
+    def resolve_engine(self, engine, *, valuations=None, mean_changes=None):
+        """The concrete engine (``"dense"``/``"delta"``) for a request.
+
+        ``"auto"`` applies :func:`choose_engine` — with this set's
+        monomial fan-in statistics — to the mean number of changed
+        variables per scenario, taken from ``mean_changes`` when the
+        caller already knows it (a :meth:`Sweep.mean_changes
+        <repro.scenarios.sweep.Sweep.mean_changes>`), otherwise
+        measured over the coerced ``valuations``. Explicit names
+        validate and pass through. Either way the answers are
+        bit-identical; only the work schedule differs.
+        """
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        if engine != "auto":
+            return engine
+        if mean_changes is None:
+            if not valuations:
+                return "dense"
+            mean_changes = sum(
+                len(valuation.assignment) for valuation in valuations
+            ) / len(valuations)
+        return choose_engine(
+            mean_changes, self.num_variables,
+            mean_monomials_per_variable=self._mean_touches,
+            num_monomials=self.num_monomials,
+        )
+
+    def evaluate(self, assignments, default=1.0, engine="auto"):
         """``(S, P)`` array: row ``i`` valuates every polynomial under
-        assignment ``i`` (see :meth:`PolynomialSet.evaluate_batch`)."""
-        matrix = self.assignment_matrix(assignments, default)
+        assignment ``i`` (see :meth:`PolynomialSet.evaluate_batch`).
+
+        ``engine`` selects the dense matrix path, the sparse delta path
+        (:meth:`evaluate_delta`), or ``"auto"`` (the default, as
+        everywhere in the stack) between them; the returned values are
+        bit-identical whichever runs.
+        """
+        from repro.core.valuation import Valuation
+
+        valuations = [
+            Valuation.coerce(entry, default) for entry in assignments
+        ]
+        engine = self.resolve_engine(engine, valuations=valuations)
+        if engine == "delta":
+            return self.evaluate_delta(valuations, default)
+        matrix = self.assignment_matrix(valuations, default)
         return self.evaluate_matrix(matrix)
+
+    def _monomial_values(self, matrix):
+        """The ``(S, M)`` monomial-value matrix for an assignment matrix."""
+        mono_values = None
+        for selector, cols, nonunit, exps in self._layers:
+            # The fancy-index gather copies, so in-place ops are safe.
+            values = matrix[:, cols]
+            if len(nonunit):
+                # _int_power, not **: grouping-independent bits (the
+                # delta engine recomputes these factors in smaller
+                # batches and must land on identical floats).
+                values[:, nonunit] = _int_power(values[:, nonunit], exps)
+            if selector is None:
+                mono_values = values
+            else:
+                mono_values[:, selector] *= values
+        return mono_values
 
     def evaluate_matrix(self, matrix):
         """Valuate from a prebuilt ``(S, V)`` assignment matrix."""
@@ -206,15 +469,207 @@ class CompiledPolynomialSet:
             return numpy.zeros((num_scenarios, 0), dtype=numpy.float64)
         if num_scenarios == 0:
             return numpy.zeros((0, self.num_polynomials), dtype=numpy.float64)
-        mono_values = None
-        for selector, cols, nonunit, exps in self._layers:
-            # The fancy-index gather copies, so in-place ops are safe.
-            values = matrix[:, cols]
-            if len(nonunit):
-                values[:, nonunit] **= exps
-            if selector is None:
-                mono_values = values
-            else:
-                mono_values[:, selector] *= values
-        weighted = mono_values * self._coeffs
+        weighted = self._monomial_values(matrix) * self._coeffs
         return numpy.add.reduceat(weighted, self._poly_starts[:-1], axis=1)
+
+    # ---------------------------------------------------------- delta engine
+
+    def _delta_index(self):
+        """The lazily built :class:`_DeltaIndex` (cached)."""
+        index = self._delta
+        if index is None:
+            index = _DeltaIndex(
+                self._layers, self._poly_starts,
+                self.num_monomials, self.num_variables,
+            )
+            self._delta = index
+        return index
+
+    def _baseline(self, default):
+        """``(assignment_vec, weighted_row, totals)`` for one default.
+
+        The weighted baseline monomial row and per-polynomial totals
+        are computed by the *dense* machinery on a single all-default
+        row, so every cached float is bit-identical to what a dense
+        evaluation of an unchanged scenario would produce. Cached per
+        default (bounded by :data:`_MAX_BASELINE_CACHE`). The cached
+        arrays are read-only by convention — :meth:`evaluate_delta`
+        patches call-local copies, never these.
+        """
+        key = float(default)
+        cached = self._baselines.get(key)
+        if cached is None:
+            vector = numpy.full(self.num_variables, key, dtype=numpy.float64)
+            mono = self._monomial_values(vector[None, :])[0]
+            weighted = mono * self._coeffs
+            totals = numpy.add.reduceat(weighted, self._poly_starts[:-1])
+            cached = (vector, weighted, totals)
+            if len(self._baselines) < _MAX_BASELINE_CACHE:
+                self._baselines[key] = cached
+        return cached
+
+    def _affected(self, index, cols):
+        """``(rows, polys, gather, seg_starts, rows_pos, layers)`` for
+        a set of changed columns.
+
+        ``rows`` are the monomials to recompute, ``polys`` the
+        polynomials containing them, ``gather`` the concatenated
+        monomial offsets of exactly those polynomials' runs (so one
+        fancy gather pulls the affected segments into a contiguous
+        buffer and ``add.reduceat`` at ``seg_starts`` re-sums *only*
+        them — never the untouched gaps), ``rows_pos`` the positions
+        of the recomputed rows inside that buffer, and ``layers`` the
+        precomputed per-layer gather plan of :meth:`_recompute_rows`
+        — everything about a recompute that does not depend on the
+        scenario's values. Single-column plans (every scenario of a
+        one-at-a-time sweep) are cached on the index, so repeated
+        knockouts of the same variable do no planning at all.
+        """
+        if len(cols) == 1:
+            plan = index.column_cache.get(cols[0])
+            if plan is not None:
+                return plan
+        starts = index.col_starts
+        parts = [index.col_rows[starts[c]:starts[c + 1]] for c in cols]
+        rows = parts[0] if len(parts) == 1 else \
+            numpy.unique(numpy.concatenate(parts))
+        if rows.size:
+            polys = numpy.unique(index.mono_poly[rows])
+            poly_starts = self._poly_starts
+            seg_first = poly_starts[polys]
+            lengths = poly_starts[polys + 1] - seg_first
+            seg_starts = numpy.zeros(len(polys), dtype=numpy.intp)
+            numpy.cumsum(lengths[:-1], out=seg_starts[1:])
+            # Vectorized concatenation of the [first, first+length)
+            # runs: a global arange plus each run's offset from its
+            # position in the packed buffer.
+            gather = numpy.arange(int(lengths.sum()), dtype=numpy.intp) \
+                + numpy.repeat(seg_first - seg_starts, lengths)
+            rows_pos = numpy.searchsorted(gather, rows)
+        else:
+            polys = numpy.zeros(0, dtype=numpy.intp)
+            gather = numpy.zeros(0, dtype=numpy.intp)
+            seg_starts = numpy.zeros(0, dtype=numpy.intp)
+            rows_pos = numpy.zeros(0, dtype=numpy.intp)
+        layers = []
+        depths = index.depths[rows]
+        for j in range(index.pad_cols.shape[0]):
+            if j == 0:
+                deeper = None  # every affected row has a first factor
+                layer_cols = index.pad_cols[0, rows]
+                exps = index.pad_exps[0, rows]
+            else:
+                deeper = numpy.nonzero(depths > j)[0]
+                if not deeper.size:
+                    break
+                layer_cols = index.pad_cols[j, rows[deeper]]
+                exps = index.pad_exps[j, rows[deeper]]
+            fix = numpy.nonzero(exps != 1)[0] if index.any_nonunit else None
+            if fix is not None and not fix.size:
+                fix = None
+            layers.append(
+                (deeper, layer_cols, fix,
+                 exps[fix] if fix is not None else None)
+            )
+        plan = (rows, polys, gather, seg_starts, rows_pos, tuple(layers))
+        if len(cols) == 1:
+            index.column_cache[cols[0]] = plan
+        return plan
+
+    @staticmethod
+    def _recompute_rows(layers, assignment):
+        """Monomial values for an affected-row plan under a patched
+        assignment vector.
+
+        Mirrors the dense layer loop exactly — same gather-per-layer,
+        same exponent fix-ups, same in-place multiply order — restricted
+        to the plan's rows, so every recomputed value is bit-identical
+        to its dense counterpart.
+        """
+        values = None
+        for deeper, layer_cols, fix, fix_exps in layers:
+            factors = assignment[layer_cols]
+            if fix is not None:
+                factors[fix] = _int_power(factors[fix], fix_exps)
+            if deeper is None:
+                values = factors
+            else:
+                values[deeper] *= factors
+        return values
+
+    def evaluate_delta(self, assignments, default=1.0):
+        """``(S, P)`` answers via baseline + sparse per-scenario patches.
+
+        Bit-identical to :meth:`evaluate` with ``engine="dense"`` on
+        the same scenarios: unaffected monomials keep their baseline
+        float values (computed by the dense machinery), affected rows
+        are recomputed with the dense layer ordering, and affected
+        polynomial segments — gathered into a contiguous buffer by the
+        plan's precomputed offsets, so untouched gaps are never
+        re-summed — are reduced by the same ``add.reduceat`` over the
+        same values in the same order. Per-valuation defaults are
+        honoured through one cached baseline per distinct default.
+
+        The cached baseline arrays stay read-only; the only in-place
+        patching is of a *call-local copy* of the assignment vector
+        (one O(V) copy per distinct default per call), so concurrent
+        evaluations of one compiled set never observe each other's
+        patches.
+        """
+        from repro.core.interning import VARIABLES
+        from repro.core.valuation import Valuation
+
+        valuations = [
+            Valuation.coerce(entry, default) for entry in assignments
+        ]
+        num_scenarios = len(valuations)
+        if self.num_polynomials == 0:
+            return numpy.zeros((num_scenarios, 0), dtype=numpy.float64)
+        if num_scenarios == 0:
+            return numpy.zeros((0, self.num_polynomials), dtype=numpy.float64)
+        index = self._delta_index()
+        lookup = VARIABLES.lookup
+        columns = self._columns
+        coeffs = self._coeffs
+        out = numpy.empty(
+            (num_scenarios, self.num_polynomials), dtype=numpy.float64
+        )
+        local_baselines = {}
+        for i, valuation in enumerate(valuations):
+            key = float(valuation.default)
+            state = local_baselines.get(key)
+            if state is None:
+                vector, weighted, totals = self._baseline(key)
+                state = (vector.copy(), weighted, totals)
+                local_baselines[key] = state
+            vector, weighted, totals = state
+            out[i] = totals
+            cols = []
+            new_values = []
+            for name, value in valuation.assignment.items():
+                vid = lookup(name)
+                if vid is None:
+                    continue
+                col = columns.get(vid)
+                if col is None:
+                    continue  # variable never occurs — ignored, as dense
+                cols.append(col)
+                new_values.append(value)
+            if not cols:
+                continue
+            rows, polys, gather, seg_starts, rows_pos, layers = \
+                self._affected(index, cols)
+            if not rows.size:
+                continue
+            # Patch the call-local assignment vector in place (restored
+            # below), pull the affected segments into a contiguous
+            # buffer, overwrite the recomputed rows, and re-sum only
+            # those segments — O(affected) work per scenario.
+            saved_vector = vector[cols]
+            vector[cols] = new_values
+            segments = weighted[gather]
+            segments[rows_pos] = self._recompute_rows(layers, vector) \
+                * coeffs[rows]
+            out[i, polys] = numpy.add.reduceat(segments, seg_starts)
+            vector[cols] = saved_vector
+        return out

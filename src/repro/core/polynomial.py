@@ -582,7 +582,7 @@ class PolynomialSet:
             self._compiled = compiled
         return compiled
 
-    def evaluate_batch(self, assignments, default=1.0):
+    def evaluate_batch(self, assignments, default=1.0, engine="auto"):
         """Valuate many scenarios at once (vectorized over NumPy).
 
         :param assignments: an iterable of assignments — plain dicts,
@@ -592,6 +592,12 @@ class PolynomialSet:
             ``assignment`` attribute (see
             :meth:`Valuation.coerce <repro.core.valuation.Valuation.coerce>`).
         :param default: value of unassigned variables for plain dicts.
+        :param engine: ``"dense"`` (full-matrix), ``"delta"`` (baseline
+            plus sparse per-scenario patches — see
+            :meth:`CompiledPolynomialSet.evaluate_delta
+            <repro.core.batch.CompiledPolynomialSet.evaluate_delta>`),
+            or ``"auto"`` (the default: delta for sparse scenario
+            families). Answers are bit-identical either way.
         :returns: a ``(num_assignments, len(self))`` ``numpy.ndarray``;
             row ``i`` equals ``self.evaluate(assignments[i])`` up to
             float rounding (exact coefficient types are degraded to
@@ -601,7 +607,7 @@ class PolynomialSet:
         building the coefficient/exponent arrays amortizes across
         scenario suites — the paper's Figure 10 workload shape.
         """
-        return self.compiled().evaluate(assignments, default)
+        return self.compiled().evaluate(assignments, default, engine)
 
     def __iter__(self):
         return iter(self.polynomials)

@@ -34,7 +34,7 @@ __all__ = [
 
 
 def evaluate_scenarios(polynomials, scenarios, default=1.0, *, workers=None,
-                       chunk_size=None):
+                       chunk_size=None, engine="auto"):
     """Valuate a whole scenario family in one vectorized pass.
 
     :param scenarios: a :class:`~repro.scenarios.sweep.Sweep`, a
@@ -46,6 +46,13 @@ def evaluate_scenarios(polynomials, scenarios, default=1.0, *, workers=None,
 evaluate_scenarios_parallel`); ``None`` — the default — stays in
         process. Answers are bit-identical either way.
     :param chunk_size: scenarios per shard/block for large inputs.
+    :param engine: ``"dense"`` recomputes every monomial per scenario,
+        ``"delta"`` valuates the baseline once and patches only the
+        monomials whose variables a scenario changes, and ``"auto"``
+        (the default) picks delta when the mean changed-variable count
+        is a small fraction of the alphabet (see
+        :func:`repro.core.batch.choose_engine`). Answers are
+        bit-identical whichever engine runs.
     :returns: a ``(num_scenarios, num_polynomials)`` NumPy array — row
         ``i`` is ``scenarios[i].evaluate(polynomials)``.
 
@@ -59,7 +66,7 @@ evaluate_scenarios_parallel`); ``None`` — the default — stays in
 
     return evaluate_scenarios_parallel(
         polynomials, scenarios, workers=workers, default=default,
-        chunk_size=chunk_size,
+        chunk_size=chunk_size, engine=engine,
     )
 
 
@@ -82,7 +89,8 @@ class TopKEntry:
 
 
 def top_k(polynomials, scenarios, k=10, *, objective=None, largest=True,
-          default=1.0, workers=None, chunk_size=None, transform=None):
+          default=1.0, workers=None, chunk_size=None, transform=None,
+          engine="auto"):
     """The ``k`` scenarios with the most extreme objective values.
 
     Answers the analyst question sweeps exist for — "*which* what-if
@@ -97,6 +105,8 @@ def top_k(polynomials, scenarios, k=10, *, objective=None, largest=True,
     :param transform: optional per-scenario callable applied before
         evaluation (e.g. lifting onto an artifact's cut); names and
         indexes still refer to the original scenarios.
+    :param engine: dense vs. delta evaluation (``"auto"`` decides from
+        scenario density; rankings are identical either way).
     :returns: a list of :class:`TopKEntry`, best first; ties break
         toward the earlier scenario index, so rankings are
         deterministic.
@@ -114,6 +124,7 @@ def top_k(polynomials, scenarios, k=10, *, objective=None, largest=True,
     for start, chunk, values in iter_value_blocks(
         polynomials, scenarios, default=default, workers=workers,
         chunk_size=chunk_size, transform=transform, materialize=False,
+        engine=engine,
     ):
         for offset in range(values.shape[0]):
             row = values[offset]
@@ -167,7 +178,7 @@ class VariableSensitivity:
 
 
 def sensitivity(polynomials, scenarios, *, default=1.0, workers=None,
-                chunk_size=None, transform=None):
+                chunk_size=None, transform=None, engine="auto"):
     """Rank variables by the output delta their scenarios induce.
 
     For each scenario the L1 distance between its per-polynomial values
@@ -180,7 +191,10 @@ def sensitivity(polynomials, scenarios, *, default=1.0, workers=None,
     of co-changed variables are attributed to each).
 
     Evaluation streams in chunks (optionally across ``workers``
-    processes); memory stays O(variables), not O(scenarios).
+    processes); memory stays O(variables), not O(scenarios). The
+    ``engine`` flag selects dense vs. delta evaluation (``"auto"``
+    decides from scenario density; the report is identical either way
+    — the engines are bit-identical).
 
     :returns: a list of :class:`VariableSensitivity`, largest
         ``mean_delta`` first (ties break by variable name).
@@ -195,14 +209,16 @@ def sensitivity(polynomials, scenarios, *, default=1.0, workers=None,
         Valuation({}, default=default) if transform is None
         else transform(Valuation({}, default=default))
     )
-    baseline = compiled.evaluate([baseline_entry])[0]
+    # A single all-default row: the dense path is the cheap one here
+    # (no point building the delta index for one baseline scenario).
+    baseline = compiled.evaluate([baseline_entry], engine="dense")[0]
 
     totals = {}
     maxima = {}
     counts = {}
     for _, chunk, values in iter_value_blocks(
         compiled, scenarios, default=default, workers=workers,
-        chunk_size=chunk_size, transform=transform,
+        chunk_size=chunk_size, transform=transform, engine=engine,
     ):
         deltas = numpy.abs(values - baseline).sum(axis=1)
         for offset, entry in enumerate(chunk):

@@ -23,6 +23,20 @@ scenario row of the ``(S, P)`` answer matrix is independent.
   serial one (row-wise float operations are unchanged; only the outer
   loop moved).
 
+Every entry point takes ``engine=`` (``"dense"``, ``"delta"``,
+``"auto"``; see :mod:`repro.core.batch`). Under the delta engine each
+worker computes the baseline monomial values **once** (cached on its
+compiled set, which shipped with the pool initializer) and shards
+carry only sparse deltas: Sweep workers regenerate bare changes
+mappings via :meth:`Sweep.iter_changes
+<repro.scenarios.sweep.Sweep.iter_changes>` — no scenario names are
+ever built — and generic chunks are already plain sparse rows. For
+sweeps, ``"auto"`` is resolved once in the parent from
+:meth:`Sweep.mean_changes <repro.scenarios.sweep.Sweep.mean_changes>`
+(the spec knows its density); for other inputs each chunk resolves
+itself. Engines are bit-identical, so the choice never changes
+answers — only the schedule.
+
 Small inputs fall back to the serial compiled path — below
 :data:`MIN_PARALLEL_SCENARIOS` rows the pool start-up would dominate.
 Serial evaluation of large/unsized inputs is chunked too, so a
@@ -36,6 +50,7 @@ from collections import deque
 
 import numpy
 
+from repro.core.batch import ENGINES as _ENGINES
 from repro.core.valuation import Valuation
 from repro.scenarios.sweep import DEFAULT_CHUNK_SIZE, Sweep
 
@@ -66,18 +81,24 @@ def _init_worker(compiled):
     _WORKER_COMPILED = compiled
 
 
-def _evaluate_rows(rows):
+def _evaluate_rows(rows, engine="dense"):
     """Worker task: valuate explicit ``(assignment, default)`` rows."""
     valuations = [
         Valuation(assignment, default=default) for assignment, default in rows
     ]
-    return _WORKER_COMPILED.evaluate(valuations)
+    return _WORKER_COMPILED.evaluate(valuations, engine=engine)
 
 
-def _evaluate_span(sweep, start, stop, default):
-    """Worker task: regenerate a sweep shard by index range and valuate."""
+def _evaluate_span(sweep, start, stop, default, engine="dense"):
+    """Worker task: regenerate a sweep shard by index range and valuate.
+
+    Only the changes mappings are regenerated (the sweep's sparse-delta
+    form) — scenario names do not affect values, and the delta engine's
+    baseline is cached on the worker's compiled set, so it is computed
+    once per worker however many shards arrive.
+    """
     return _WORKER_COMPILED.evaluate(
-        sweep.materialize(start, stop), default
+        sweep.iter_changes(start, stop), default, engine
     )
 
 
@@ -121,19 +142,41 @@ def _resolve_workers(workers):
     return workers
 
 
+def _resolve_engine(compiled, scenarios, engine):
+    """Pin down ``engine`` as far as the input shape allows.
+
+    Sweeps declare their per-scenario density in the spec, so
+    ``"auto"`` resolves here — once, in the parent — and every shard
+    runs the same engine. Other inputs keep ``"auto"`` and let each
+    evaluated chunk decide (bit-identical either way). Unknown names
+    raise immediately rather than inside a worker.
+    """
+    if engine == "auto" and isinstance(scenarios, Sweep):
+        return compiled.resolve_engine(
+            engine, mean_changes=scenarios.mean_changes()
+        )
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {_ENGINES}"
+        )
+    return engine
+
+
 # ---------------------------------------------------------------- serial
 
 
-def _evaluate_serial(compiled, scenarios, default, chunk_size):
+def _evaluate_serial(compiled, scenarios, default, chunk_size, engine):
     """Chunked single-process evaluation (bounded memory)."""
     if isinstance(scenarios, Sweep):
         blocks = [
-            compiled.evaluate(scenarios.materialize(start, stop), default)
+            compiled.evaluate(
+                scenarios.iter_changes(start, stop), default, engine
+            )
             for start, stop in scenarios.chunks(chunk_size)
         ]
     else:
         blocks = [
-            compiled.evaluate(chunk, default)
+            compiled.evaluate(chunk, default, engine)
             for chunk in _chunked(scenarios, chunk_size)
         ]
     if not blocks:
@@ -163,7 +206,8 @@ def _submit_stream(executor, tasks, max_inflight):
 
 def evaluate_scenarios_parallel(polynomials, scenarios, *, workers,
                                 default=1.0, chunk_size=None,
-                                min_parallel=MIN_PARALLEL_SCENARIOS):
+                                min_parallel=MIN_PARALLEL_SCENARIOS,
+                                engine="auto"):
     """Valuate a scenario family sharded across worker processes.
 
     :param polynomials: a :class:`~repro.core.polynomial.PolynomialSet`
@@ -180,6 +224,9 @@ def evaluate_scenarios_parallel(polynomials, scenarios, *, workers,
         :data:`~repro.scenarios.sweep.DEFAULT_CHUNK_SIZE`).
     :param min_parallel: the serial-fallback threshold; pass ``0`` to
         force the pool (the equivalence tests do).
+    :param engine: ``"dense"``, ``"delta"`` or ``"auto"`` (the
+        default; see the module docstring). Bit-identical answers
+        whichever engine runs.
     :returns: the ``(S, P)`` answer matrix — bit-identical to
         :meth:`PolynomialSet.evaluate_batch
         <repro.core.polynomial.PolynomialSet.evaluate_batch>` on the
@@ -187,6 +234,7 @@ def evaluate_scenarios_parallel(polynomials, scenarios, *, workers,
     """
     compiled = _compiled_of(polynomials)
     workers = _resolve_workers(workers)
+    engine = _resolve_engine(compiled, scenarios, engine)
     if chunk_size is None:
         chunk_size = DEFAULT_CHUNK_SIZE
     if chunk_size < 1:
@@ -194,18 +242,19 @@ def evaluate_scenarios_parallel(polynomials, scenarios, *, workers,
 
     total = len(scenarios) if hasattr(scenarios, "__len__") else None
     if workers <= 1 or (total is not None and total < min_parallel):
-        return _evaluate_serial(compiled, scenarios, default, chunk_size)
+        return _evaluate_serial(compiled, scenarios, default, chunk_size,
+                                engine)
 
     from concurrent.futures import ProcessPoolExecutor
 
     if isinstance(scenarios, Sweep):
         tasks = (
-            (_evaluate_span, (scenarios, start, stop, default))
+            (_evaluate_span, (scenarios, start, stop, default, engine))
             for start, stop in scenarios.chunks(chunk_size)
         )
     else:
         tasks = (
-            (_evaluate_rows, (_coerce_rows(chunk, default),))
+            (_evaluate_rows, (_coerce_rows(chunk, default), engine))
             for chunk in _chunked(scenarios, chunk_size)
         )
 
@@ -224,7 +273,8 @@ def evaluate_scenarios_parallel(polynomials, scenarios, *, workers,
 
 
 def iter_value_blocks(polynomials, scenarios, *, default=1.0, workers=None,
-                      chunk_size=None, transform=None, materialize=True):
+                      chunk_size=None, transform=None, materialize=True,
+                      engine="auto"):
     """Stream ``(start, scenarios_chunk, values_chunk)`` blocks.
 
     The O(k)-memory backbone of :func:`~repro.scenarios.analysis.top_k`
@@ -246,9 +296,12 @@ def iter_value_blocks(polynomials, scenarios, *, default=1.0, workers=None,
         — the caller indexes ``scenarios[i]`` for the few entries it
         keeps instead of the parent regenerating every shard the
         workers already generated.
+    :param engine: ``"dense"``, ``"delta"`` or ``"auto"`` (the
+        default; see the module docstring).
     """
     compiled = _compiled_of(polynomials)
     workers = _resolve_workers(workers)
+    engine = _resolve_engine(compiled, scenarios, engine)
     if chunk_size is None:
         chunk_size = DEFAULT_CHUNK_SIZE
     if chunk_size < 1:
@@ -265,7 +318,7 @@ def iter_value_blocks(polynomials, scenarios, *, default=1.0, workers=None,
         if span_mode and not materialize:
             for start, stop in scenarios.chunks(chunk_size):
                 values = compiled.evaluate(
-                    scenarios.materialize(start, stop), default
+                    scenarios.iter_changes(start, stop), default, engine
                 )
                 yield start, None, values
             return
@@ -273,7 +326,7 @@ def iter_value_blocks(polynomials, scenarios, *, default=1.0, workers=None,
             entries = chunk if transform is None else [
                 transform(entry) for entry in chunk
             ]
-            yield start, chunk, compiled.evaluate(entries, default)
+            yield start, chunk, compiled.evaluate(entries, default, engine)
             start += len(chunk)
         return
 
@@ -284,7 +337,7 @@ def iter_value_blocks(polynomials, scenarios, *, default=1.0, workers=None,
             for start, stop in scenarios.chunks(chunk_size):
                 chunk = None if not materialize else (start, stop)
                 yield start, chunk, (
-                    _evaluate_span, (scenarios, start, stop, default)
+                    _evaluate_span, (scenarios, start, stop, default, engine)
                 )
     else:
         def tasks():
@@ -294,7 +347,7 @@ def iter_value_blocks(polynomials, scenarios, *, default=1.0, workers=None,
                     transform(entry) for entry in chunk
                 ]
                 rows = _coerce_rows(entries, default)
-                yield start, chunk, (_evaluate_rows, (rows,))
+                yield start, chunk, (_evaluate_rows, (rows, engine))
                 start += len(chunk)
 
     max_inflight = workers * _INFLIGHT_PER_WORKER

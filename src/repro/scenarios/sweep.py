@@ -218,55 +218,135 @@ class Sweep:
         >>> Sweep.one_at_a_time(["a", "b"], [0.5]).scenario(1).changes
         {'b': 0.5}
         """
-        index = int(index)
-        if not 0 <= index < self._length:
-            raise IndexError(
-                f"sweep index {index} out of range [0, {self._length})"
-            )
+        index = self._check_index(index)
         if self.kind == "grid":
             return self._grid_scenario(index)
         if self.kind == "oaat":
             return self._oaat_scenario(index)
         return self._random_scenario(index)
 
-    def _grid_scenario(self, index):
-        groups, per_group = self._spec
-        # Mixed-radix decode, last group fastest (itertools.product order).
-        chosen = [None] * len(groups)
+    def changes_at(self, index):
+        """The bare changes mapping of the scenario at ``index``.
+
+        The sweep's native *sparse-delta* form: exactly
+        ``scenario(index).changes``, but without constructing a
+        :class:`Scenario` or formatting its name — what the delta
+        evaluation engine consumes (scenario values do not depend on
+        names). Workers regenerating shards for
+        ``engine="delta"`` call this per index, so only the sweep spec
+        and ``(start, stop)`` ranges ever cross the process boundary.
+
+        >>> Sweep.one_at_a_time(["a", "b"], [0.5]).changes_at(1)
+        {'b': 0.5}
+        """
+        index = self._check_index(index)
+        if self.kind == "grid":
+            return self._grid_changes(self._grid_choices(index))
+        if self.kind == "oaat":
+            return self._oaat_changes(index)
+        return self._random_changes(index)
+
+    def iter_changes(self, start=0, stop=None):
+        """Generate the ``[start, stop)`` changes mappings lazily.
+
+        The shard-shaped counterpart of :meth:`materialize` for
+        evaluation paths that never need scenario names.
+        """
+        if stop is None:
+            stop = self._length
+        for index in range(start, stop):
+            yield self.changes_at(index)
+
+    def mean_changes(self):
+        """Mean changed-variable count per scenario (a spec property).
+
+        Sweeps know which axes vary, so the density that drives the
+        ``engine="auto"`` dense-vs-delta choice (see
+        :func:`repro.core.batch.choose_engine`) is computed from the
+        spec in O(spec) — no scenario is materialized.
+
+        >>> Sweep.one_at_a_time(["a", "b", "c"], [0.5]).mean_changes()
+        1.0
+        """
+        if self.kind == "grid":
+            groups, _ = self._spec
+            return float(len({
+                variable for _, variables in groups for variable in variables
+            }))
+        if self.kind == "oaat":
+            swept, _, base = self._spec
+            base_variables = {variable for variable, _ in base}
+            fresh = sum(
+                1 for variable in swept if variable not in base_variables
+            )
+            return len(base_variables) + fresh / len(swept)
+        _, _, _, changes, _ = self._spec
+        return float(changes)
+
+    def _check_index(self, index):
+        index = int(index)
+        if not 0 <= index < self._length:
+            raise IndexError(
+                f"sweep index {index} out of range [0, {self._length})"
+            )
+        return index
+
+    def _grid_choices(self, index):
+        """Mixed-radix decode, last group fastest (itertools.product order)."""
+        _, per_group = self._spec
+        chosen = [None] * len(per_group)
         remaining = index
-        for position in range(len(groups) - 1, -1, -1):
+        for position in range(len(per_group) - 1, -1, -1):
             choices = per_group[position]
             chosen[position] = choices[remaining % len(choices)]
             remaining //= len(choices)
+        return chosen
+
+    def _grid_changes(self, chosen):
+        groups, _ = self._spec
         changes = {}
-        labels = []
-        for (label, variables), choice in zip(groups, chosen):
-            labels.append(f"{label}={_format_multiplier(choice)}")
+        for (_, variables), choice in zip(groups, chosen):
             for variable in variables:
                 changes[variable] = choice
-        return Scenario(f"{self.name}[{','.join(labels)}]", changes)
+        return changes
 
-    def _oaat_scenario(self, index):
-        swept, values, base = self._spec
-        variable = swept[index // len(values)]
-        value = values[index % len(values)]
-        changes = dict(base)
-        changes[variable] = value
+    def _grid_scenario(self, index):
+        groups, _ = self._spec
+        chosen = self._grid_choices(index)
+        labels = [
+            f"{label}={_format_multiplier(choice)}"
+            for (label, _), choice in zip(groups, chosen)
+        ]
         return Scenario(
-            f"{self.name}[{variable}={_format_multiplier(value)}]", changes
+            f"{self.name}[{','.join(labels)}]", self._grid_changes(chosen)
         )
 
-    def _random_scenario(self, index):
+    def _oaat_changes(self, index):
+        swept, values, base = self._spec
+        changes = dict(base)
+        changes[swept[index // len(values)]] = values[index % len(values)]
+        return changes
+
+    def _oaat_scenario(self, index):
+        swept, values, _ = self._spec
+        variable = swept[index // len(values)]
+        value = values[index % len(values)]
+        return Scenario(
+            f"{self.name}[{variable}={_format_multiplier(value)}]",
+            self._oaat_changes(index),
+        )
+
+    def _random_changes(self, index):
         pool, low, high, changes, seed = self._spec
         rng = derive_rng(seed, f"sweep.random:{self.name}:{index}")
         if changes == len(pool):
             chosen = pool
         else:
             chosen = rng.sample(pool, changes)
-        return Scenario(
-            f"{self.name}[{index}]",
-            {variable: rng.uniform(low, high) for variable in chosen},
-        )
+        return {variable: rng.uniform(low, high) for variable in chosen}
+
+    def _random_scenario(self, index):
+        return Scenario(f"{self.name}[{index}]", self._random_changes(index))
 
     # ------------------------------------------------------------- sequence
 
