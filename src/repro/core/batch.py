@@ -197,10 +197,16 @@ class _DeltaIndex:
             real = full_exps != 0
             row_parts.append(rows[real])
             col_parts.append(cols[real])
-        all_rows = numpy.concatenate(row_parts) if row_parts else \
-            numpy.zeros(0, dtype=numpy.intp)
-        all_cols = numpy.concatenate(col_parts) if col_parts else \
-            numpy.zeros(0, dtype=numpy.intp)
+        all_rows = (
+            numpy.concatenate(row_parts)
+            if row_parts
+            else numpy.zeros(0, dtype=numpy.intp)
+        )
+        all_cols = (
+            numpy.concatenate(col_parts)
+            if col_parts
+            else numpy.zeros(0, dtype=numpy.intp)
+        )
         # CSR by column; rows within a column stay sorted ascending, so
         # single-column plans need no extra sort and unions can unique
         # a concatenation of sorted runs.
@@ -531,8 +537,10 @@ class CompiledPolynomialSet:
                 return plan
         starts = index.col_starts
         parts = [index.col_rows[starts[c]:starts[c + 1]] for c in cols]
-        rows = parts[0] if len(parts) == 1 else \
-            numpy.unique(numpy.concatenate(parts))
+        rows = (
+            parts[0] if len(parts) == 1
+            else numpy.unique(numpy.concatenate(parts))
+        )
         if rows.size:
             polys = numpy.unique(index.mono_poly[rows])
             poly_starts = self._poly_starts
@@ -543,8 +551,9 @@ class CompiledPolynomialSet:
             # Vectorized concatenation of the [first, first+length)
             # runs: a global arange plus each run's offset from its
             # position in the packed buffer.
-            gather = numpy.arange(int(lengths.sum()), dtype=numpy.intp) \
-                + numpy.repeat(seg_first - seg_starts, lengths)
+            gather = numpy.arange(
+                int(lengths.sum()), dtype=numpy.intp
+            ) + numpy.repeat(seg_first - seg_starts, lengths)
             rows_pos = numpy.searchsorted(gather, rows)
         else:
             polys = numpy.zeros(0, dtype=numpy.intp)
@@ -657,8 +666,9 @@ class CompiledPolynomialSet:
                 new_values.append(value)
             if not cols:
                 continue
-            rows, polys, gather, seg_starts, rows_pos, layers = \
-                self._affected(index, cols)
+            rows, polys, gather, seg_starts, rows_pos, layers = self._affected(
+                index, cols
+            )
             if not rows.size:
                 continue
             # Patch the call-local assignment vector in place (restored
@@ -668,8 +678,9 @@ class CompiledPolynomialSet:
             saved_vector = vector[cols]
             vector[cols] = new_values
             segments = weighted[gather]
-            segments[rows_pos] = self._recompute_rows(layers, vector) \
-                * coeffs[rows]
+            segments[rows_pos] = (
+                self._recompute_rows(layers, vector) * coeffs[rows]
+            )
             out[i, polys] = numpy.add.reduceat(segments, seg_starts)
             vector[cols] = saved_vector
         return out

@@ -203,8 +203,10 @@ def sensitivity(polynomials, scenarios, *, default=1.0, workers=None,
 
     from repro.scenarios.parallel import iter_value_blocks
 
-    compiled = polynomials.compiled() if hasattr(polynomials, "compiled") \
+    compiled = (
+        polynomials.compiled() if hasattr(polynomials, "compiled")
         else polynomials
+    )
     baseline_entry = (
         Valuation({}, default=default) if transform is None
         else transform(Valuation({}, default=default))

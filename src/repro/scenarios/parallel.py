@@ -358,8 +358,11 @@ def iter_value_blocks(polynomials, scenarios, *, default=1.0, workers=None,
         for start, chunk, (fn, args) in tasks():
             while len(pending) >= max_inflight:
                 done_start, done_chunk, future = pending.popleft()
-                yield done_start, _realize(scenarios, done_chunk), \
-                    future.result()
+                yield (
+                    done_start,
+                    _realize(scenarios, done_chunk),
+                    future.result(),
+                )
             pending.append((start, chunk, executor.submit(fn, *args)))
         while pending:
             done_start, done_chunk, future = pending.popleft()

@@ -320,11 +320,13 @@ class TestStackThreading:
             Valuation({"b1": 0.5, "b2": 0.5}),
             {"b1": 0.0, "m3": 1.2},
         ]
-        assert session.ask_many(scenarios, engine="dense") == \
-            session.ask_many(scenarios, engine="delta")
+        assert session.ask_many(scenarios, engine="dense") == session.ask_many(
+            scenarios, engine="delta"
+        )
         artifact = session.compress(bound=4)
-        assert artifact.ask_many(scenarios, engine="dense") == \
-            artifact.ask_many(scenarios, engine="delta")
+        assert artifact.ask_many(scenarios, engine="dense") == artifact.ask_many(
+            scenarios, engine="delta"
+        )
 
 
 class TestSweepDeltaForm:
@@ -337,10 +339,13 @@ class TestSweepDeltaForm:
         Sweep.random(["a", "b", "c", "d"], 12, changes=2, seed=3),
     ], ids=["grid", "oaat", "random"])
     def test_changes_at_matches_materialized_scenarios(self, sweep):
-        assert [sweep.changes_at(i) for i in range(len(sweep))] == \
-            [sweep[i].changes for i in range(len(sweep))]
-        assert list(sweep.iter_changes(1, 3)) == \
-            [sweep[1].changes, sweep[2].changes]
+        assert [sweep.changes_at(i) for i in range(len(sweep))] == [
+            sweep[i].changes for i in range(len(sweep))
+        ]
+        assert list(sweep.iter_changes(1, 3)) == [
+            sweep[1].changes,
+            sweep[2].changes,
+        ]
 
     def test_changes_at_range_checked(self):
         sweep = Sweep.one_at_a_time(["a"], [0.5])
