@@ -21,18 +21,26 @@ perf trajectory behind:
   sparse per-scenario patches; bit-identical matrices, asserted) — the
   small-delta workload the paper's repeated-modification premise
   implies, with a contract floor of 5x;
+* **compress_scale** — end-to-end ``ProvenanceSession.compress`` on a
+  dedicated 10x-scale provenance (~100k monomials in ``full`` mode):
+  the object backend (tuple-walking reference) against the columnar
+  flat-array core, artifacts asserted identical (same VVS, same
+  ML/VL, same monomial structure), with a contract floor of 5x;
 * **session** — the end-to-end facade: ``ProvenanceSession`` →
   ``compress`` (auto policy) → ``ask_many`` over the suite, plus the
   artifact's JSON round-trip (reloaded artifact answers asserted
   identical).
 
-The JSON document (schema ``repro-bench-core/4``) keys one run entry
+The JSON document (schema ``repro-bench-core/5``) keys one run entry
 per mode under ``runs`` and merges into an existing file, so the
 checked-in baseline can carry the ``full`` trajectory *and* the
 ``smoke`` entry CI gates on. ``--check BASELINE`` compares the current
 run's speedup/error fields against the same-mode entry of a committed
 baseline and exits non-zero on regression (see
-:data:`CHECK_FIELDS`) — the CI perf gate.
+:data:`CHECK_FIELDS`) — the CI perf gate. ``--stage NAME``
+(repeatable) runs a subset of stages — partial runs merge their
+results into the output's existing same-mode entry and the gate only
+checks the stages that ran.
 
 Self-contained on purpose: imports only ``repro`` and the standard
 library, so ``python -m repro bench`` can run it from a checkout
@@ -73,7 +81,19 @@ from repro.util.timing import time_call
 from repro.workloads.random_polys import random_polynomials
 from repro.workloads.trees import layered_tree
 
-SCHEMA = "repro-bench-core/4"
+SCHEMA = "repro-bench-core/5"
+
+#: Stage names accepted by ``--stage`` (run order is fixed).
+STAGES = (
+    "greedy",
+    "optimal",
+    "abstraction",
+    "batch_valuation",
+    "sweep",
+    "sweep_delta",
+    "compress_scale",
+    "session",
+)
 
 #: Workload scales per mode: (pool leaves, tree fanouts, #polynomials,
 #: monomials per polynomial, free variables, #scenarios, sweep size).
@@ -88,12 +108,18 @@ MODES = {
         monomials=120, free_variables=40, scenarios=256,
         sweep_scenarios=49152, sweep_changes=20,
         delta_polynomials=80, delta_monomials=120,
+        # 10x the main workload: ~100k monomials, the scale the
+        # columnar compression core's 5x contract is stated for.
+        compress_polynomials=800, compress_monomials=120,
     ),
     "smoke": dict(
         leaves=256, fanouts=(4, 4, 4), polynomials=30,
         monomials=60, free_variables=20, scenarios=256,
         sweep_scenarios=24576, sweep_changes=20,
         delta_polynomials=80, delta_monomials=120,
+        # Reduced but still far above the columnar auto threshold
+        # (~38k monomials), so the gated ratio is not sub-ms jitter.
+        compress_polynomials=320, compress_monomials=120,
     ),
     "tiny": dict(
         leaves=32, fanouts=(4, 4), polynomials=6,
@@ -103,6 +129,7 @@ MODES = {
         # quantity is a ratio of two timings, and sub-ms arms would
         # make the tiny self-check tests jitter-flaky.
         delta_polynomials=30, delta_monomials=120,
+        compress_polynomials=12, compress_monomials=30,
     ),
 }
 
@@ -125,6 +152,10 @@ CHECK_FIELDS = (
     ("sweep", "max_abs_error", "lower", None),
     ("sweep_delta", "speedup", "higher", 5.0),
     ("sweep_delta", "max_abs_error", "lower", None),
+    # The columnar compression core must beat the object path by at
+    # least its 5x contract; the cap keeps a fast-box baseline from
+    # demanding more than the contract elsewhere.
+    ("compress_scale", "speedup", "higher", 5.0),
 )
 
 #: Default allowed relative regression for ``--check``.
@@ -400,6 +431,69 @@ def bench_sweep_delta(spec, repeat, seed=23):
     }
 
 
+def bench_compress_scale(spec, repeat, seed=31):
+    """Object vs columnar end-to-end compress on a 10x-scale workload.
+
+    Times ``ProvenanceSession.compress`` — solver plus ``P↓S``
+    materialization plus artifact packaging — once with
+    ``backend="object"`` (the tuple-walking reference) and once with
+    ``backend="columnar"`` (the vectorized flat-array core of
+    ``repro.core.columnar``) on a dedicated provenance of
+    ``compress_polynomials × compress_monomials`` (~100k monomials in
+    ``full`` mode, the scale the 5x contract is stated for). The two
+    artifacts are asserted fully identical — same selected VVS, same
+    ML/VL, same abstracted polynomials (coefficients here are ints, so
+    merged sums are exact in both backends). The columnar factor
+    arrays are cached on the polynomial set (like the compiled
+    evaluator), so with ``repeat > 1`` the reported minimum reflects
+    the warm-cache cost, matching the compile-outside-the-timer
+    treatment of the valuation stages.
+    """
+    pool = [f"s{i}" for i in range(spec["leaves"])]
+    side_pool = [f"m{i}" for i in range(SIDE_TREE_LEAVES)]
+    provenance = random_polynomials(
+        spec["compress_polynomials"],
+        spec["compress_monomials"],
+        [pool, side_pool],
+        seed=seed,
+        extra_variables=spec["free_variables"],
+    )
+    forest = AbstractionForest([
+        layered_tree(pool, spec["fanouts"], prefix="sup"),
+        layered_tree(side_pool, (4,), prefix="q"),
+    ]).clean(provenance)
+    session = ProvenanceSession.from_polynomials(provenance, forest)
+    bound = max(1, provenance.num_monomials // 3)
+    object_seconds, object_artifact = time_call(
+        session.compress, bound, backend="object", repeat=repeat
+    )
+    columnar_seconds, columnar_artifact = time_call(
+        session.compress, bound, backend="columnar", repeat=repeat
+    )
+    if sorted(object_artifact.vvs.labels) != sorted(columnar_artifact.vvs.labels):
+        raise AssertionError("columnar compress selected a different VVS")
+    if (object_artifact.monomial_loss, object_artifact.variable_loss) != (
+        columnar_artifact.monomial_loss, columnar_artifact.variable_loss
+    ):
+        raise AssertionError("columnar compress reported different losses")
+    if object_artifact != columnar_artifact:
+        raise AssertionError("columnar compress artifact diverged from object")
+    return {
+        "bound": bound,
+        "polynomials": len(provenance),
+        "monomials": provenance.num_monomials,
+        "variables": provenance.num_variables,
+        "algorithm": object_artifact.algorithm,
+        "monomial_loss": object_artifact.monomial_loss,
+        "variable_loss": object_artifact.variable_loss,
+        "abstracted_monomials": object_artifact.abstracted_size,
+        "seconds_object": object_seconds,
+        "seconds_columnar": columnar_seconds,
+        "speedup": object_seconds / columnar_seconds
+        if columnar_seconds else float("inf"),
+    }
+
+
 def bench_session(provenance, forest, scenarios, repeat):
     """End-to-end facade: compress to an artifact, ask the whole suite.
 
@@ -439,13 +533,20 @@ def default_output():
     return os.path.join(root, "BENCH_core.json")
 
 
-def _merge_runs(path, entry):
-    """The schema-3 document for ``path`` with ``entry`` merged in.
+def _merge_runs(path, entry, partial=False):
+    """The schema document for ``path`` with ``entry`` merged in.
 
     An existing same-schema file keeps its *other* modes' runs — the
     committed baseline carries the ``full`` trajectory and the
     ``smoke`` entry CI gates on in one file. Any other content (older
-    schemas, corrupt files) is replaced wholesale.
+    schemas, corrupt files) is replaced wholesale. A ``partial`` entry
+    (a ``--stage``-filtered run) merges *into* the existing same-mode
+    entry instead: the stages it did not run keep their results, and
+    the entry's machine metadata (``python``, ``cpu_count``,
+    ``workload``, ``repeat``) stays the full run's — it describes the
+    bulk of the retained numbers, and the sweep floors are explained
+    by the recorded ``cpu_count`` (a partial refresh must not
+    relabel old multi-core ratios with a new box's core count).
     """
     runs = {}
     if os.path.exists(path):
@@ -458,18 +559,29 @@ def _merge_runs(path, entry):
             stored = existing.get("runs")
             if isinstance(stored, dict):
                 runs.update(stored)
+    if partial:
+        previous = runs.get(entry["mode"])
+        if isinstance(previous, dict) and isinstance(
+            previous.get("results"), dict
+        ):
+            merged = dict(previous)
+            merged["results"] = {**previous["results"], **entry["results"]}
+            entry = merged
     runs[entry["mode"]] = entry
     return {"schema": SCHEMA, "runs": runs}
 
 
-def check_regression(entry, baseline, tolerance=DEFAULT_TOLERANCE):
+def check_regression(entry, baseline, tolerance=DEFAULT_TOLERANCE,
+                     stages=None):
     """Compare a run entry against a committed baseline document.
 
     Gates only the :data:`CHECK_FIELDS` — measured speedup ratios may
     not drop below ``baseline · (1 − tolerance)`` and error bounds may
     not rise above ``baseline · (1 + tolerance) + 1e-9``. Comparison is
     strictly same-mode: smoke runs check against the baseline's smoke
-    entry, never against full-scale numbers.
+    entry, never against full-scale numbers. When ``stages`` names a
+    ``--stage`` subset, only the gated fields of those stages are
+    checked.
 
     :returns: a list of human-readable failure strings (empty = pass).
     """
@@ -486,6 +598,8 @@ def check_regression(entry, baseline, tolerance=DEFAULT_TOLERANCE):
         ]
     failures = []
     for stage, field, direction, floor_cap in CHECK_FIELDS:
+        if stages is not None and stage not in stages:
+            continue
         base_value = base_entry.get("results", {}).get(stage, {}).get(field)
         if base_value is None:
             failures.append(f"baseline is missing {stage}.{field}")
@@ -512,68 +626,118 @@ def check_regression(entry, baseline, tolerance=DEFAULT_TOLERANCE):
     return failures
 
 
-def run(mode="full", repeat=3, output=None, quiet=False, write=True):
-    """Run every bench; merge into the JSON document and return it.
+def run(mode="full", repeat=3, output=None, quiet=False, write=True,
+        stages=None):
+    """Run the benches; merge into the JSON document and return it.
 
     ``write=False`` skips touching the output file (check-only runs).
+    ``stages`` (a collection of :data:`STAGES` names) restricts the run
+    to those stages; a partial run merges into — instead of replacing —
+    the output's existing same-mode results.
     """
     def say(message):
         if not quiet:
             print(message, flush=True)
 
-    say(f"[bench_regression] mode={mode} repeat={repeat}")
-    provenance, forest, single_tree = build_workload(mode)
-    scenarios = build_scenarios(provenance, MODES[mode]["scenarios"])
-    say(
-        f"workload: {len(provenance)} polynomials, "
-        f"{provenance.num_monomials} monomials, "
-        f"{provenance.num_variables} variables"
-    )
+    if stages is not None:
+        unknown = sorted(set(stages) - set(STAGES))
+        if unknown:
+            raise ValueError(
+                f"unknown stage(s) {unknown}; expected names from {STAGES}"
+            )
+
+    def wanted(stage):
+        return stages is None or stage in stages
+
+    say(f"[bench_regression] mode={mode} repeat={repeat}"
+        + (f" stages={','.join(s for s in STAGES if wanted(s))}"
+           if stages is not None else ""))
+
+    # The main workload is shared by most stages; build it (and the
+    # scenario suite) only when a requested stage needs it.
+    shared = {}
+
+    def workload():
+        if "built" not in shared:
+            provenance, forest, single_tree = build_workload(mode)
+            shared["built"] = (provenance, forest, single_tree)
+            say(
+                f"workload: {len(provenance)} polynomials, "
+                f"{provenance.num_monomials} monomials, "
+                f"{provenance.num_variables} variables"
+            )
+        return shared["built"]
+
+    def scenarios():
+        if "scenarios" not in shared:
+            shared["scenarios"] = build_scenarios(
+                workload()[0], MODES[mode]["scenarios"]
+            )
+        return shared["scenarios"]
 
     results = {}
-    results["greedy"] = bench_greedy(provenance, forest, repeat)
-    say(
-        "greedy: reference {seconds_reference:.3f}s -> incremental "
-        "{seconds_incremental:.3f}s ({speedup:.1f}x, {rounds} rounds)".format(
-            **results["greedy"]
+    if wanted("greedy"):
+        provenance, forest, _ = workload()
+        results["greedy"] = bench_greedy(provenance, forest, repeat)
+        say(
+            "greedy: reference {seconds_reference:.3f}s -> incremental "
+            "{seconds_incremental:.3f}s ({speedup:.1f}x, {rounds} rounds)"
+            .format(**results["greedy"])
         )
-    )
-    results["optimal"] = bench_optimal(provenance, single_tree, repeat)
-    say("optimal: {seconds:.3f}s (bound {bound})".format(**results["optimal"]))
-    results["abstraction"] = bench_abstraction(provenance, forest, repeat)
-    say(
-        "abstraction: substitute {seconds_substitute:.3f}s, "
-        "counts {seconds_counts:.3f}s".format(**results["abstraction"])
-    )
-    results["batch_valuation"] = bench_batch_valuation(
-        provenance, scenarios, repeat
-    )
-    say(
-        "batch valuation: loop {seconds_loop:.3f}s -> batch "
-        "{seconds_batch:.3f}s ({speedup:.1f}x over {scenarios} "
-        "scenarios)".format(**results["batch_valuation"])
-    )
-    results["sweep"] = bench_sweep(provenance, repeat, MODES[mode])
-    say(
-        "sweep: serial {seconds_serial:.3f}s -> parallel "
-        "{seconds_parallel:.3f}s ({speedup:.1f}x, {workers} workers on "
-        "{cpu_count} cores, {scenarios} scenarios; top-k "
-        "{seconds_top_k:.3f}s)".format(**results["sweep"])
-    )
-    results["sweep_delta"] = bench_sweep_delta(MODES[mode], repeat)
-    say(
-        "sweep delta: dense {seconds_dense:.3f}s -> delta "
-        "{seconds_delta:.3f}s ({speedup:.1f}x over {scenarios} "
-        "one-at-a-time scenarios, auto={auto_engine})".format(
-            **results["sweep_delta"]
+    if wanted("optimal"):
+        provenance, _, single_tree = workload()
+        results["optimal"] = bench_optimal(provenance, single_tree, repeat)
+        say("optimal: {seconds:.3f}s (bound {bound})".format(**results["optimal"]))
+    if wanted("abstraction"):
+        provenance, forest, _ = workload()
+        results["abstraction"] = bench_abstraction(provenance, forest, repeat)
+        say(
+            "abstraction: substitute {seconds_substitute:.3f}s, "
+            "counts {seconds_counts:.3f}s".format(**results["abstraction"])
         )
-    )
-    results["session"] = bench_session(provenance, forest, scenarios, repeat)
-    say(
-        "session: compress {seconds_compress:.3f}s ({algorithm}), "
-        "ask {seconds_ask:.3f}s over {scenarios} scenarios "
-        "({artifact_bytes} artifact bytes)".format(**results["session"])
-    )
+    if wanted("batch_valuation"):
+        results["batch_valuation"] = bench_batch_valuation(
+            workload()[0], scenarios(), repeat
+        )
+        say(
+            "batch valuation: loop {seconds_loop:.3f}s -> batch "
+            "{seconds_batch:.3f}s ({speedup:.1f}x over {scenarios} "
+            "scenarios)".format(**results["batch_valuation"])
+        )
+    if wanted("sweep"):
+        results["sweep"] = bench_sweep(workload()[0], repeat, MODES[mode])
+        say(
+            "sweep: serial {seconds_serial:.3f}s -> parallel "
+            "{seconds_parallel:.3f}s ({speedup:.1f}x, {workers} workers on "
+            "{cpu_count} cores, {scenarios} scenarios; top-k "
+            "{seconds_top_k:.3f}s)".format(**results["sweep"])
+        )
+    if wanted("sweep_delta"):
+        results["sweep_delta"] = bench_sweep_delta(MODES[mode], repeat)
+        say(
+            "sweep delta: dense {seconds_dense:.3f}s -> delta "
+            "{seconds_delta:.3f}s ({speedup:.1f}x over {scenarios} "
+            "one-at-a-time scenarios, auto={auto_engine})".format(
+                **results["sweep_delta"]
+            )
+        )
+    if wanted("compress_scale"):
+        results["compress_scale"] = bench_compress_scale(MODES[mode], repeat)
+        say(
+            "compress scale: object {seconds_object:.3f}s -> columnar "
+            "{seconds_columnar:.3f}s ({speedup:.1f}x end-to-end over "
+            "{monomials} monomials, {algorithm})".format(
+                **results["compress_scale"]
+            )
+        )
+    if wanted("session"):
+        provenance, forest, _ = workload()
+        results["session"] = bench_session(provenance, forest, scenarios(), repeat)
+        say(
+            "session: compress {seconds_compress:.3f}s ({algorithm}), "
+            "ask {seconds_ask:.3f}s over {scenarios} scenarios "
+            "({artifact_bytes} artifact bytes)".format(**results["session"])
+        )
 
     entry = {
         "mode": mode,
@@ -584,7 +748,7 @@ def run(mode="full", repeat=3, output=None, quiet=False, write=True):
         "results": results,
     }
     path = output or default_output()
-    document = _merge_runs(path, entry)
+    document = _merge_runs(path, entry, partial=stages is not None)
     if write:
         with open(path, "w") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
@@ -616,6 +780,12 @@ def main(argv=None):
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed relative regression for --check "
                              f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--stage", action="append", choices=STAGES,
+                        metavar="NAME",
+                        help="run only this stage (repeatable); partial "
+                             "runs merge into the output's existing "
+                             "results and --check gates only the stages "
+                             "that ran")
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error(f"--repeat must be >= 1, got {args.repeat}")
@@ -640,17 +810,22 @@ def main(argv=None):
     document = run(
         mode=mode_name, repeat=args.repeat, output=args.output,
         quiet=args.quiet, write=args.check is None or bool(args.output),
+        stages=args.stage,
     )
     if baseline is None:
         return 0
     failures = check_regression(
-        document["runs"][mode_name], baseline, args.tolerance
+        document["runs"][mode_name], baseline, args.tolerance,
+        stages=args.stage,
     )
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         return 1
-    checked = ", ".join(f"{s}.{f}" for s, f, _, _ in CHECK_FIELDS)
+    checked = ", ".join(
+        f"{s}.{f}" for s, f, _, _ in CHECK_FIELDS
+        if args.stage is None or s in args.stage
+    )
     if not args.quiet:
         print(f"check passed vs {args.check} (mode={mode_name}; {checked})")
     return 0

@@ -48,6 +48,7 @@ from repro.core import (
     Valuation,
     abstract,
     abstract_counts,
+    losses,
     monomial_loss,
     parse,
     parse_set,
@@ -68,6 +69,7 @@ __all__ = [
     "LossIndex",
     "abstract",
     "abstract_counts",
+    "losses",
     "monomial_loss",
     "variable_loss",
     "Valuation",

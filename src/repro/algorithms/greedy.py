@@ -253,8 +253,8 @@ class _Candidate:
             self.n -= 1
 
 
-def _prepare(polynomials, forest, bound, clean):
-    """Shared setup of both greedy variants."""
+def _plan(polynomials, forest, bound, clean):
+    """Normalize the inputs; no working state yet (shared by backends)."""
     polynomials = ensure_set(polynomials)
     if isinstance(forest, AbstractionTree):
         forest = AbstractionForest([forest])
@@ -263,7 +263,6 @@ def _prepare(polynomials, forest, bound, clean):
     if clean:
         forest = forest.clean(polynomials)
 
-    state = _WorkingState(polynomials)
     selected = set(forest.leaf_labels)
     trees = {}
     candidates = set()
@@ -275,6 +274,15 @@ def _prepare(polynomials, forest, bound, clean):
                 child.label in selected for child in node.children
             ):
                 candidates.add(label)
+    return polynomials, forest, selected, trees, candidates
+
+
+def _prepare(polynomials, forest, bound, clean):
+    """Shared setup of the object-path greedy variants."""
+    polynomials, forest, selected, trees, candidates = _plan(
+        polynomials, forest, bound, clean
+    )
+    state = _WorkingState(polynomials)
     return polynomials, forest, state, selected, trees, candidates
 
 
@@ -292,7 +300,8 @@ def _finish(polynomials, forest, state, selected, trace):
     )
 
 
-def greedy_vvs(polynomials, forest, bound, *, clean=True, ml_tie_break=True):
+def greedy_vvs(polynomials, forest, bound, *, clean=True, ml_tie_break=True,
+               backend="auto"):
     """Greedy multi-tree abstraction (Algorithm 2), incremental ranking.
 
     :param polynomials: a :class:`Polynomial` or :class:`PolynomialSet`.
@@ -305,6 +314,14 @@ def greedy_vvs(polynomials, forest, bound, *, clean=True, ml_tie_break=True):
         Disabling it breaks ties by label only — no ML bookkeeping at
         all, possibly more rounds and worse cuts; the ablation benchmark
         quantifies the trade.
+    :param backend: ``"object"`` runs the dict-of-sets working state
+        below, ``"columnar"`` the flat-array state of
+        :mod:`repro.core.columnar` (identical cuts, traces and losses —
+        only the work schedule differs), ``"auto"`` (the default) picks
+        columnar for large multisets. The columnar state requires
+        forest compatibility (at most one node of each tree per
+        monomial); ``"auto"`` silently falls back to the object path
+        when that fails, an explicit ``"columnar"`` raises.
 
     Unlike :func:`repro.algorithms.optimal.optimal_vvs`, the greedy
     never raises for an unreachable bound — it abstracts as far as the
@@ -327,6 +344,27 @@ def greedy_vvs(polynomials, forest, bound, *, clean=True, ml_tie_break=True):
     >>> sorted(result.vvs.labels), result.abstracted_size
     (['SB'], 2)
     """
+    from repro.core.columnar import ColumnarUnsupportedError, resolve_backend
+
+    resolved = resolve_backend(
+        backend, ensure_set(polynomials).num_monomials
+    )
+    if resolved == "columnar":
+        try:
+            return _columnar_greedy(
+                polynomials, forest, bound, clean=clean,
+                ml_tie_break=ml_tie_break,
+            )
+        except ColumnarUnsupportedError:
+            if backend == "columnar":
+                raise
+    return _object_greedy(
+        polynomials, forest, bound, clean=clean, ml_tie_break=ml_tie_break
+    )
+
+
+def _object_greedy(polynomials, forest, bound, *, clean=True, ml_tie_break=True):
+    """The incremental greedy over the dict-of-sets working state."""
     polynomials, forest, state, selected, trees, initial = _prepare(
         polynomials, forest, bound, clean
     )
@@ -477,3 +515,429 @@ def _reference_greedy(polynomials, forest, bound, *, clean=True, ml_tie_break=Tr
             candidates.add(parent)
 
     return _finish(polynomials, forest, state, selected, trace)
+
+
+
+# ---------------------------------------------------------------------------
+# Columnar backend: the same algorithm over flat factor arrays.
+# ---------------------------------------------------------------------------
+
+
+class _GroupCounts:
+    """Sorted ``group id -> alive-row count`` for one active candidate.
+
+    Group ids are drawn from per-tree monotone counters, so arrivals
+    (always fresh groups) append in sorted order and departures are a
+    single ``searchsorted`` — no re-sorting, ever.
+    """
+
+    __slots__ = ("groups", "counts", "size")
+
+    def __init__(self, groups, counts):
+        self.groups = groups
+        self.counts = counts
+        self.size = len(groups)
+
+    def subtract(self, groups, amounts):
+        """Decrement the given (unique, present) groups; return priors."""
+        import numpy
+
+        positions = numpy.searchsorted(self.groups[: self.size], groups)
+        before = self.counts[positions].copy()
+        self.counts[positions] = before - amounts
+        return before
+
+    def append(self, groups, counts):
+        import numpy
+
+        need = self.size + len(groups)
+        if need > len(self.groups):
+            capacity = max(need, 2 * len(self.groups), 16)
+            for name in ("groups", "counts"):
+                grown = numpy.empty(capacity, dtype=numpy.int64)
+                grown[: self.size] = getattr(self, name)[: self.size]
+                setattr(self, name, grown)
+        self.groups[self.size:need] = groups
+        self.counts[self.size:need] = counts
+        self.size = need
+
+
+def _columnar_greedy(polynomials, forest, bound, *, clean, ml_tie_break):
+    """Algorithm 2 over the columnar working state (identical outputs).
+
+    State: per-tree current-variable/exponent columns over the monomial
+    rows, a static free-factor signature per row, an ``alive`` mask, and
+    per-tree *residue groups*: rows whose contents are identical except
+    for their variable of that tree share a group id. Two rows collide
+    under a candidate exactly when they share a residue group (same
+    polynomial, same exponent, same rest-of-monomial) and their members
+    both belong to the candidate — so a candidate's exact ΔML is
+    ``n − #groups`` over its rows, computed with one sort when the
+    candidate activates and maintained per merge with a handful of
+    array ops:
+
+    * a merge rewrites only the rows holding the merged children
+      (found via the inverted variable→row index); collisions are one
+      exact row-grouping of the rewritten contents;
+    * the merge does not change those rows' residues *in its own tree*
+      (only the tree variable moved), so their groups there persist;
+      in every *other* tree the rewritten rows leave their groups and
+      form fresh ones — fresh because their contents now hold the new
+      meta-variable, which no other row can contain;
+    * each active candidate keeps a sorted ``group → count`` table of
+      its rows; batch departures/arrivals against those tables yield
+      the exact ΔML deltas for precisely the candidates watching the
+      touched rows — the columnar counterpart of the object path's
+      per-rewrite collision counters.
+    """
+    import numpy
+
+    from repro.core.columnar import (
+        ColumnarUnsupportedError,
+        gather_ranges,
+        invert_index,
+        run_starts,
+        unique_row_ids,
+    )
+
+    polynomials, forest, selected, trees, initial = _plan(
+        polynomials, forest, bound, clean
+    )
+    cm = polynomials.columnar()
+    num_trees = len(forest.trees)
+    intern = VARIABLES.intern
+    for tree in forest.trees:
+        for label in tree.labels:
+            intern(label)
+    num_vars = len(VARIABLES)
+
+    tree_of = numpy.full(num_vars, -1, dtype=numpy.intp)
+    parent_vid = numpy.full(num_vars, -1, dtype=numpy.intp)
+    for index, tree in enumerate(forest.trees):
+        for label, node in tree.nodes.items():
+            vid = intern(label)
+            tree_of[vid] = index
+            if node.parent is not None:
+                parent_vid[vid] = intern(node.parent.label)
+
+    num_rows = cm.num_monomials
+    frows = cm.factor_rows()
+    in_tree = tree_of[cm.vids]
+    tree_sel = numpy.flatnonzero(in_tree >= 0)
+    if len(tree_sel) and num_trees:
+        membership = frows[tree_sel] * num_trees + in_tree[tree_sel]
+        if len(numpy.unique(membership)) != len(membership):
+            raise ColumnarUnsupportedError(
+                "columnar greedy requires forest compatibility: a monomial "
+                "holds more than one node of one tree"
+            )
+
+    # Per-tree current variable/exponent of every row (-1: no variable
+    # of that tree) — a merge is a pure column relabel.
+    var_t = numpy.full((num_trees, num_rows), -1, dtype=numpy.intp)
+    exp_t = numpy.zeros((num_trees, num_rows), dtype=numpy.int64)
+    var_t[in_tree[tree_sel], frows[tree_sel]] = cm.vids[tree_sel]
+    exp_t[in_tree[tree_sel], frows[tree_sel]] = cm.exps[tree_sel]
+
+    # Static free factors (never rewritten): a CSR per row plus one
+    # interned signature (poly included) used by every residue key.
+    free_sel = numpy.flatnonzero(in_tree < 0)
+    free_counts = numpy.bincount(frows[free_sel], minlength=num_rows)
+    free_starts = numpy.zeros(num_rows + 1, dtype=numpy.intp)
+    numpy.cumsum(free_counts, out=free_starts[1:])
+    free_vids = cm.vids[free_sel]
+    width = int(free_counts.max()) if num_rows else 0
+    free_matrix = numpy.empty((num_rows, 1 + 2 * width), dtype=numpy.int64)
+    free_matrix[:, 0] = cm.row_poly
+    if width:
+        free_matrix[:, 1::2] = -2
+        free_matrix[:, 2::2] = 0
+        slot = (
+            numpy.arange(len(free_sel), dtype=numpy.intp)
+            - numpy.repeat(free_starts[:-1], free_counts)
+        )
+        free_matrix[frows[free_sel], 1 + 2 * slot] = free_vids
+        free_matrix[frows[free_sel], 2 + 2 * slot] = cm.exps[free_sel]
+    free_sig, _ = unique_row_ids(free_matrix)
+
+    alive = numpy.ones(num_rows, dtype=bool)
+    var_alive = numpy.bincount(cm.vids, minlength=num_vars)
+
+    # Inverted variable→rows index for the tree alphabet (the rows a
+    # merge rewrites, built with the shared CSR inversion); merged
+    # meta-variables get their survivor lists.
+    var_rows = {}
+    if len(tree_sel):
+        starts, order = invert_index(cm.vids[tree_sel], num_vars)
+        rows_by_var = frows[tree_sel]
+        for vid in numpy.unique(cm.vids[tree_sel]).tolist():
+            var_rows[int(vid)] = rows_by_var[order[starts[vid]:starts[vid + 1]]]
+
+    def residue_matrix(tree_index, rows):
+        """``[free signature, exp, other trees' (var, exp)]`` rows."""
+        matrix = numpy.empty((len(rows), 2 * num_trees), dtype=numpy.int64)
+        matrix[:, 0] = free_sig[rows]
+        matrix[:, 1] = exp_t[tree_index, rows]
+        column = 2
+        for other in range(num_trees):
+            if other == tree_index:
+                continue
+            matrix[:, column] = var_t[other, rows]
+            matrix[:, column + 1] = exp_t[other, rows]
+            column += 2
+        return matrix
+
+    # Initial residue groups per tree. Group ids are never recycled:
+    # regrouped rows draw fresh ids from the per-tree counter, so every
+    # candidate table appends in sorted order.
+    group_t = numpy.full((num_trees, num_rows), -1, dtype=numpy.intp)
+    next_group = [0] * num_trees
+    for index in range(num_trees):
+        rows = numpy.flatnonzero(var_t[index] >= 0)
+        if not len(rows):
+            continue
+        ids, count = unique_row_ids(residue_matrix(index, rows))
+        group_t[index, rows] = ids
+        next_group[index] = count
+
+    # Candidate bookkeeping: slots are append-only; a chosen candidate
+    # clears its parent-label entry, exactly like the object watchers.
+    slot_label = []
+    slot_children = []
+    slot_dvl = []
+    slot_tree = []
+    slot_groups = []
+    slot_ml = []
+    cand_of_parent = numpy.full(num_vars, -1, dtype=numpy.intp)
+    candidates = {}  # label -> slot
+    ranks = {}
+    heap = []
+
+    def alive_rows_of(children_ids):
+        parts = [var_rows[vid] for vid in children_ids if vid in var_rows]
+        if not parts:
+            return numpy.zeros(0, dtype=numpy.intp)
+        rows = numpy.concatenate(parts)
+        return rows[alive[rows]]
+
+    def add_candidate(label):
+        pid = intern(label)
+        tree_index = int(tree_of[pid])
+        ids = tuple(intern(child) for child in trees[label].children(label))
+        present = sum(1 for vid in ids if var_alive[vid] > 0)
+        delta_vl = max(0, present - 1)
+        ml = 0
+        table = None
+        if ml_tie_break:
+            rows = alive_rows_of(ids)
+            groups = numpy.sort(group_t[tree_index, rows].astype(numpy.int64))
+            starts = run_starts(groups)
+            counts = numpy.diff(
+                numpy.append(starts, len(groups))
+            ).astype(numpy.int64)
+            table = _GroupCounts(groups[starts].copy(), counts)
+            ml = len(groups) - len(starts)
+        slot = len(slot_label)
+        slot_label.append(label)
+        slot_children.append(ids)
+        slot_dvl.append(delta_vl)
+        slot_tree.append(tree_index)
+        slot_groups.append(table)
+        slot_ml.append(ml)
+        cand_of_parent[pid] = slot
+        candidates[label] = slot
+        rank = (delta_vl, -ml, label)
+        ranks[label] = rank
+        heapq.heappush(heap, rank)
+
+    def per_watcher_batches(tree_index, rows):
+        """``(slot, groups, counts)`` per active watcher among ``rows``.
+
+        Groups rows of one tree by the candidate watching their
+        variable (parent active), aggregating duplicate groups — the
+        batched form of the object path's per-entry counter bumps.
+        """
+        held = var_t[tree_index, rows]
+        mask = held >= 0
+        sub = rows[mask]
+        if not len(sub):
+            return
+        # Roots have no parent (parent_vid -1) and therefore no
+        # watcher — mask them before indexing the slot table.
+        parents = parent_vid[held[mask]]
+        watched = parents >= 0
+        sub = sub[watched]
+        if not len(sub):
+            return
+        slots = cand_of_parent[parents[watched]]
+        active = slots >= 0
+        sub = sub[active]
+        if not len(sub):
+            return
+        slots = slots[active]
+        groups = group_t[tree_index, sub].astype(numpy.int64)
+        bound_ = next_group[tree_index] + 1
+        keys = slots.astype(numpy.int64) * bound_ + groups
+        unique_keys, counts = numpy.unique(keys, return_counts=True)
+        key_slots = unique_keys // bound_
+        bounds = run_starts(key_slots).tolist() + [len(unique_keys)]
+        for start, stop in zip(bounds, bounds[1:]):
+            yield (
+                int(key_slots[start]),
+                unique_keys[start:stop] % bound_,
+                counts[start:stop].astype(numpy.int64),
+            )
+
+    def apply_merge(slot, touched):
+        label = slot_label[slot]
+        tree_index = slot_tree[slot]
+        ids = slot_children[slot]
+        pid = intern(label)
+        rows = alive_rows_of(ids)
+        if not len(rows):
+            for vid in ids:
+                var_rows.pop(vid, None)
+                var_alive[vid] = 0
+            var_rows[pid] = rows
+            var_alive[pid] = 0
+            return 0
+
+        # Departures: every touched row leaves its residue group in
+        # every *other* tree (its residue there is about to change; in
+        # the merged tree only the variable moves, the residue — and
+        # with it the group — stays).
+        if ml_tie_break:
+            for index in range(num_trees):
+                if index == tree_index:
+                    continue
+                for watcher, groups, removed in per_watcher_batches(
+                    index, rows
+                ):
+                    before = slot_groups[watcher].subtract(groups, removed)
+                    delta = int((removed - (before == removed)).sum())
+                    if delta:
+                        slot_ml[watcher] -= delta
+                    touched.add(watcher)
+
+        # Rewrite + collisions: identical full contents merge (only
+        # rewritten rows can collide — the fresh meta-variable cannot
+        # occur in untouched rows).
+        var_t[tree_index, rows] = pid
+        content = numpy.empty((len(rows), 1 + 2 * num_trees), dtype=numpy.int64)
+        content[:, 0] = free_sig[rows]
+        for index in range(num_trees):
+            content[:, 1 + 2 * index] = var_t[index, rows]
+            content[:, 2 + 2 * index] = exp_t[index, rows]
+        classes, distinct = unique_row_ids(content)
+        first = numpy.full(distinct, len(rows), dtype=numpy.intp)
+        numpy.minimum.at(
+            first, classes, numpy.arange(len(rows), dtype=numpy.intp)
+        )
+        survivor_mask = numpy.zeros(len(rows), dtype=bool)
+        survivor_mask[first] = True
+        survivors = rows[survivor_mask]
+        dead = rows[~survivor_mask]
+        loss = len(rows) - distinct
+
+        if len(dead):
+            alive[dead] = False
+            for index in range(num_trees):
+                if index == tree_index:
+                    continue
+                held = var_t[index, dead]
+                held = held[held >= 0]
+                if len(held):
+                    numpy.subtract.at(var_alive, held, 1)
+            flat = gather_ranges(free_starts[dead], free_counts[dead])
+            if len(flat):
+                numpy.subtract.at(var_alive, free_vids[flat], 1)
+
+        # Arrivals: in every other tree the survivors' residues now
+        # hold the fresh meta-variable, so they form fresh groups that
+        # cannot coincide with any existing residue.
+        for index in range(num_trees):
+            if index == tree_index:
+                continue
+            held = var_t[index, survivors]
+            sub = survivors[held >= 0]
+            if not len(sub):
+                continue
+            ids_local, count = unique_row_ids(residue_matrix(index, sub))
+            group_t[index, sub] = ids_local + next_group[index]
+            next_group[index] += count
+            if ml_tie_break:
+                for watcher, groups, counts in per_watcher_batches(index, sub):
+                    slot_groups[watcher].append(groups, counts)
+                    delta = int((counts - 1).sum())
+                    if delta:
+                        slot_ml[watcher] += delta
+                    touched.add(watcher)
+
+        for vid in ids:
+            var_rows.pop(vid, None)
+            var_alive[vid] = 0
+        var_rows[pid] = survivors
+        var_alive[pid] = len(survivors)
+        return loss
+
+    k = polynomials.num_monomials - bound
+    trace = []
+    for label in sorted(initial):
+        add_candidate(label)
+
+    cumulative_ml = 0
+    cumulative_vl = 0
+    while cumulative_ml < k and candidates:
+        while True:
+            rank = heapq.heappop(heap)
+            label = rank[2]
+            if ranks.get(label) == rank and label in candidates:
+                break
+        delta_vl = rank[0]
+        slot = candidates.pop(label)
+        ranks.pop(label, None)
+        cand_of_parent[intern(label)] = -1
+        slot_groups[slot] = None
+        touched = set()
+        loss = apply_merge(slot, touched)
+
+        children = trees[label].children(label)
+        selected.difference_update(children)
+        selected.add(label)
+        cumulative_ml += loss
+        cumulative_vl += delta_vl
+        trace.append(
+            GreedyStep(label, loss, delta_vl, cumulative_ml, cumulative_vl)
+        )
+
+        for touched_slot in sorted(touched):
+            touched_label = slot_label[touched_slot]
+            if touched_label not in candidates:
+                continue
+            new_rank = (
+                slot_dvl[touched_slot],
+                -slot_ml[touched_slot],
+                touched_label,
+            )
+            if new_rank != ranks[touched_label]:
+                ranks[touched_label] = new_rank
+                heapq.heappush(heap, new_rank)
+
+        tree = trees[label]
+        parent = tree.parent(label)
+        if parent is not None and all(
+            child in selected for child in tree.children(parent)
+        ):
+            add_candidate(parent)
+
+    size = int(alive.sum())
+    granularity = int(numpy.count_nonzero(var_alive > 0))
+    vvs = ValidVariableSet(forest, frozenset(selected), _validated=True)
+    return AbstractionResult(
+        vvs=vvs,
+        monomial_loss=polynomials.num_monomials - size,
+        variable_loss=polynomials.num_variables - granularity,
+        abstracted_size=size,
+        abstracted_granularity=granularity,
+        trace=trace,
+    )

@@ -101,7 +101,7 @@ def _combine_children(child_tables, child_labels, k):
     return table
 
 
-def optimal_vvs(polynomials, tree, bound, *, clean=True):
+def optimal_vvs(polynomials, tree, bound, *, clean=True, backend="auto"):
     """Optimal single-tree abstraction (Algorithm 1, optimized).
 
     :param polynomials: a :class:`Polynomial` or :class:`PolynomialSet`.
@@ -110,6 +110,10 @@ def optimal_vvs(polynomials, tree, bound, *, clean=True):
     :param clean: apply footnote 1 (drop absent leaves, splice
         single-child nodes) before solving; disable only if the tree is
         already clean.
+    :param backend: engine for the :class:`LossIndex` and the final
+        counting pass — ``"object"``, ``"columnar"``, or ``"auto"``
+        (see :mod:`repro.core.columnar`; the DP itself runs over tree
+        nodes either way and the selected cut is identical).
     :raises InfeasibleBoundError: when even the coarsest cut exceeds
         ``bound``.
 
@@ -131,9 +135,9 @@ def optimal_vvs(polynomials, tree, bound, *, clean=True):
     k = total_monomials - bound
     if tree is None or k <= 0:
         # Nothing to compress (or no usable tree): the identity cut.
-        return _finish(polynomials, forest, forest.leaf_vvs())
+        return _finish(polynomials, forest, forest.leaf_vvs(), backend)
 
-    index = LossIndex(polynomials, tree)
+    index = LossIndex(polynomials, tree, backend=backend)
     if index.max_ml < k:
         raise InfeasibleBoundError(bound, total_monomials - index.max_ml)
 
@@ -180,7 +184,7 @@ def optimal_vvs(polynomials, tree, bound, *, clean=True):
     labels = set()
     _reconstruct(tree.root, k, tables, labels)
     vvs = ValidVariableSet(forest, frozenset(labels), _validated=True)
-    return _finish(polynomials, forest, vvs)
+    return _finish(polynomials, forest, vvs, backend)
 
 
 def _reconstruct(node, ml_key, tables, out):
@@ -196,8 +200,8 @@ def _reconstruct(node, ml_key, tables, out):
         _reconstruct(children[child_label], child_ml, tables, out)
 
 
-def _finish(polynomials, forest, vvs):
-    size, granularity = abstract_counts(polynomials, vvs.mapping())
+def _finish(polynomials, forest, vvs, backend="auto"):
+    size, granularity = abstract_counts(polynomials, vvs.mapping(), backend=backend)
     return AbstractionResult(
         vvs=vvs,
         monomial_loss=polynomials.num_monomials - size,

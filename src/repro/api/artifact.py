@@ -103,10 +103,18 @@ class CompressedProvenance:
         self.variable_loss = int(variable_loss)
 
     @classmethod
-    def from_result(cls, result, original, *, algorithm, bound):
-        """Package an :class:`AbstractionResult` computed on ``original``."""
+    def from_result(cls, result, original, *, algorithm, bound,
+                    backend="auto"):
+        """Package an :class:`AbstractionResult` computed on ``original``.
+
+        ``backend`` selects the ``P↓S`` materialization engine (see
+        :func:`repro.core.abstraction.abstract`) — the monomial
+        structure is identical either way.
+        """
+        from repro.core.abstraction import abstract
+
         return cls(
-            result.apply(original),
+            abstract(original, result.vvs, backend=backend),
             result.vvs.forest,
             result.vvs,
             algorithm=algorithm,

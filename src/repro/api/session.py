@@ -35,6 +35,27 @@ from repro.api.artifact import CompressedProvenance
 __all__ = ["ProvenanceSession", "as_forest"]
 
 
+def _accepts_backend(solver):
+    """Does ``solver`` take the ``backend=`` knob (directly or **kwargs)?
+
+    Third-party solvers registered before the knob existed keep
+    working: the facade only forwards ``backend`` to callables that can
+    receive it (the built-ins all do). Unintrospectable callables get
+    the forward — the documented contract asks new solvers to accept
+    it.
+    """
+    import inspect
+
+    try:
+        parameters = inspect.signature(solver).parameters.values()
+    except (TypeError, ValueError):
+        return True
+    return any(
+        parameter.kind == parameter.VAR_KEYWORD or parameter.name == "backend"
+        for parameter in parameters
+    )
+
+
 def as_forest(spec):
     """Normalize a forest specification to an :class:`AbstractionForest`.
 
@@ -191,7 +212,8 @@ class ProvenanceSession:
 
     # ------------------------------------------------------------- compress
 
-    def compress(self, bound, algorithm=registry.AUTO, **options):
+    def compress(self, bound, algorithm=registry.AUTO, backend="auto",
+                 **options):
         """Select and apply a VVS; package the result as an artifact.
 
         :param bound: maximum number of monomials ``B``.
@@ -199,6 +221,13 @@ class ProvenanceSession:
             ``"brute-force"``, …) or ``"auto"`` — pick the optimal DP
             for a single compatible tree, the greedy otherwise (see
             :func:`repro.algorithms.registry.choose`).
+        :param backend: compression engine — ``"object"`` (the
+            reference tuple-walking path), ``"columnar"`` (the
+            vectorized flat-array core of :mod:`repro.core.columnar`),
+            or ``"auto"`` (the default: columnar for large multisets).
+            The selected VVS, the losses and the artifact's monomial
+            structure are identical either way; the knob is forwarded
+            to the solver *and* to the ``P↓S`` materialization.
         :param options: forwarded to the solver (e.g. ``clean=False``).
         :raises ValueError: when the session has no forest.
         :raises InfeasibleBoundError: propagated from bound-strict
@@ -228,9 +257,12 @@ class ProvenanceSession:
                 )
             else:
                 target = self.forest.trees[0]
+        if _accepts_backend(solver):
+            options = {"backend": backend, **options}
         result = solver(self.polynomials, target, bound, **options)
         return CompressedProvenance.from_result(
-            result, self.polynomials, algorithm=name, bound=bound
+            result, self.polynomials, algorithm=name, bound=bound,
+            backend=backend,
         )
 
     # --------------------------------------------------------------- dunder

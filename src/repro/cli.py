@@ -80,7 +80,8 @@ def _cmd_compress(args):
     forest = _load(args.forest, AbstractionForest)
     session = ProvenanceSession(provenance, forest)
     try:
-        artifact = session.compress(args.bound, algorithm=args.algorithm)
+        artifact = session.compress(args.bound, algorithm=args.algorithm,
+                                    backend=args.backend)
     except InfeasibleBoundError as error:
         raise SystemExit(f"infeasible: {error}")
     except ValueError as error:
@@ -320,6 +321,8 @@ def _cmd_bench(args):
         argv.extend(["--check", args.check])
     if args.tolerance is not None:
         argv.extend(["--tolerance", str(args.tolerance)])
+    for stage in args.stage or ():
+        argv.extend(["--stage", stage])
     return module.main(argv)
 
 
@@ -354,6 +357,12 @@ def build_parser():
                           default="greedy",
                           help="a registered solver, or 'auto' to pick "
                                "one from the input (default: greedy)")
+    compress.add_argument("--backend", choices=["object", "columnar", "auto"],
+                          default="auto",
+                          help="compression engine: object walks interned "
+                               "tuples, columnar runs the vectorized "
+                               "flat-array core, auto picks by input size "
+                               "(identical cuts and losses; default: auto)")
     compress.add_argument("--output", help="write P↓S here (JSON)")
     compress.add_argument("--vvs-output", help="write the chosen cut here")
     compress.add_argument("--artifact",
@@ -458,6 +467,12 @@ def build_parser():
     bench.add_argument("--tolerance", type=float, default=None,
                        help="allowed relative regression for --check "
                             "(default 0.35)")
+    bench.add_argument("--stage", action="append", metavar="NAME",
+                       help="run only this stage (repeatable; e.g. "
+                            "--stage greedy --stage compress_scale). "
+                            "Partial runs merge into the output's "
+                            "existing results and --check gates only "
+                            "the stages that ran")
     bench.set_defaults(run=_cmd_bench)
 
     return parser

@@ -21,6 +21,7 @@ from repro.core.abstraction import (
     LossIndex,
     abstract,
     abstract_counts,
+    losses,
     monomial_loss,
     variable_loss,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "LossIndex",
     "abstract",
     "abstract_counts",
+    "losses",
     "monomial_loss",
     "variable_loss",
     "Valuation",

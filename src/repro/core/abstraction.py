@@ -31,6 +31,7 @@ __all__ = [
     "abstract",
     "monomial_loss",
     "variable_loss",
+    "losses",
     "abstract_counts",
     "LossIndex",
 ]
@@ -45,25 +46,57 @@ def ensure_set(polynomials):
     raise TypeError(f"expected Polynomial(Set), got {type(polynomials).__name__}")
 
 
-def abstract(polynomials, vvs):
-    """Compute ``P↓S`` for a polynomial or a multiset of polynomials."""
+def abstract(polynomials, vvs, backend="auto"):
+    """Compute ``P↓S`` for a polynomial or a multiset of polynomials.
+
+    ``backend`` selects the substitution engine for multisets:
+    ``"object"`` walks the interned tuples monomial by monomial,
+    ``"columnar"`` runs the vectorized id-remap + row-grouping path of
+    :class:`repro.core.columnar.ColumnarMultiset`, ``"auto"`` (the
+    default) picks by multiset size. The monomial structure is
+    count-identical either way; merged *float* coefficients can differ
+    in the last bits between backends (the columnar path sums them in
+    canonical monomial order — exact types are identical).
+    """
     if not isinstance(vvs, ValidVariableSet):
         raise TypeError(f"expected ValidVariableSet, got {type(vvs).__name__}")
+    if isinstance(polynomials, PolynomialSet):
+        from repro.core.columnar import resolve_backend
+
+        if resolve_backend(backend, polynomials.num_monomials) == "columnar":
+            id_mapping = VARIABLES.intern_mapping(vvs.mapping())
+            terms = polynomials.columnar().substitute(id_mapping)
+            return PolynomialSet(
+                Polynomial._raw(poly_terms) for poly_terms in terms
+            )
     return polynomials.substitute(vvs.mapping())
 
 
-def monomial_loss(polynomials, vvs):
+def losses(polynomials, vvs, backend="auto"):
+    """``(ML_P(S), VL_P(S))`` from a single counting pass.
+
+    :func:`monomial_loss` and :func:`variable_loss` each run the same
+    ``abstract_counts`` pass and discard half of it — callers needing
+    both measures should use this combined form.
+    """
+    polynomials = ensure_set(polynomials)
+    size, granularity = abstract_counts(
+        polynomials, vvs.mapping(), backend=backend
+    )
+    return (
+        polynomials.num_monomials - size,
+        polynomials.num_variables - granularity,
+    )
+
+
+def monomial_loss(polynomials, vvs, backend="auto"):
     """``ML_P(S) = |P|_M − |P↓S|_M`` (Example 6: ML(S1)=4, ML(S5)=6)."""
-    polynomials = ensure_set(polynomials)
-    size, _ = abstract_counts(polynomials, vvs.mapping())
-    return polynomials.num_monomials - size
+    return losses(polynomials, vvs, backend=backend)[0]
 
 
-def variable_loss(polynomials, vvs):
+def variable_loss(polynomials, vvs, backend="auto"):
     """``VL_P(S) = |P|_V − |P↓S|_V`` (Example 6: VL(S1)=2, VL(S5)=3)."""
-    polynomials = ensure_set(polynomials)
-    _, granularity = abstract_counts(polynomials, vvs.mapping())
-    return polynomials.num_variables - granularity
+    return losses(polynomials, vvs, backend=backend)[1]
 
 
 def _substituted_key(monomial, id_mapping):
@@ -79,14 +112,21 @@ def _substituted_key(monomial, id_mapping):
     return tuple(sorted(acc.items()))
 
 
-def abstract_counts(polynomials, mapping):
+def abstract_counts(polynomials, mapping, backend="auto"):
     """``(|P↓S|_M, |P↓S|_V)`` without materializing ``P↓S``.
 
     ``mapping`` is a leaf→representative dict as produced by
-    :meth:`repro.core.forest.ValidVariableSet.mapping`.
+    :meth:`repro.core.forest.ValidVariableSet.mapping`. The columnar
+    backend computes the same counts by a vectorized id-remap and exact
+    row grouping (``backend="auto"``, the default, picks it for large
+    multisets); results are identical.
     """
     polynomials = ensure_set(polynomials)
     id_mapping = VARIABLES.intern_mapping(mapping)
+    from repro.core.columnar import resolve_backend
+
+    if resolve_backend(backend, polynomials.num_monomials) == "columnar":
+        return polynomials.columnar().substituted_counts(id_mapping)
     mapped = set(id_mapping)
     total_monomials = 0
     variables = set()
@@ -141,13 +181,18 @@ class LossIndex:
 
     __slots__ = ("tree", "_ml", "_vl", "_present", "_leaf_count")
 
-    def __init__(self, polynomials, tree):
+    def __init__(self, polynomials, tree, backend="auto"):
         polynomials = ensure_set(polynomials)
         self.tree = tree
         self._ml = {}
         self._vl = {}
         self._present = {}
         self._leaf_count = {}
+        from repro.core.columnar import resolve_backend
+
+        if resolve_backend(backend, polynomials.num_monomials) == "columnar":
+            self._build_columnar(polynomials, tree)
+            return
         # Interned view of the leaf alphabet; residual keys replace the
         # (unique, by compatibility) tree variable with SENTINEL_ID.
         leaf_of_id = {
@@ -214,6 +259,118 @@ class LossIndex:
                 self._ml[label] = total - distinct
                 self._present[label] = present
                 self._leaf_count[label] = leaf_count
+            self._vl[label] = max(0, self._present[label] - 1)
+
+    def _build_columnar(self, polynomials, tree):
+        """One vectorized pass over the factor arrays (same numbers).
+
+        Residual classes are formed by exact row grouping of the
+        ``[poly, member exponent, rest-of-monomial]`` matrices; the
+        per-node distinct-residual counts come from an Euler-ordered
+        leaf numbering: every node covers a contiguous leaf interval,
+        and a ``(leaf, class)`` pair is a duplicate inside the interval
+        exactly when its previous same-class occurrence also falls in
+        it — a ``searchsorted`` range plus one comparison per pair
+        instead of per-monomial ``set()`` unions.
+        """
+        import numpy
+
+        from repro.core.columnar import run_starts, unique_row_ids
+
+        cm = polynomials.columnar()
+        ordered_leaves = [node.label for node in tree.leaves]
+        leaf_ids = [VARIABLES.intern(label) for label in ordered_leaves]
+        position_of_label = {
+            label: pos for pos, label in enumerate(ordered_leaves)
+        }
+        top = max([cm.max_vid()] + leaf_ids)
+        is_leaf = numpy.zeros(top + 2, dtype=bool)
+        pos_of_vid = numpy.full(top + 2, -1, dtype=numpy.intp)
+        if leaf_ids:
+            ids = numpy.asarray(leaf_ids, dtype=numpy.intp)
+            is_leaf[ids] = True
+            pos_of_vid[ids] = numpy.arange(len(leaf_ids), dtype=numpy.intp)
+
+        frows = cm.factor_rows()
+        hits = numpy.flatnonzero(is_leaf[cm.vids])
+        # First leaf in key order per row (compatibility: at most one
+        # per monomial; ties resolved as the object path does).
+        member_flat = hits[run_starts(frows[hits])]
+        entry_rows = frows[member_flat]
+        entries = len(member_flat)
+        member_exp = cm.exps[member_flat]
+
+        # Residual matrix: [poly, member exp, remaining factors padded].
+        rest_len = cm.row_lengths[entry_rows] - 1
+        width = int(rest_len.max()) if entries else 0
+        matrix = numpy.empty((entries, 2 + 2 * width), dtype=numpy.int64)
+        matrix[:, 0] = cm.row_poly[entry_rows]
+        matrix[:, 1] = member_exp
+        if width:
+            matrix[:, 2::2] = -2
+            matrix[:, 3::2] = 0
+            entry_of_row = numpy.full(cm.num_monomials, -1, dtype=numpy.intp)
+            entry_of_row[entry_rows] = numpy.arange(entries, dtype=numpy.intp)
+            pos_in_row = cm.factor_positions()
+            member_pos = numpy.zeros(cm.num_monomials, dtype=numpy.intp)
+            member_pos[entry_rows] = pos_in_row[member_flat]
+            factor_entry = entry_of_row[frows]
+            rest = numpy.flatnonzero(factor_entry >= 0)
+            is_member = numpy.zeros(len(cm.vids), dtype=bool)
+            is_member[member_flat] = True
+            rest = rest[~is_member[rest]]
+            slot = pos_in_row[rest] - (
+                pos_in_row[rest] > member_pos[frows[rest]]
+            )
+            matrix[factor_entry[rest], 2 + 2 * slot] = cm.vids[rest]
+            matrix[factor_entry[rest], 3 + 2 * slot] = cm.exps[rest]
+        classes, num_classes = unique_row_ids(matrix)
+
+        # Deduplicated (leaf position, class) pairs in leaf-major order.
+        scale = max(num_classes, 1)
+        pair_keys = numpy.unique(
+            pos_of_vid[cm.vids[member_flat]].astype(numpy.int64) * scale
+            + classes
+        )
+        pair_pos = pair_keys // scale
+        pair_cls = pair_keys % scale
+        # Previous same-class pair (as a leaf-major index, -1 if none):
+        # a pair is a duplicate within an interval starting at ``s``
+        # exactly when prev >= s.
+        previous = numpy.full(len(pair_keys), -1, dtype=numpy.int64)
+        by_class = numpy.lexsort((pair_pos, pair_cls))
+        if len(pair_keys) > 1:
+            same = pair_cls[by_class][1:] == pair_cls[by_class][:-1]
+            previous[by_class[1:]] = numpy.where(same, by_class[:-1], -1)
+        occupied = numpy.unique(pair_pos)
+
+        # Bottom-up: every node covers a contiguous leaf interval.
+        intervals = {}
+        stack = [(tree.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if not expanded:
+                stack.append((node, True))
+                for child in node.children:
+                    stack.append((child, False))
+                continue
+            label = node.label
+            if node.is_leaf:
+                lo = position_of_label[label]
+                hi = lo + 1
+                self._ml[label] = 0
+                self._leaf_count[label] = 1
+            else:
+                lo = min(intervals[child.label][0] for child in node.children)
+                hi = max(intervals[child.label][1] for child in node.children)
+                start, stop = numpy.searchsorted(pair_pos, (lo, hi))
+                self._ml[label] = int(
+                    numpy.count_nonzero(previous[start:stop] >= start)
+                )
+                self._leaf_count[label] = hi - lo
+            intervals[label] = (lo, hi)
+            left, right = numpy.searchsorted(occupied, (lo, hi))
+            self._present[label] = int(right - left)
             self._vl[label] = max(0, self._present[label] - 1)
 
     # ------------------------------------------------------------- queries

@@ -209,12 +209,15 @@ class _DeltaIndex:
         )
         # CSR by column; rows within a column stay sorted ascending, so
         # single-column plans need no extra sort and unions can unique
-        # a concatenation of sorted runs.
-        order = numpy.lexsort((all_rows, all_cols))
+        # a concatenation of sorted runs. The inversion is the shared
+        # idiom of repro.core.columnar (the compression side builds its
+        # variable→monomial indexes the same way).
+        from repro.core.columnar import invert_index
+
+        self.col_starts, order = invert_index(
+            all_cols, num_variables, secondary=all_rows
+        )
         self.col_rows = all_rows[order]
-        counts = numpy.bincount(all_cols, minlength=num_variables)
-        self.col_starts = numpy.zeros(num_variables + 1, dtype=numpy.intp)
-        numpy.cumsum(counts, out=self.col_starts[1:])
         self.mono_poly = numpy.repeat(
             numpy.arange(len(poly_starts) - 1, dtype=numpy.intp),
             numpy.diff(poly_starts),
@@ -247,6 +250,13 @@ class CompiledPolynomialSet:
     )
 
     def __init__(self, polynomial_set):
+        # The factor arrays come from the shared columnar view (one
+        # extraction pass serves both the compression core and this
+        # evaluator); rows run in each polynomial's canonical sorted
+        # order (not dict insertion order) so float summation order —
+        # and therefore the batch answers — is identical however the
+        # polynomial was built (parsed, substituted, or deserialized).
+        cm = polynomial_set.columnar()
         vids = sorted(polynomial_set.variable_ids())
         self._columns = {vid: col for col, vid in enumerate(vids)}
         # At least one column so constant monomials have a x0^0 factor
@@ -254,49 +264,62 @@ class CompiledPolynomialSet:
         self.num_variables = max(1, len(vids))
         self.num_polynomials = len(polynomial_set)
 
-        # Factor lists per monomial, in polynomial order. Monomials run
-        # in each polynomial's canonical sorted order (not dict
-        # insertion order) so float summation order — and therefore the
-        # batch answers — is identical however the polynomial was built
-        # (parsed, substituted, or deserialized). Zero polynomials
-        # contribute one 0-coefficient constant monomial.
-        factor_runs = []
-        coeffs = []
-        poly_starts = [0]
-        columns = self._columns
-        for polynomial in polynomial_set:
-            for coeff, monomial in polynomial:
-                coeffs.append(float(coeff))
-                factor_runs.append(
-                    [(columns[vid], exp) for vid, exp in monomial.key]
-                    or [(0, 0)]
-                )
-            if not polynomial.terms:
-                coeffs.append(0.0)
-                factor_runs.append([(0, 0)])
-            poly_starts.append(len(coeffs))
-        self.num_monomials = len(coeffs)
-        self._coeffs = numpy.asarray(coeffs, dtype=numpy.float64)
-        self._poly_starts = numpy.asarray(poly_starts, dtype=numpy.intp)
+        # Normalization: constant monomials get a x0^0 factor and zero
+        # polynomials contribute one 0-coefficient constant monomial,
+        # so every reduceat segment is non-empty.
+        rows = cm.num_monomials
+        lengths = cm.row_lengths
+        poly_rows = numpy.diff(cm.poly_starts)
+        pad_before = numpy.zeros(self.num_polynomials, dtype=numpy.intp)
+        numpy.cumsum(poly_rows[:-1] == 0, out=pad_before[1:])
+        empty_polys = numpy.flatnonzero(poly_rows == 0)
+        total = rows + len(empty_polys)
+        final_idx = (
+            numpy.arange(rows, dtype=numpy.intp) + pad_before[cm.row_poly]
+        )
+        coeffs = numpy.zeros(total, dtype=numpy.float64)
+        coeffs[final_idx] = numpy.asarray(
+            [float(coeff) for coeff in cm.coeffs], dtype=numpy.float64
+        )
+        self.num_monomials = int(total)
+        self._coeffs = coeffs
+        poly_starts = numpy.zeros(self.num_polynomials + 1, dtype=numpy.intp)
+        numpy.cumsum(numpy.maximum(poly_rows, 1), out=poly_starts[1:])
+        self._poly_starts = poly_starts
+
+        # Per final monomial: its factor count after normalization, and
+        # where its real factors (if any) start in the flat arrays.
+        eff_len = numpy.ones(total, dtype=numpy.intp)
+        eff_len[final_idx] = numpy.maximum(lengths, 1)
+        real_len = numpy.zeros(total, dtype=numpy.intp)
+        real_len[final_idx] = lengths
+        flat_start = numpy.zeros(total, dtype=numpy.intp)
+        flat_start[final_idx] = cm.row_starts[:-1]
+        col_of = numpy.zeros(max(cm.max_vid(), -1) + 2, dtype=numpy.intp)
+        if vids:
+            col_of[numpy.asarray(vids, dtype=numpy.intp)] = numpy.arange(
+                len(vids), dtype=numpy.intp
+            )
+        cols_flat = col_of[cm.vids]
 
         # Layer j: (monomial selector, columns, exponent fix-ups) over
         # the monomials with a j-th factor; selector is None for layer 0
         # (every monomial has one, by normalization).
         self._layers = []
-        depth = max(len(run) for run in factor_runs) if factor_runs else 0
+        depth = int(eff_len.max()) if total else 0
         for j in range(depth):
-            select = [m for m, run in enumerate(factor_runs) if len(run) > j]
-            cols = numpy.asarray(
-                [factor_runs[m][j][0] for m in select], dtype=numpy.intp
-            )
-            exps = numpy.asarray(
-                [factor_runs[m][j][1] for m in select], dtype=numpy.int64
-            )
+            select = numpy.flatnonzero(eff_len > j)
+            has_real = real_len[select] > j
+            cols = numpy.zeros(len(select), dtype=numpy.intp)
+            exps = numpy.zeros(len(select), dtype=numpy.int64)
+            source = flat_start[select[has_real]] + j
+            cols[has_real] = cols_flat[source]
+            exps[has_real] = cm.exps[source]
             # Provenance monomials are overwhelmingly multilinear;
             # raising everything to the power 1 would dominate the
             # evaluation, so only exponent != 1 factors go through ``**``.
             nonunit = numpy.nonzero(exps != 1)[0]
-            selector = None if j == 0 else numpy.asarray(select, dtype=numpy.intp)
+            selector = None if j == 0 else select
             self._layers.append((selector, cols, nonunit, exps[nonunit]))
 
         self._mean_touches = self._compute_mean_touches()

@@ -1,0 +1,407 @@
+"""Columnar (CSR) view of a polynomial multiset — the compression core.
+
+The evaluation side of the system went columnar in PR 1
+(:class:`repro.core.batch.CompiledPolynomialSet` compiles the multiset
+into flat NumPy arrays once and answers whole scenario suites with a
+handful of array ops). The *compression* side — ``abstract_counts``,
+``P↓S`` materialization, :class:`~repro.core.abstraction.LossIndex`,
+the greedy working state — still walked interned tuples monomial by
+monomial. This module is the matching columnar substrate for that
+side:
+
+* :class:`ColumnarMultiset` — the monomial multiset as flat factor
+  arrays: ``vids``/``exps`` hold every ``(variable id, exponent)``
+  factor, ``row_starts`` delimits monomial rows, ``poly_starts``
+  delimits polynomial runs. Rows are stored in each polynomial's
+  *canonical sorted monomial order* — the same order
+  ``CompiledPolynomialSet`` compiles, so the two representations share
+  one extraction pass (``PolynomialSet.columnar()`` caches the arrays
+  and the compiled evaluator is built *from* them).
+* vectorized substitution: :meth:`ColumnarMultiset.substituted_counts`
+  computes ``(|P↓S|_M, |P↓S|_V)`` and :meth:`ColumnarMultiset.substitute`
+  materializes ``P↓S`` via an id-remap gather, a per-row factor
+  sort/merge, and an ``np.unique``-style row grouping — no per-monomial
+  tuple rebuilds.
+* the shared CSR helpers the columnar algorithms are built on:
+  :func:`unique_row_ids` (exact row grouping, the workhorse behind
+  collision detection and loss indexing) and :func:`invert_index` /
+  :func:`gather_ranges` (the inverted value→row CSR idiom of
+  ``repro.core.batch._DeltaIndex``, factored out so the compression
+  side reuses the same machinery).
+
+Backends
+--------
+
+Every compression entry point (``abstract_counts``, ``abstract``,
+``LossIndex``, ``greedy_vvs``, ``optimal_vvs``, ``brute_force_vvs``,
+``ProvenanceSession.compress``, the CLI) takes a
+``backend="object" | "columnar" | "auto"`` knob. The object path is the
+reference implementation (exactly the code that existed before this
+module); the columnar path is count-identical — same ``ML``/``VL``,
+same selected VVS under the same deterministic tie-breaks — and
+property tests pin the two against each other. ``"auto"`` picks
+columnar for multisets of at least :data:`COLUMNAR_MIN_MONOMIALS`
+monomials (below that the NumPy constant factors outweigh the win) and
+falls back to object wherever a structural precondition fails.
+
+The one documented divergence: materializing ``P↓S`` with the columnar
+backend sums merged *float* coefficients in canonical monomial order
+rather than dict-insertion order, so float coefficients can differ in
+the last bits (exact coefficient types — int, ``Fraction`` — are
+identical).
+"""
+
+from __future__ import annotations
+
+import numpy
+
+from repro.core.interning import VARIABLES
+
+__all__ = [
+    "BACKENDS",
+    "COLUMNAR_MIN_MONOMIALS",
+    "ColumnarMultiset",
+    "ColumnarUnsupportedError",
+    "resolve_backend",
+    "unique_row_ids",
+    "run_starts",
+    "invert_index",
+    "gather_ranges",
+]
+
+
+class ColumnarUnsupportedError(ValueError):
+    """A structural precondition of a columnar algorithm failed.
+
+    The columnar greedy requires forest compatibility (at most one
+    node of each tree per monomial, §2.2) to lay tree variables out in
+    fixed per-tree columns. ``backend="auto"`` catches this and falls
+    back to the object path; an explicit ``backend="columnar"``
+    propagates it.
+    """
+
+#: The valid ``backend=`` names accepted across the compression stack.
+BACKENDS = ("object", "columnar", "auto")
+
+#: ``backend="auto"`` picks the columnar path for multisets with at
+#: least this many monomials; smaller inputs stay on the object path
+#: (identical results, and the flat-array constant factors only pay
+#: off at scale).
+COLUMNAR_MIN_MONOMIALS = 512
+
+#: Padding marker for variable-id slots in fixed-width row matrices.
+#: Real variable ids are >= 0 and the loss-index sentinel is -1, so -2
+#: can never collide with a real factor; padded exponent slots hold 0
+#: (real exponents are >= 1).
+_PAD_VID = -2
+
+
+def resolve_backend(backend, num_monomials):
+    """The concrete backend (``"object"``/``"columnar"``) for a request.
+
+    Explicit names validate and pass through; ``"auto"`` applies the
+    :data:`COLUMNAR_MIN_MONOMIALS` size policy. Results are identical
+    either way — only the work schedule differs.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend != "auto":
+        return backend
+    if num_monomials >= COLUMNAR_MIN_MONOMIALS:
+        return "columnar"
+    return "object"
+
+
+def unique_row_ids(matrix):
+    """Group identical rows of a 2-D integer matrix, exactly.
+
+    :returns: ``(ids, count)`` where ``ids[i]`` is the dense group id of
+        row ``i`` (ids are assigned in lexicographic row order, so the
+        grouping is deterministic) and ``count`` is the number of
+        distinct rows. Exact — built on a lexicographic sort of the
+        actual row contents, never on hashes.
+    """
+    rows = matrix.shape[0]
+    if rows == 0:
+        return numpy.zeros(0, dtype=numpy.intp), 0
+    if matrix.shape[1] == 0:
+        return numpy.zeros(rows, dtype=numpy.intp), 1
+    order = numpy.lexsort(matrix.T[::-1])
+    sorted_rows = matrix[order]
+    boundary = numpy.empty(rows, dtype=bool)
+    boundary[0] = True
+    numpy.any(sorted_rows[1:] != sorted_rows[:-1], axis=1, out=boundary[1:])
+    sorted_ids = numpy.cumsum(boundary) - 1
+    ids = numpy.empty(rows, dtype=numpy.intp)
+    ids[order] = sorted_ids
+    return ids, int(sorted_ids[-1]) + 1
+
+
+def run_starts(values):
+    """Start indices of the equal-value runs of a grouped 1-D array.
+
+    ``values`` must already be sorted (or otherwise grouped); the
+    result always begins with 0 for non-empty input. The shared form
+    of the boundary-scan idiom the columnar algorithms segment their
+    sorted keys with.
+    """
+    if not len(values):
+        return numpy.zeros(0, dtype=numpy.intp)
+    head = numpy.empty(len(values), dtype=bool)
+    head[0] = True
+    numpy.not_equal(values[1:], values[:-1], out=head[1:])
+    return numpy.flatnonzero(head)
+
+
+def invert_index(values, minlength, secondary=None):
+    """CSR inversion ``value -> positions`` (the ``_DeltaIndex`` idiom).
+
+    ``values`` is a non-negative int array; returns ``(starts, order)``
+    with ``order[starts[v]:starts[v + 1]]`` listing the indices ``i``
+    with ``values[i] == v`` — the column→monomial inversion
+    :class:`repro.core.batch._DeltaIndex` builds for the delta
+    evaluation engine, shared here so the compression side indexes
+    variables with the same machinery. Within one value the positions
+    keep their original order; pass ``secondary`` to sort them by that
+    key instead (the delta index sorts by monomial row, so
+    single-column plans need no extra sort).
+    """
+    if secondary is None:
+        order = numpy.argsort(values, kind="stable")
+    else:
+        order = numpy.lexsort((secondary, values))
+    counts = numpy.bincount(values, minlength=minlength)
+    starts = numpy.zeros(minlength + 1, dtype=numpy.intp)
+    numpy.cumsum(counts, out=starts[1:])
+    return starts, order.astype(numpy.intp, copy=False)
+
+
+def gather_ranges(starts, counts):
+    """Concatenate the index ranges ``[starts[i], starts[i] + counts[i])``.
+
+    Vectorized (one ``arange`` plus per-range offsets) — the same
+    packed-segment gather the delta engine uses for affected polynomial
+    runs.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return numpy.zeros(0, dtype=numpy.intp)
+    offsets = numpy.zeros(len(counts), dtype=numpy.intp)
+    numpy.cumsum(counts[:-1], out=offsets[1:])
+    return (
+        numpy.arange(total, dtype=numpy.intp)
+        + numpy.repeat(starts - offsets, counts)
+    )
+
+
+class ColumnarMultiset:
+    """A polynomial multiset as flat factor arrays (CSR over monomials).
+
+    Built once per :class:`~repro.core.polynomial.PolynomialSet` (and
+    cached there — see :meth:`PolynomialSet.columnar
+    <repro.core.polynomial.PolynomialSet.columnar>`); rows run in each
+    polynomial's canonical sorted monomial order, the order the batch
+    evaluator compiles, so both columnar consumers share this single
+    extraction pass.
+    """
+
+    __slots__ = (
+        "num_polynomials",
+        "num_monomials",
+        "vids",
+        "exps",
+        "row_starts",
+        "row_poly",
+        "poly_starts",
+        "coeffs",
+        "_factor_rows",
+    )
+
+    def __init__(self, polynomial_set):
+        vids = []
+        exps = []
+        row_starts = [0]
+        poly_starts = [0]
+        coeffs = []
+        for polynomial in polynomial_set:
+            for coeff, monomial in polynomial:
+                coeffs.append(coeff)
+                for vid, exp in monomial.key:
+                    vids.append(vid)
+                    exps.append(exp)
+                row_starts.append(len(vids))
+            poly_starts.append(len(coeffs))
+        self.num_polynomials = len(polynomial_set)
+        self.num_monomials = len(coeffs)
+        self.vids = numpy.asarray(vids, dtype=numpy.intp)
+        self.exps = numpy.asarray(exps, dtype=numpy.int64)
+        self.row_starts = numpy.asarray(row_starts, dtype=numpy.intp)
+        self.poly_starts = numpy.asarray(poly_starts, dtype=numpy.intp)
+        self.row_poly = numpy.repeat(
+            numpy.arange(self.num_polynomials, dtype=numpy.intp),
+            numpy.diff(self.poly_starts),
+        )
+        #: Exact coefficients in row order (Python objects — Fractions
+        #: and ints survive untouched; only counting uses the arrays).
+        self.coeffs = coeffs
+        self._factor_rows = None
+
+    # ------------------------------------------------------------ derived
+
+    @property
+    def row_lengths(self):
+        """Factors per monomial row."""
+        return numpy.diff(self.row_starts)
+
+    def factor_rows(self):
+        """Row index of every factor (cached)."""
+        rows = self._factor_rows
+        if rows is None:
+            rows = numpy.repeat(
+                numpy.arange(self.num_monomials, dtype=numpy.intp),
+                self.row_lengths,
+            )
+            self._factor_rows = rows
+        return rows
+
+    def max_vid(self):
+        """The largest variable id present (-1 for a variable-free set)."""
+        return int(self.vids.max()) if self.vids.size else -1
+
+    def factor_positions(self):
+        """Position of every factor within its row (0-based)."""
+        return (
+            numpy.arange(len(self.vids), dtype=numpy.intp)
+            - numpy.repeat(self.row_starts[:-1], self.row_lengths)
+        )
+
+    # ------------------------------------------------------- substitution
+
+    def _remap(self, id_mapping):
+        """The identity-extended remap array for an ``{id: id}`` mapping."""
+        top = self.max_vid()
+        for source, target in id_mapping.items():
+            if source > top:
+                top = source
+            if target > top:
+                top = target
+        remap = numpy.arange(top + 1, dtype=numpy.int64)
+        if id_mapping:
+            sources = numpy.fromiter(
+                id_mapping.keys(), dtype=numpy.int64, count=len(id_mapping)
+            )
+            targets = numpy.fromiter(
+                id_mapping.values(), dtype=numpy.int64, count=len(id_mapping)
+            )
+            remap[sources] = targets
+        return remap
+
+    def _merged_factors(self, id_mapping):
+        """Factors after the remap, merged and re-sorted per row.
+
+        Returns ``(m_rows, m_vids, m_exps, new_starts)``: the surviving
+        factor list of every row with equal targets merged (exponents
+        added) and factors sorted by target id — the columnar form of
+        ``Monomial.substitute_ids``.
+        """
+        remap = self._remap(id_mapping)
+        new_vids = remap[self.vids]
+        frows = self.factor_rows()
+        order = numpy.lexsort((new_vids, frows))
+        sv = new_vids[order]
+        se = self.exps[order]
+        sr = frows[order]
+        if len(sv):
+            head = numpy.empty(len(sv), dtype=bool)
+            head[0] = True
+            numpy.not_equal(sr[1:], sr[:-1], out=head[1:])
+            numpy.logical_or(head[1:], sv[1:] != sv[:-1], out=head[1:])
+            seg_starts = numpy.flatnonzero(head)
+            m_rows = sr[seg_starts]
+            m_vids = sv[seg_starts]
+            m_exps = numpy.add.reduceat(se, seg_starts)
+        else:
+            m_rows = numpy.zeros(0, dtype=numpy.intp)
+            m_vids = numpy.zeros(0, dtype=numpy.int64)
+            m_exps = numpy.zeros(0, dtype=numpy.int64)
+        new_lengths = numpy.bincount(m_rows, minlength=self.num_monomials)
+        new_starts = numpy.zeros(self.num_monomials + 1, dtype=numpy.intp)
+        numpy.cumsum(new_lengths, out=new_starts[1:])
+        return m_rows, m_vids, m_exps, new_starts
+
+    def _row_matrix(self, m_rows, m_vids, m_exps, new_starts):
+        """Fixed-width ``[poly, (vid, exp)...]`` matrix of merged rows."""
+        lengths = numpy.diff(new_starts)
+        width = int(lengths.max()) if self.num_monomials else 0
+        matrix = numpy.empty(
+            (self.num_monomials, 1 + 2 * width), dtype=numpy.int64
+        )
+        matrix[:, 0] = self.row_poly
+        if width:
+            matrix[:, 1::2] = _PAD_VID
+            matrix[:, 2::2] = 0
+            slot = (
+                numpy.arange(len(m_rows), dtype=numpy.intp)
+                - numpy.repeat(new_starts[:-1], lengths)
+            )
+            matrix[m_rows, 1 + 2 * slot] = m_vids
+            matrix[m_rows, 2 + 2 * slot] = m_exps
+        return matrix
+
+    def substituted_counts(self, id_mapping):
+        """``(|P↓S|_M, |P↓S|_V)`` for an interned ``{id: id}`` mapping.
+
+        Count-identical to the object
+        :func:`repro.core.abstraction.abstract_counts` path: rows are
+        remapped, per-row duplicates merged, and identical rows within
+        a polynomial collapsed by exact row grouping.
+        """
+        if self.num_monomials == 0:
+            return 0, 0
+        m_rows, m_vids, m_exps, new_starts = self._merged_factors(id_mapping)
+        matrix = self._row_matrix(m_rows, m_vids, m_exps, new_starts)
+        _, distinct = unique_row_ids(matrix)
+        granularity = len(numpy.unique(m_vids))
+        return distinct, granularity
+
+    def substitute(self, id_mapping):
+        """Materialize ``P↓S`` as a list of ``{Monomial: coeff}`` dicts.
+
+        Monomial keys are count-identical to the object
+        ``substitute_ids`` path and built once per distinct target key.
+        Coefficients of merged monomials are summed in canonical row
+        order (exact for int/``Fraction``; float sums can differ from
+        the object path in the last bits); zero sums are dropped, as in
+        :meth:`Polynomial.substitute_ids
+        <repro.core.polynomial.Polynomial.substitute_ids>`.
+        """
+        from repro.core.polynomial import Monomial
+
+        if self.num_monomials == 0:
+            return [{} for _ in range(self.num_polynomials)]
+        m_rows, m_vids, m_exps, new_starts = self._merged_factors(id_mapping)
+        matrix = self._row_matrix(m_rows, m_vids, m_exps, new_starts)
+        ids, count = unique_row_ids(matrix)
+        # One representative row and one coefficient sum per group.
+        representative = numpy.full(count, self.num_monomials, dtype=numpy.intp)
+        numpy.minimum.at(
+            representative, ids, numpy.arange(self.num_monomials, dtype=numpy.intp)
+        )
+        sums = [0] * count
+        for group, coeff in zip(ids.tolist(), self.coeffs):
+            sums[group] += coeff
+        starts = new_starts.tolist()
+        vid_list = m_vids.tolist()
+        exp_list = m_exps.tolist()
+        group_poly = self.row_poly[representative]
+        terms = [{} for _ in range(self.num_polynomials)]
+        for group, row in enumerate(representative.tolist()):
+            coeff = sums[group]
+            if coeff == 0:
+                continue
+            lo, hi = starts[row], starts[row + 1]
+            key = tuple(zip(vid_list[lo:hi], exp_list[lo:hi]))
+            terms[group_poly[group]][Monomial._from_key(key)] = coeff
+        return terms

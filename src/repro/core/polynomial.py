@@ -198,6 +198,10 @@ class Monomial:
             value *= assignment.get(var, default) ** exp
         return value
 
+    def __reduce__(self):
+        """Pickle by the string-facing powers (ids are process-local)."""
+        return (Monomial, (self.powers,))
+
     def __eq__(self, other):
         return isinstance(other, Monomial) and self.key == other.key
 
@@ -458,6 +462,10 @@ class Polynomial:
 
     # ------------------------------------------------------------- equality
 
+    def __reduce__(self):
+        """Pickle the terms; the id cache is process-local and rebuilt."""
+        return (Polynomial, (self.terms,))
+
     def __eq__(self, other):
         return isinstance(other, Polynomial) and self.terms == other.terms
 
@@ -518,7 +526,7 @@ class PolynomialSet:
     (2, 1)
     """
 
-    __slots__ = ("polynomials", "_vids", "_compiled")
+    __slots__ = ("polynomials", "_vids", "_compiled", "_columnar")
 
     def __init__(self, polynomials=None):
         self.polynomials = list(polynomials) if polynomials else []
@@ -527,6 +535,7 @@ class PolynomialSet:
                 raise TypeError(f"expected Polynomial, got {type(p).__name__}")
         self._vids = None
         self._compiled = None
+        self._columnar = None
 
     def append(self, polynomial):
         """Add one polynomial to the multiset."""
@@ -535,6 +544,11 @@ class PolynomialSet:
         self.polynomials.append(polynomial)
         self._vids = None
         self._compiled = None
+        self._columnar = None
+
+    def __reduce__(self):
+        """Pickle the polynomials; compiled/columnar caches are rebuilt."""
+        return (PolynomialSet, (self.polynomials,))
 
     @property
     def num_monomials(self):
@@ -571,6 +585,22 @@ class PolynomialSet:
     def evaluate(self, assignment, default=1.0):
         """Point-wise valuation; returns one value per polynomial."""
         return [p.evaluate(assignment, default) for p in self.polynomials]
+
+    def columnar(self):
+        """The columnar (CSR) factor view of this set (built once, cached).
+
+        The substrate of the vectorized compression core — see
+        :class:`repro.core.columnar.ColumnarMultiset`. The batch
+        evaluator is compiled from these arrays, so building both costs
+        one extraction pass.
+        """
+        columnar = self._columnar
+        if columnar is None:
+            from repro.core.columnar import ColumnarMultiset
+
+            columnar = ColumnarMultiset(self)
+            self._columnar = columnar
+        return columnar
 
     def compiled(self):
         """The NumPy batch evaluator for this set (built once, cached)."""

@@ -137,6 +137,29 @@ class TestCompress:
                                     ml_tie_break=False)
         assert artifact.abstracted_size <= 6
 
+    def test_backend_knob_yields_identical_artifacts(self, session):
+        artifacts = [
+            session.compress(bound=6, backend=backend)
+            for backend in ("object", "columnar", "auto")
+        ]
+        assert artifacts[0] == artifacts[1] == artifacts[2]
+
+    def test_legacy_solver_without_backend_parameter_still_works(self, session):
+        """The backend knob is only forwarded to solvers that take it."""
+        from repro.algorithms import registry
+        from repro.algorithms.greedy import greedy_vvs
+
+        @registry.register("test-legacy")
+        def legacy(polynomials, forest, bound, *, clean=True):
+            return greedy_vvs(polynomials, forest, bound, clean=clean)
+
+        try:
+            artifact = session.compress(bound=6, algorithm="test-legacy")
+            assert artifact.algorithm == "test-legacy"
+            assert artifact.abstracted_size <= 6
+        finally:
+            registry._REGISTRY.pop("test-legacy")
+
 
 class TestAsk:
     @pytest.fixture

@@ -62,6 +62,19 @@ class TestCompress:
         ]) == 0
         assert "size:" in capsys.readouterr().out
 
+    def test_backend_knob_is_output_identical(self, files, capsys):
+        """--backend columnar/object print byte-identical reports."""
+        _, provenance, forest = files
+        reports = {}
+        for backend in ("object", "columnar"):
+            assert main([
+                "compress", provenance, forest, "--bound", "4",
+                "--algorithm", "greedy", "--backend", backend,
+            ]) == 0
+            reports[backend] = capsys.readouterr().out
+        assert reports["object"] == reports["columnar"]
+        assert "selected VVS:" in reports["object"]
+
     def test_infeasible_bound_exits(self, files):
         _, provenance, forest = files
         with pytest.raises(SystemExit, match="infeasible"):
@@ -209,15 +222,17 @@ class TestBench:
             "--output", str(output),
         ]) == 0
         document = json.loads(output.read_text())
-        assert document["schema"] == "repro-bench-core/4"
+        assert document["schema"] == "repro-bench-core/5"
         entry = document["runs"]["tiny"]
         assert entry["mode"] == "tiny"
         results = entry["results"]
         assert set(results) == {
             "greedy", "optimal", "abstraction", "batch_valuation",
-            "sweep", "sweep_delta", "session",
+            "sweep", "sweep_delta", "compress_scale", "session",
         }
         assert results["greedy"]["speedup"] > 0
+        assert results["compress_scale"]["speedup"] > 0
+        assert results["compress_scale"]["algorithm"] == "greedy"
         assert results["batch_valuation"]["max_abs_error"] < 1e-6
         assert results["sweep"]["max_abs_error"] == 0.0
         assert results["sweep"]["workers"] >= 2
@@ -264,6 +279,31 @@ class TestBench:
         ])
         assert code == 1
         assert "greedy.speedup regressed" in capsys.readouterr().err
+
+    def test_stage_filter_runs_and_merges_partially(self, tmp_path):
+        """--stage runs a subset; later filtered runs merge, not replace."""
+        output = tmp_path / "bench.json"
+        assert main([
+            "bench", "--tiny", "--quiet", "--repeat", "1",
+            "--output", str(output), "--stage", "greedy",
+        ]) == 0
+        document = json.loads(output.read_text())
+        assert set(document["runs"]["tiny"]["results"]) == {"greedy"}
+        assert main([
+            "bench", "--tiny", "--quiet", "--repeat", "1",
+            "--output", str(output), "--stage", "compress_scale",
+        ]) == 0
+        document = json.loads(output.read_text())
+        assert set(document["runs"]["tiny"]["results"]) == {
+            "greedy", "compress_scale",
+        }
+        # The gate only checks the stages that ran (tiny timings are
+        # jittery — the wide tolerance keeps this a machinery test).
+        assert main([
+            "bench", "--tiny", "--quiet", "--repeat", "1",
+            "--stage", "greedy", "--check", str(output),
+            "--tolerance", "0.75",
+        ]) == 0
 
     def test_check_rejects_missing_mode(self, tmp_path, capsys):
         """The gate is strictly same-mode: no smoke baseline, no pass."""

@@ -1,0 +1,392 @@
+"""The columnar compression core is pinned against the object path.
+
+Every columnar entry point — ``abstract_counts``/``abstract``,
+``LossIndex``, ``greedy_vvs``, ``optimal_vvs`` — must be
+count-identical to the object reference implementation: same sizes and
+granularities, same per-node losses, same selected VVS under the same
+deterministic tie-breaks, same traces. Hypothesis drives the pinning
+over adversarial inputs: exponents ≠ 1, substitutions whose targets
+collide with existing variables (the exponent-merging path), Fraction
+coefficients, empty and variable-free polynomials, and pickled/
+unpickled sets (interned ids do not survive pickling — names do).
+"""
+
+import pickle
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.greedy import _object_greedy, greedy_vvs
+from repro.algorithms.optimal import optimal_vvs
+from repro.core.abstraction import LossIndex, abstract, abstract_counts, losses
+from repro.core.columnar import (
+    BACKENDS,
+    ColumnarUnsupportedError,
+    gather_ranges,
+    invert_index,
+    resolve_backend,
+    unique_row_ids,
+)
+from repro.core.forest import AbstractionForest
+from repro.core.parser import parse_set
+from repro.core.polynomial import Monomial, Polynomial, PolynomialSet
+from repro.core.tree import AbstractionTree
+from repro.workloads.random_polys import random_compatible_instance
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+VARIABLES_POOL = [f"v{i}" for i in range(8)]
+
+variable_names = st.sampled_from(VARIABLES_POOL)
+
+coefficients = st.one_of(
+    st.integers(-50, 50).filter(bool),
+    st.builds(Fraction, st.integers(-9, 9).filter(bool), st.integers(1, 7)),
+)
+
+
+@st.composite
+def monomials(draw):
+    pairs = draw(
+        st.dictionaries(variable_names, st.integers(1, 4), max_size=4)
+    )
+    return Monomial(pairs.items())
+
+
+@st.composite
+def polynomial_sets(draw):
+    """Multisets mixing empty, constant and multi-variable polynomials."""
+    body = draw(
+        st.lists(
+            st.dictionaries(monomials(), coefficients, max_size=6),
+            min_size=0,
+            max_size=4,
+        )
+    )
+    return PolynomialSet(Polynomial(terms) for terms in body)
+
+
+#: Substitutions including collision-inducing targets: several sources
+#: mapping to one fresh name *and* to names already present, so merged
+#: exponents and vanishing-variable bookkeeping are exercised.
+mappings = st.dictionaries(
+    variable_names,
+    st.sampled_from(VARIABLES_POOL + ["g0", "g1"]),
+    max_size=5,
+)
+
+
+@st.composite
+def instances(draw):
+    seed = draw(st.integers(0, 10_000))
+    return random_compatible_instance(
+        seed=seed,
+        num_trees=draw(st.integers(1, 3)),
+        leaves_per_tree=draw(st.integers(2, 8)),
+        num_polynomials=draw(st.integers(1, 5)),
+        monomials_per_polynomial=draw(st.integers(1, 12)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Counting and materialization
+# ---------------------------------------------------------------------------
+
+
+class TestAbstractCounts:
+    @settings(deadline=None)
+    @given(polynomial_sets(), mappings)
+    def test_columnar_matches_object(self, polys, mapping):
+        assert abstract_counts(polys, mapping, backend="columnar") == \
+            abstract_counts(polys, mapping, backend="object")
+
+    @settings(deadline=None)
+    @given(polynomial_sets(), mappings)
+    def test_counts_match_materialization_keys(self, polys, mapping):
+        """Columnar counts agree with the keys the object path builds.
+
+        (Materialized sizes may be *smaller* when merged coefficients
+        cancel to zero — counts deliberately ignore coefficients, on
+        both backends alike.)
+        """
+        size, granularity = abstract_counts(polys, mapping, backend="columnar")
+        keys = set()
+        variables = set()
+        for polynomial in polys:
+            poly_keys = {
+                monomial.substitute(mapping).key
+                for monomial in polynomial.monomials
+            }
+            keys.update((id(polynomial), key) for key in poly_keys)
+            for key in poly_keys:
+                variables.update(vid for vid, _ in key)
+        assert size == len(keys)
+        assert granularity == len(variables)
+
+    @settings(deadline=None)
+    @given(polynomial_sets(), mappings)
+    def test_unpickled_sets_count_identically(self, polys, mapping):
+        restored = pickle.loads(pickle.dumps(polys))
+        assert restored == polys
+        assert abstract_counts(restored, mapping, backend="columnar") == \
+            abstract_counts(polys, mapping, backend="object")
+
+    def test_empty_and_variable_free(self):
+        empty = PolynomialSet([])
+        assert abstract_counts(empty, {"a": "b"}, backend="columnar") == (0, 0)
+        constants = PolynomialSet(
+            [Polynomial.constant(3), Polynomial.zero(), Polynomial.constant(7)]
+        )
+        for backend in ("object", "columnar"):
+            assert abstract_counts(constants, {"a": "b"}, backend=backend) == (2, 0)
+
+    def test_losses_combines_both_measures(self, ):
+        polys = parse_set(["2*b1*m1 + 3*b1*m3 + 4*b2*m1 + 5*b2*m3 + 6*e*m1"])
+        tree = AbstractionTree.from_nested(("B", [("SB", ["b1", "b2"]), "e"]))
+        forest = AbstractionForest([tree])
+        vvs = forest.vvs({"SB", "e"})
+        for backend in BACKENDS:
+            assert losses(polys, vvs, backend=backend) == (2, 1)
+
+
+class TestAbstractMaterialization:
+    @settings(deadline=None)
+    @given(instances())
+    def test_exact_coefficients_are_identical(self, instance):
+        """Int/Fraction coefficients: columnar ``P↓S`` equals object's."""
+        polys, forest = instance
+        for vvs in (forest.root_vvs(), forest.leaf_vvs()):
+            assert abstract(polys, vvs, backend="columnar") == \
+                abstract(polys, vvs, backend="object")
+
+    def test_zero_cancellation_matches(self):
+        polys = parse_set(["2*a*x - 2*b*x + c"])
+        forest = AbstractionForest([AbstractionTree.from_nested(("g", ["a", "b"]))])
+        vvs = forest.root_vvs()
+        assert abstract(polys, vvs, backend="columnar") == \
+            abstract(polys, vvs, backend="object")
+
+    def test_float_coefficients_are_close(self):
+        polys = parse_set(["0.1*a*x + 0.2*b*x + 0.7*c"])
+        forest = AbstractionForest([AbstractionTree.from_nested(("g", ["a", "b"]))])
+        vvs = forest.root_vvs()
+        columnar = abstract(polys, vvs, backend="columnar")
+        assert columnar.almost_equal(abstract(polys, vvs, backend="object"))
+
+
+# ---------------------------------------------------------------------------
+# LossIndex
+# ---------------------------------------------------------------------------
+
+
+def assert_loss_index_identical(polys, tree):
+    object_index = LossIndex(polys, tree, backend="object")
+    columnar_index = LossIndex(polys, tree, backend="columnar")
+    for label in tree.labels:
+        assert object_index.ml(label) == columnar_index.ml(label), label
+        assert object_index.vl(label) == columnar_index.vl(label), label
+        assert object_index.leaves_present(label) == \
+            columnar_index.leaves_present(label), label
+        assert object_index.leaf_count(label) == \
+            columnar_index.leaf_count(label), label
+    assert object_index.max_ml == columnar_index.max_ml
+
+
+class TestLossIndex:
+    @settings(deadline=None)
+    @given(instances())
+    def test_columnar_matches_object(self, instance):
+        polys, forest = instance
+        for tree in forest:
+            assert_loss_index_identical(polys, tree)
+
+    def test_exponents_and_sentinel_residuals(self):
+        """Residual keys carry the member's exponent (sentinel slot)."""
+        polys = parse_set(["b1^2*x + b2^2*x + b1^3*x + 2*b1^2 + 5*b2^2"])
+        tree = AbstractionTree.from_nested(("SB", ["b1", "b2"]))
+        assert_loss_index_identical(polys, tree)
+        index = LossIndex(polys, tree, backend="columnar")
+        # b1^2*x/b2^2*x merge and the constants' residuals merge; the
+        # b1^3 residual is kept apart by its exponent.
+        assert index.ml("SB") == 2
+
+    def test_unpickled_set(self):
+        polys = parse_set(["2*b1*m1 + 3*b2*m1 + b1^2"])
+        restored = pickle.loads(pickle.dumps(polys))
+        tree = AbstractionTree.from_nested(("SB", ["b1", "b2"]))
+        assert_loss_index_identical(restored, tree)
+
+
+# ---------------------------------------------------------------------------
+# Full solver runs
+# ---------------------------------------------------------------------------
+
+
+def trace_tuples(result):
+    return [
+        (s.chosen, s.delta_ml, s.delta_vl, s.cumulative_ml, s.cumulative_vl)
+        for s in result.trace
+    ]
+
+
+class TestGreedyBackend:
+    @settings(deadline=None, max_examples=40)
+    @given(instances(), st.integers(1, 4), st.booleans())
+    def test_columnar_run_is_identical(self, instance, divisor, tie_break):
+        polys, forest = instance
+        bound = max(1, polys.num_monomials // divisor)
+        object_result = _object_greedy(
+            polys, forest, bound, ml_tie_break=tie_break
+        )
+        columnar_result = greedy_vvs(
+            polys, forest, bound, ml_tie_break=tie_break, backend="columnar"
+        )
+        assert trace_tuples(object_result) == trace_tuples(columnar_result)
+        assert object_result.vvs.labels == columnar_result.vvs.labels
+        assert object_result.monomial_loss == columnar_result.monomial_loss
+        assert object_result.variable_loss == columnar_result.variable_loss
+        assert object_result.abstracted_size == columnar_result.abstracted_size
+        assert (
+            object_result.abstracted_granularity
+            == columnar_result.abstracted_granularity
+        )
+
+    @settings(deadline=None, max_examples=15)
+    @given(instances())
+    def test_unpickled_set_runs_identically(self, instance):
+        polys, forest = instance
+        restored = pickle.loads(pickle.dumps(polys))
+        bound = max(1, polys.num_monomials // 3)
+        assert trace_tuples(
+            greedy_vvs(restored, forest, bound, backend="columnar")
+        ) == trace_tuples(_object_greedy(polys, forest, bound))
+
+    def test_merged_out_tree_roots_have_no_watcher(self):
+        """Rows holding a fully-merged tree's root must not touch ranks.
+
+        Regression: a root's ``parent_vid`` is -1; without masking it,
+        the watcher lookup negative-indexed into the candidate slot
+        table and corrupted (or crashed on) another candidate's ΔML
+        bookkeeping once a later merge in a different tree rewrote
+        rows holding that root.
+        """
+        polys = parse_set([
+            "a1*b1*c1 + a2*b2*c2 + a1*b2*c3 + a2*b1*c4 + a1*c1 + b1*c2 "
+            "+ a2*b1 + a1*b2",
+        ])
+        forest = AbstractionForest([
+            AbstractionTree.from_nested(("RA", ["a1", "a2"])),
+            AbstractionTree.from_nested(("RB", ["b1", "b2"])),
+            AbstractionTree.from_nested(
+                ("RC", [("N1", ["c1", "c2"]), ("N2", ["c3", "c4"])])
+            ),
+        ])
+        object_result = _object_greedy(polys, forest, 1)
+        columnar_result = greedy_vvs(polys, forest, 1, backend="columnar")
+        assert trace_tuples(object_result) == trace_tuples(columnar_result)
+        assert object_result.vvs.labels == columnar_result.vvs.labels
+
+    def test_explicit_columnar_rejects_incompatible_forest(self):
+        polys = parse_set(["b1*b2 + b1"])
+        tree = AbstractionTree.from_nested(("SB", ["b1", "b2"]))
+        with pytest.raises(ColumnarUnsupportedError):
+            greedy_vvs(polys, tree, bound=1, backend="columnar")
+        # auto falls back to the object path instead of raising.
+        fallback = greedy_vvs(polys, tree, bound=1, backend="auto")
+        assert fallback.vvs.labels == _object_greedy(polys, tree, 1).vvs.labels
+
+    def test_exponents_fractions_and_sentinels(self):
+        polys = PolynomialSet([
+            Polynomial({
+                Monomial.of(("b1", 2), "x"): Fraction(1, 3),
+                Monomial.of(("b2", 2), "x"): Fraction(2, 3),
+                Monomial.of(("b1", 3)): 4,
+                Monomial.of("m1"): 1,
+            }),
+            Polynomial.zero(),
+            Polynomial.constant(7),
+        ])
+        forest = AbstractionForest([
+            AbstractionTree.from_nested(("SB", ["b1", "b2"])),
+            AbstractionTree.from_nested(("Q", ["m1"])),
+        ])
+        for bound in (1, 2, 4, 100):
+            object_result = _object_greedy(polys, forest.clean(polys), bound,
+                                           clean=False)
+            columnar_result = greedy_vvs(polys, forest.clean(polys), bound,
+                                         clean=False, backend="columnar")
+            assert trace_tuples(object_result) == trace_tuples(columnar_result)
+            assert object_result.vvs.labels == columnar_result.vvs.labels
+
+
+class TestOptimalBackend:
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(0, 5_000), st.integers(1, 4))
+    def test_columnar_run_is_identical(self, seed, divisor):
+        polys, forest = random_compatible_instance(
+            seed=seed, num_trees=1, leaves_per_tree=8,
+            num_polynomials=4, monomials_per_polynomial=10,
+        )
+        from repro.algorithms.result import InfeasibleBoundError
+
+        tree = forest.trees[0]
+        bound = max(1, polys.num_monomials // divisor)
+        try:
+            object_result = optimal_vvs(polys, tree, bound, backend="object")
+        except InfeasibleBoundError as error:
+            with pytest.raises(InfeasibleBoundError) as caught:
+                optimal_vvs(polys, tree, bound, backend="columnar")
+            assert caught.value.min_achievable_size == error.min_achievable_size
+            return
+        columnar_result = optimal_vvs(polys, tree, bound, backend="columnar")
+        assert object_result.vvs.labels == columnar_result.vvs.labels
+        assert object_result.monomial_loss == columnar_result.monomial_loss
+        assert object_result.variable_loss == columnar_result.variable_loss
+        assert object_result.abstracted_size == columnar_result.abstracted_size
+
+
+# ---------------------------------------------------------------------------
+# Shared CSR helpers
+# ---------------------------------------------------------------------------
+
+
+class TestHelpers:
+    def test_resolve_backend_validates(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("vectorized", 10)
+        assert resolve_backend("object", 10**9) == "object"
+        assert resolve_backend("columnar", 1) == "columnar"
+        assert resolve_backend("auto", 1) == "object"
+        assert resolve_backend("auto", 10**6) == "columnar"
+
+    def test_unique_row_ids_groups_exactly(self):
+        import numpy
+
+        matrix = numpy.array([[1, 2], [3, 4], [1, 2], [1, 3]])
+        ids, count = unique_row_ids(matrix)
+        assert count == 3
+        assert ids[0] == ids[2]
+        assert len({int(i) for i in ids}) == 3
+        empty_ids, empty_count = unique_row_ids(numpy.empty((0, 3), dtype=int))
+        assert empty_count == 0 and len(empty_ids) == 0
+
+    def test_invert_index_matches_bruteforce(self):
+        import numpy
+
+        values = numpy.array([2, 0, 2, 1, 0, 2])
+        starts, order = invert_index(values, 3)
+        for value in range(3):
+            positions = order[starts[value]:starts[value + 1]]
+            assert sorted(positions.tolist()) == [
+                i for i, v in enumerate(values) if v == value
+            ]
+
+    def test_gather_ranges_concatenates(self):
+        import numpy
+
+        starts = numpy.array([5, 0, 9])
+        counts = numpy.array([2, 3, 0])
+        assert gather_ranges(starts, counts).tolist() == [5, 6, 0, 1, 2]

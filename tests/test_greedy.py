@@ -5,7 +5,7 @@ import pytest
 from repro.algorithms.brute_force import brute_force_vvs
 from repro.algorithms.greedy import greedy_vvs
 from repro.algorithms.optimal import optimal_vvs
-from repro.core.abstraction import abstract, monomial_loss, variable_loss
+from repro.core.abstraction import abstract, losses, monomial_loss, variable_loss
 from repro.core.parser import parse_set
 from repro.core.tree import AbstractionTree
 from repro.workloads.random_polys import random_compatible_instance
@@ -80,6 +80,10 @@ class TestBehaviour:
         materialized = abstract(ex13_polys, result.vvs)
         assert materialized.num_monomials == result.abstracted_size
         assert materialized.num_variables == result.abstracted_granularity
+        # Both measures in one counting pass (and each standalone).
+        assert (result.monomial_loss, result.variable_loss) == losses(
+            ex13_polys, result.vvs
+        )
         assert result.monomial_loss == monomial_loss(ex13_polys, result.vvs)
         assert result.variable_loss == variable_loss(ex13_polys, result.vvs)
 

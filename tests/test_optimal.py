@@ -5,7 +5,7 @@ import pytest
 from repro.algorithms.optimal import optimal_vvs, optimal_vvs_naive
 from repro.algorithms.brute_force import brute_force_vvs
 from repro.algorithms.result import InfeasibleBoundError
-from repro.core.abstraction import abstract, monomial_loss, variable_loss
+from repro.core.abstraction import abstract, losses, monomial_loss, variable_loss
 from repro.core.forest import AbstractionForest
 from repro.core.parser import parse_set
 from repro.core.tree import AbstractionTree
@@ -83,6 +83,10 @@ class TestBasics:
         materialized = abstract(polys, result.vvs)
         assert materialized.num_monomials == result.abstracted_size
         assert materialized.num_variables == result.abstracted_granularity
+        # Both measures in one counting pass (and each standalone).
+        assert (result.monomial_loss, result.variable_loss) == losses(
+            polys, result.vvs
+        )
         assert result.monomial_loss == monomial_loss(polys, result.vvs)
         assert result.variable_loss == variable_loss(polys, result.vvs)
 
