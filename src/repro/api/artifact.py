@@ -229,17 +229,46 @@ class CompressedProvenance:
         """The one-envelope JSON string (``kind: compressed_provenance``)."""
         return serialize.dumps(self)
 
-    def save(self, path):
-        """Write the JSON envelope to ``path``; returns ``path``."""
+    def save(self, path, format="auto"):
+        """Write the artifact to ``path``; returns ``path``.
+
+        :param format: ``"json"`` (the portable tagged envelope),
+            ``"bin"`` (the zero-copy binary container, see
+            :mod:`repro.core.binfmt`) or ``"auto"`` (the default:
+            binary when ``path`` ends in ``.rpb`` or ``.bin``, JSON
+            otherwise). :meth:`load` auto-detects by magic bytes, so
+            the choice only affects size and load speed.
+        """
+        if format == "auto":
+            suffix = str(path).lower()
+            format = (
+                "bin"
+                if suffix.endswith(".rpb") or suffix.endswith(".bin")
+                else "json"
+            )
+        if format == "bin":
+            from repro.core import binfmt
+
+            return binfmt.write_artifact(self, path)
+        if format != "json":
+            raise ValueError(
+                f"unknown artifact format {format!r}; "
+                "expected 'json', 'bin' or 'auto'"
+            )
         with open(path, "w") as handle:
             handle.write(self.dumps())
         return path
 
     @classmethod
-    def load(cls, path):
-        """Read an artifact envelope written by :meth:`save`."""
-        with open(path) as handle:
-            artifact = serialize.loads(handle.read())
+    def load(cls, path, mmap=True):
+        """Read an artifact written by :meth:`save`, either format.
+
+        Binary containers are detected by magic bytes and loaded
+        zero-copy (via ``mmap`` unless disabled — see
+        :func:`repro.core.binfmt.read_artifact`); anything else parses
+        as the JSON envelope.
+        """
+        artifact = serialize.load_path(path, mmap=mmap)
         if not isinstance(artifact, cls):
             raise TypeError(
                 f"{path}: expected a {cls.__name__} envelope, "

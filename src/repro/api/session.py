@@ -265,6 +265,17 @@ class ProvenanceSession:
             backend=backend,
         )
 
+    @staticmethod
+    def load_artifact(path, mmap=True):
+        """Reload a saved :class:`CompressedProvenance`, either format.
+
+        Binary ``.rpb`` containers load zero-copy via ``mmap`` (pass
+        ``mmap=False`` to read the bytes up front instead); JSON
+        envelopes parse as before. Formats are told apart by magic
+        bytes, not extension.
+        """
+        return CompressedProvenance.load(path, mmap=mmap)
+
     # --------------------------------------------------------------- dunder
 
     def __repr__(self):

@@ -43,8 +43,10 @@ __all__ = ["main"]
 
 
 def _load(path, expected):
-    with open(path) as handle:
-        payload = serialize.loads(handle.read())
+    try:
+        payload = serialize.load_path(path)
+    except serialize.SerializeError as error:
+        raise SystemExit(f"{path}: {error}")
     if not isinstance(payload, expected):
         raise SystemExit(
             f"{path}: expected a {expected.__name__}, "
@@ -104,7 +106,7 @@ def _cmd_compress(args):
             json.dump(serialize.vvs_to_dict(artifact.vvs), handle, sort_keys=True)
         print(f"wrote VVS to {args.vvs_output}")
     if args.artifact:
-        artifact.save(args.artifact)
+        artifact.save(args.artifact, format=args.format)
         print(f"wrote compression artifact to {args.artifact}")
     return 0
 
@@ -231,8 +233,10 @@ def _cmd_sweep(args):
 
     from repro.scenarios.analysis import sensitivity, top_k
 
-    with open(args.target) as handle:
-        payload = serialize.loads(handle.read())
+    try:
+        payload = serialize.load_path(args.target)
+    except serialize.SerializeError as error:
+        raise SystemExit(f"{args.target}: {error}")
     if isinstance(payload, CompressedProvenance):
         polynomials, transform = payload.polynomials, payload.lift
     elif isinstance(payload, PolynomialSet):
@@ -368,13 +372,21 @@ def build_parser():
     compress.add_argument("--artifact",
                           help="write the full compression artifact here "
                                "(answerable with `repro ask`)")
+    compress.add_argument("--format", choices=["json", "bin", "auto"],
+                          default="auto",
+                          help="artifact encoding: json (portable tagged "
+                               "envelope), bin (zero-copy mmap container), "
+                               "auto picks bin for .rpb/.bin paths "
+                               "(default: auto; `ask`/`sweep` detect "
+                               "either by magic bytes)")
     compress.set_defaults(run=_cmd_compress)
 
     ask = commands.add_parser(
         "ask", help="answer scenarios against a compression artifact"
     )
     ask.add_argument("artifact",
-                     help="a compressed_provenance JSON envelope "
+                     help="a compression artifact, JSON envelope or "
+                          "binary .rpb container "
                           "(from `repro compress --artifact`)")
     ask.add_argument("--set", action="append", default=[],
                      metavar="VAR=VALUE",

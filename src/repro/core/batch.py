@@ -247,6 +247,7 @@ class CompiledPolynomialSet:
         "_mean_touches",
         "_delta",
         "_baselines",
+        "_source",
     )
 
     def __init__(self, polynomial_set):
@@ -327,6 +328,7 @@ class CompiledPolynomialSet:
         # unpickling) — dense-only users never build them.
         self._delta = None
         self._baselines = {}
+        self._source = None
 
     def _compute_mean_touches(self):
         """Average monomials touched per variable (exp-0 normalization
@@ -340,15 +342,27 @@ class CompiledPolynomialSet:
 
     # ------------------------------------------------------------- pickling
 
-    def __getstate__(self):
-        """Portable state for cross-process shipping.
+    @property
+    def source(self):
+        """Path of the binary container backing this set (or ``None``).
+
+        Set by :func:`repro.core.binfmt.read_artifact` /
+        :func:`~repro.core.binfmt.read_compiled` on mmap-backed loads;
+        a sourced set pickles as just this descriptor (workers re-mmap
+        the file instead of receiving the matrix over the pipe).
+        """
+        return self._source
+
+    def _state(self):
+        """Portable full state for cross-process shipping.
 
         Variable ids are process-local (they index the process-wide
         interning table), so the column map travels keyed by variable
         *name* and is re-interned on arrival. Everything else is plain
-        NumPy arrays and ints, so a compiled set pickles once and then
-        evaluates identically in any worker process — the contract
-        :mod:`repro.scenarios.parallel` relies on.
+        NumPy arrays and ints, so a compiled set rebuilds and then
+        evaluates identically in any process — the contract
+        :mod:`repro.scenarios.parallel` and the binary container
+        format rely on.
         """
         from repro.core.interning import VARIABLES
 
@@ -365,8 +379,31 @@ class CompiledPolynomialSet:
             "layers": self._layers,
         }
 
+    @classmethod
+    def from_state(cls, state):
+        """Build a compiled set directly from a :meth:`_state` dict —
+        the binary-container load path (no PolynomialSet needed)."""
+        self = object.__new__(cls)
+        self.__setstate__(state)
+        return self
+
+    def __getstate__(self):
+        """Pickle as full arrays — or, for a file-backed set, as just
+        the container path (workers re-mmap; O(1) bytes per worker)."""
+        if self._source is not None:
+            return {"source": self._source}
+        return self._state()
+
     def __setstate__(self, state):
         """Rebuild in the receiving process (re-interning the alphabet)."""
+        source = state.get("source")
+        if source is not None:
+            from repro.core import binfmt
+
+            other = binfmt.read_compiled(source)
+            for slot in CompiledPolynomialSet.__slots__:
+                setattr(self, slot, getattr(other, slot))
+            return
         from repro.core.interning import VARIABLES
 
         intern = VARIABLES.intern
@@ -386,6 +423,7 @@ class CompiledPolynomialSet:
         # builds them (and the baseline) exactly once per process.
         self._delta = None
         self._baselines = {}
+        self._source = None
 
     # ------------------------------------------------------------ assignment
 

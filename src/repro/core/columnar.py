@@ -248,6 +248,70 @@ class ColumnarMultiset:
         self.coeffs = coeffs
         self._factor_rows = None
 
+    @classmethod
+    def from_arrays(cls, vids, exps, row_starts, poly_starts, coeffs):
+        """Adopt prebuilt CSR factor arrays (the binary-envelope load path).
+
+        The arrays follow the layout documented on the class, except
+        that factors within a row need *not* be vid-sorted: a loaded
+        file's column ids were re-interned in this process, and the
+        interning order can differ from the writer's.
+        :meth:`to_polynomial_set` re-sorts per row where order matters.
+        """
+        self = object.__new__(cls)
+        self.vids = numpy.asarray(vids, dtype=numpy.intp)
+        self.exps = numpy.asarray(exps, dtype=numpy.int64)
+        self.row_starts = numpy.asarray(row_starts, dtype=numpy.intp)
+        self.poly_starts = numpy.asarray(poly_starts, dtype=numpy.intp)
+        self.num_polynomials = len(self.poly_starts) - 1
+        self.num_monomials = len(self.row_starts) - 1
+        self.row_poly = numpy.repeat(
+            numpy.arange(self.num_polynomials, dtype=numpy.intp),
+            numpy.diff(self.poly_starts),
+        )
+        self.coeffs = list(coeffs)
+        self._factor_rows = None
+        return self
+
+    def to_polynomial_set(self):
+        """Materialize the multiset back into a ``PolynomialSet``.
+
+        The inverse of ``__init__``: each row becomes a Monomial (keys
+        are vid-sorted here, one vectorized lexsort for the whole set,
+        so rows from :meth:`from_arrays` with re-interned ids come out
+        canonical), duplicate rows within a polynomial merge by summing
+        coefficients, and zero sums are dropped — exactly the
+        :class:`~repro.core.polynomial.Polynomial` constructor rules.
+        """
+        from repro.core.polynomial import Monomial, Polynomial, PolynomialSet
+
+        # Stable sort by (row, vid): rows keep their positions (the
+        # cumulative row lengths match row_starts), factors inside each
+        # row come out id-sorted — the canonical Monomial key order.
+        order = numpy.lexsort((self.vids, self.factor_rows()))
+        vid_list = self.vids[order].tolist()
+        exp_list = self.exps[order].tolist()
+        starts = self.row_starts.tolist()
+        poly_starts = self.poly_starts.tolist()
+        cache = {}
+        polynomials = []
+        for p in range(self.num_polynomials):
+            terms = {}
+            for row in range(poly_starts[p], poly_starts[p + 1]):
+                lo, hi = starts[row], starts[row + 1]
+                key = tuple(zip(vid_list[lo:hi], exp_list[lo:hi]))
+                monomial = cache.get(key)
+                if monomial is None:
+                    monomial = Monomial._from_key(key)
+                    cache[key] = monomial
+                new = terms.get(monomial, 0) + self.coeffs[row]
+                if new == 0:
+                    terms.pop(monomial, None)
+                else:
+                    terms[monomial] = new
+            polynomials.append(Polynomial._raw(terms))
+        return PolynomialSet(polynomials)
+
     # ------------------------------------------------------------ derived
 
     @property

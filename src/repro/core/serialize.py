@@ -11,12 +11,14 @@ from __future__ import annotations
 
 import json
 import sys
+from fractions import Fraction
 
 from repro.core.forest import AbstractionForest, ValidVariableSet
 from repro.core.polynomial import Monomial, Polynomial, PolynomialSet
 from repro.core.tree import AbstractionTree
 
 __all__ = [
+    "SerializeError",
     "polynomial_to_dict",
     "polynomial_from_dict",
     "polynomial_set_to_dict",
@@ -33,15 +35,44 @@ __all__ = [
     "artifact_from_dict",
     "dumps",
     "loads",
+    "load_path",
     "serialized_size",
 ]
+
+
+class SerializeError(ValueError):
+    """A payload could not be decoded (unknown kind, corrupt or truncated
+    envelope, malformed binary container). Subclasses :class:`ValueError`
+    so callers catching the historical error type keep working."""
+
+
+def _coeff_to_json(coeff):
+    """A coefficient as a JSON value (Fractions become tagged objects).
+
+    int and float pass through unchanged (json round-trips both exactly
+    — float via shortest-repr); ``Fraction`` has no JSON form, so it
+    travels as ``{"fraction": "n/d"}``.
+    """
+    if isinstance(coeff, Fraction):
+        return {"fraction": f"{coeff.numerator}/{coeff.denominator}"}
+    return coeff
+
+
+def _coeff_from_json(value):
+    """Inverse of :func:`_coeff_to_json`."""
+    if isinstance(value, dict):
+        try:
+            return Fraction(value["fraction"])
+        except (KeyError, ValueError, ZeroDivisionError) as error:
+            raise SerializeError(f"bad coefficient {value!r}: {error}")
+    return value
 
 
 def polynomial_to_dict(polynomial):
     """``{"terms": [[coeff, [[var, exp], ...]], ...]}`` (sorted, stable)."""
     return {
         "terms": [
-            [coeff, [[var, exp] for var, exp in monomial.powers]]
+            [_coeff_to_json(coeff), [[var, exp] for var, exp in monomial.powers]]
             for coeff, monomial in polynomial
         ]
     }
@@ -51,7 +82,8 @@ def polynomial_from_dict(data):
     """Inverse of :func:`polynomial_to_dict`."""
 
     return Polynomial(
-        (Monomial(powers), coeff) for coeff, powers in data["terms"]
+        (Monomial(powers), _coeff_from_json(coeff))
+        for coeff, powers in data["terms"]
     )
 
 
@@ -222,10 +254,29 @@ def dumps(obj):
 def loads(text):
     """Inverse of :func:`dumps`."""
     envelope = json.loads(text)
-    kind = envelope.get("kind")
+    kind = envelope.get("kind") if isinstance(envelope, dict) else None
     if kind not in _FROM_DICT:
-        raise ValueError(f"unknown payload kind {kind!r}")
+        raise SerializeError(f"unknown payload kind {kind!r}")
     return _FROM_DICT[kind](envelope["data"])
+
+
+def load_path(path, mmap=True):
+    """Load a serialized payload from a file, auto-detecting the envelope.
+
+    Files starting with the :data:`repro.core.binfmt.MAGIC` bytes are
+    binary artifact containers (read zero-copy, via ``mmap`` unless
+    disabled); anything else is parsed as a tagged JSON envelope. This
+    is what the CLI's ``ask``/``sweep``/``inspect`` loaders call, so
+    both formats are accepted everywhere a path is.
+    """
+    from repro.core import binfmt
+
+    with open(path, "rb") as handle:
+        head = handle.read(len(binfmt.MAGIC))
+    if head == binfmt.MAGIC:
+        return binfmt.read_artifact(path, mmap=mmap)
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read())
 
 
 def serialized_size(obj):

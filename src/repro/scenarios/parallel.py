@@ -10,10 +10,20 @@ scenario row of the ``(S, P)`` answer matrix is independent.
 :func:`evaluate_scenarios_parallel` shards that matrix across a
 :class:`concurrent.futures.ProcessPoolExecutor`:
 
-* each worker receives the pickled :class:`~repro.core.batch.\
-  CompiledPolynomialSet` **once** (via the pool initializer; the column
-  map travels by variable name, so workers re-intern and answer
-  bit-identically whatever their start method);
+* the compiled :class:`~repro.core.batch.CompiledPolynomialSet` is
+  **published once, not pickled per worker**: the parent renders it
+  into a :mod:`multiprocessing.shared_memory` segment in the binary
+  container format (:func:`repro.core.binfmt.dumps_compiled`) and each
+  worker's initializer rebuilds a read-only compiled set as NumPy
+  views *directly over the segment* — O(1) start-up per worker however
+  large the matrix. Compiled sets that were loaded from a binary
+  artifact file skip even that: they pickle as just their path
+  (:attr:`CompiledPolynomialSet.source
+  <repro.core.batch.CompiledPolynomialSet.source>`) and each worker
+  re-maps the file. Either way the column map travels by variable
+  name, so workers re-intern and answer bit-identically whatever
+  their start method. The segment is unlinked when the pool exits —
+  nothing is left in ``/dev/shm``;
 * the parent then streams *work descriptions*, not data — for a
   :class:`~repro.scenarios.sweep.Sweep` an ``(start, stop)`` index
   range (workers regenerate their shard from the sweep spec), for a
@@ -46,7 +56,10 @@ million-scenario sweep never materializes a Python list of dicts.
 from __future__ import annotations
 
 import itertools
+import os
+import secrets
 from collections import deque
+from contextlib import contextmanager
 
 import numpy
 
@@ -74,11 +87,94 @@ _INFLIGHT_PER_WORKER = 4
 #: The compiled set installed in each worker by the pool initializer.
 _WORKER_COMPILED = None
 
+#: The shared-memory segment backing ``_WORKER_COMPILED`` (kept alive
+#: for the worker's lifetime; the compiled arrays are views into it).
+_WORKER_SEGMENT = None
+
 
 def _init_worker(compiled):
-    """Pool initializer: adopt the compiled set (pickled exactly once)."""
+    """Pool initializer: adopt the compiled set.
+
+    For file-backed compiled sets the pickle shrank to just the source
+    path, so ``compiled`` arrived by re-mapping the artifact file —
+    O(1) transfer whatever the matrix size.
+    """
     global _WORKER_COMPILED
     _WORKER_COMPILED = compiled
+
+
+def _attach_segment(name):
+    """Open an existing shared-memory segment; the parent owns cleanup.
+
+    Python 3.13 has ``track=False`` so attachers skip resource-tracker
+    registration outright. Earlier versions register unconditionally —
+    but the tracker cache is a *set* shared by the whole process tree,
+    so the worker registrations are no-op re-adds and the parent's one
+    ``unlink()`` at pool exit balances them. Unregistering per worker
+    would over-remove from the set and make the tracker complain.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def _init_worker_shm(name):
+    """Pool initializer: rebuild the compiled set over shared memory.
+
+    The parent published the container bytes once; this builds
+    read-only NumPy views straight over the segment — no pickle, no
+    copy, O(1) per worker.
+    """
+    global _WORKER_COMPILED, _WORKER_SEGMENT
+    from repro.core import binfmt
+
+    segment = _attach_segment(name)
+    _WORKER_SEGMENT = segment
+    _WORKER_COMPILED = binfmt.compiled_from_buffer(segment.buf)
+
+
+@contextmanager
+def _pool_setup(compiled):
+    """Yield the pool ``(initializer, initargs)`` publishing ``compiled``.
+
+    Three cases, cheapest transport that applies:
+
+    * file-backed compiled sets (``source`` set — loaded from a binary
+      artifact) pickle as just their path; workers re-map the file;
+    * ordinary compiled sets are rendered once into a shared-memory
+      segment that workers reopen zero-copy; the segment is closed and
+      unlinked when the pool exits, so nothing leaks into ``/dev/shm``;
+    * objects without container support (test doubles) fall back to
+      the plain pickle-per-pool initializer.
+    """
+    if getattr(compiled, "source", None) is not None or not hasattr(
+        compiled, "_state"
+    ):
+        yield _init_worker, (compiled,)
+        return
+
+    from multiprocessing import shared_memory
+
+    from repro.core import binfmt
+
+    blob = binfmt.dumps_compiled(compiled)
+    segment = shared_memory.SharedMemory(
+        create=True,
+        size=len(blob),
+        name=f"repro-{os.getpid()}-{secrets.token_hex(4)}",
+    )
+    try:
+        segment.buf[: len(blob)] = blob
+        yield _init_worker_shm, (segment.name,)
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
 
 
 def _evaluate_rows(rows, engine="dense"):
@@ -259,12 +355,13 @@ def evaluate_scenarios_parallel(polynomials, scenarios, *, workers,
         )
 
     blocks = []
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_init_worker, initargs=(compiled,)
-    ) as executor:
-        blocks.extend(
-            _submit_stream(executor, tasks, workers * _INFLIGHT_PER_WORKER)
-        )
+    with _pool_setup(compiled) as (initializer, initargs):
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        ) as executor:
+            blocks.extend(
+                _submit_stream(executor, tasks, workers * _INFLIGHT_PER_WORKER)
+            )
     if not blocks:
         return numpy.zeros((0, compiled.num_polynomials), dtype=numpy.float64)
     if len(blocks) == 1:
@@ -351,22 +448,27 @@ def iter_value_blocks(polynomials, scenarios, *, default=1.0, workers=None,
                 start += len(chunk)
 
     max_inflight = workers * _INFLIGHT_PER_WORKER
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_init_worker, initargs=(compiled,)
-    ) as executor:
-        pending = deque()
-        for start, chunk, (fn, args) in tasks():
-            while len(pending) >= max_inflight:
+    with _pool_setup(compiled) as (initializer, initargs):
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        ) as executor:
+            pending = deque()
+            for start, chunk, (fn, args) in tasks():
+                while len(pending) >= max_inflight:
+                    done_start, done_chunk, future = pending.popleft()
+                    yield (
+                        done_start,
+                        _realize(scenarios, done_chunk),
+                        future.result(),
+                    )
+                pending.append((start, chunk, executor.submit(fn, *args)))
+            while pending:
                 done_start, done_chunk, future = pending.popleft()
                 yield (
                     done_start,
                     _realize(scenarios, done_chunk),
                     future.result(),
                 )
-            pending.append((start, chunk, executor.submit(fn, *args)))
-        while pending:
-            done_start, done_chunk, future = pending.popleft()
-            yield done_start, _realize(scenarios, done_chunk), future.result()
 
 
 def _realize(scenarios, chunk):

@@ -106,6 +106,73 @@ class TestCompress:
         assert "algorithm:     optimal" in capsys.readouterr().out
 
 
+class TestBinaryFormat:
+    def test_rpb_extension_writes_binary(self, files, capsys, tmp_path):
+        """--artifact *.rpb defaults to the binary container; ask
+        auto-detects it by magic bytes."""
+        from repro.core import binfmt
+
+        _, provenance, forest = files
+        artifact = str(tmp_path / "artifact.rpb")
+        assert main([
+            "compress", provenance, forest, "--bound", "9",
+            "--algorithm", "optimal", "--artifact", artifact,
+        ]) == 0
+        assert binfmt.is_binary(artifact)
+        capsys.readouterr()
+        assert main([
+            "ask", artifact, "--set", "b1=0.8", "--set", "b2=0.8",
+        ]) == 0
+        assert "polynomial[0]" in capsys.readouterr().out
+
+    def test_format_flag_overrides_extension(self, files, capsys, tmp_path):
+        from repro.core import binfmt
+
+        _, provenance, forest = files
+        artifact = str(tmp_path / "artifact.json")
+        assert main([
+            "compress", provenance, forest, "--bound", "9",
+            "--algorithm", "optimal", "--artifact", artifact,
+            "--format", "bin",
+        ]) == 0
+        assert binfmt.is_binary(artifact)
+
+    def test_both_formats_answer_identically(self, files, capsys, tmp_path):
+        _, provenance, forest = files
+        outputs = {}
+        for fmt in ("json", "bin"):
+            artifact = str(tmp_path / f"artifact-{fmt}")
+            assert main([
+                "compress", provenance, forest, "--bound", "9",
+                "--algorithm", "optimal", "--artifact", artifact,
+                "--format", fmt,
+            ]) == 0
+            capsys.readouterr()
+            assert main(["ask", artifact, "--set", "p1=0.5"]) == 0
+            outputs[fmt] = capsys.readouterr().out
+        assert outputs["json"] == outputs["bin"]
+
+    def test_sweep_accepts_binary_artifact(self, files, capsys, tmp_path):
+        _, provenance, forest = files
+        artifact = str(tmp_path / "artifact.rpb")
+        main([
+            "compress", provenance, forest, "--bound", "9",
+            "--algorithm", "optimal", "--artifact", artifact,
+        ])
+        capsys.readouterr()
+        assert main([
+            "sweep", artifact, "--oaat", "all",
+            "--multipliers", "0.5,1.5", "--top-k", "3",
+        ]) == 0
+        assert "compressed artifact" in capsys.readouterr().out
+
+    def test_corrupt_binary_exits_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.rpb"
+        bad.write_bytes(b"RPROVBIN" + b"\x00" * 4)
+        with pytest.raises(SystemExit):
+            main(["ask", str(bad), "--set", "p1=0.5"])
+
+
 class TestAsk:
     def test_compress_ask_pipeline(self, files, capsys, tmp_path):
         """compress --artifact then ask: the file-shaped session flow."""
@@ -222,17 +289,21 @@ class TestBench:
             "--output", str(output),
         ]) == 0
         document = json.loads(output.read_text())
-        assert document["schema"] == "repro-bench-core/5"
+        assert document["schema"] == "repro-bench-core/6"
         entry = document["runs"]["tiny"]
         assert entry["mode"] == "tiny"
         results = entry["results"]
         assert set(results) == {
             "greedy", "optimal", "abstraction", "batch_valuation",
-            "sweep", "sweep_delta", "compress_scale", "session",
+            "sweep", "sweep_delta", "compress_scale", "artifact_io",
+            "session",
         }
         assert results["greedy"]["speedup"] > 0
         assert results["compress_scale"]["speedup"] > 0
         assert results["compress_scale"]["algorithm"] == "greedy"
+        assert results["artifact_io"]["speedup"] > 0
+        assert results["artifact_io"]["json_bytes"] > 0
+        assert results["artifact_io"]["bin_bytes"] > 0
         assert results["batch_valuation"]["max_abs_error"] < 1e-6
         assert results["sweep"]["max_abs_error"] == 0.0
         assert results["sweep"]["workers"] >= 2

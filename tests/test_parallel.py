@@ -7,6 +7,7 @@ sensitivity) agree with full-matrix computations.
 """
 
 import concurrent.futures
+import os
 import pickle
 from fractions import Fraction
 
@@ -23,7 +24,10 @@ from repro.scenarios import (
     sensitivity,
     top_k,
 )
-from repro.scenarios.parallel import evaluate_scenarios_parallel
+from repro.scenarios.parallel import (
+    evaluate_scenarios_parallel,
+    iter_value_blocks,
+)
 from repro.workloads.random_polys import random_polynomials
 
 VARIABLES = ["a", "b", "c", "d"]
@@ -171,6 +175,134 @@ class TestCrossProcessReproducibility:
         assert numpy.array_equal(
             compiled.evaluate(scenarios), clone.evaluate(scenarios)
         )
+
+
+class TestSharedMemoryTransport:
+    def test_segment_created_once_and_unlinked(self, polys, monkeypatch):
+        """The pool publishes ONE shared-memory segment and unlinks it
+        on exit — nothing left behind for other processes to attach."""
+        from multiprocessing import shared_memory
+
+        created = []
+        real = shared_memory.SharedMemory
+
+        def spy(*args, **kwargs):
+            segment = real(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(segment.name)
+            return segment
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", spy)
+        scenarios = [{"a": 0.5 + i / 100} for i in range(40)]
+        serial = evaluate_scenarios(polys, scenarios)
+        parallel = evaluate_scenarios_parallel(
+            polys, scenarios, workers=2, min_parallel=0, chunk_size=10
+        )
+        assert numpy.array_equal(serial, parallel)
+        assert len(created) == 1
+        with pytest.raises(FileNotFoundError):
+            real(name=created[0])  # unlinked: attaching must fail
+
+    def test_no_dev_shm_leak(self, polys):
+        import glob
+
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        before = set(glob.glob("/dev/shm/repro-*"))
+        evaluate_scenarios_parallel(
+            polys, [{"a": 1.5}] * 30, workers=2, min_parallel=0,
+            chunk_size=8,
+        )
+        list(iter_value_blocks(
+            _workload(),
+            Sweep.random(["v0", "v1"], 600, seed=7, changes=1),
+            workers=2, chunk_size=128,
+        ))
+        assert set(glob.glob("/dev/shm/repro-*")) == before
+
+    def test_segment_unlinked_when_worker_task_fails(self, polys,
+                                                     monkeypatch):
+        """Cleanup runs even when the pool dies mid-stream."""
+        from multiprocessing import shared_memory
+
+        created = []
+        real = shared_memory.SharedMemory
+
+        def spy(*args, **kwargs):
+            segment = real(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(segment.name)
+            return segment
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", spy)
+        with pytest.raises((TypeError, ValueError)):
+            evaluate_scenarios_parallel(
+                polys, [{"a": object()}] * 30, workers=2, min_parallel=0,
+                chunk_size=8,
+            )
+        assert len(created) == 1
+        with pytest.raises(FileNotFoundError):
+            real(name=created[0])
+
+    def test_file_backed_artifact_skips_shared_memory(self, tmp_path,
+                                                      monkeypatch):
+        """A compiled set loaded from a .rpb container ships by path —
+        no segment is ever created, workers re-map the file."""
+        from multiprocessing import shared_memory
+
+        from repro.api.artifact import CompressedProvenance
+        from repro.api.session import ProvenanceSession
+        from repro.core.forest import AbstractionForest
+        from repro.core.tree import AbstractionTree
+
+        polys = _workload()
+        leaves = sorted(polys.variables)
+        forest = AbstractionForest(
+            [AbstractionTree.from_nested(("R", leaves))]
+        )
+        artifact = ProvenanceSession(polys, forest).compress(
+            polys.num_monomials
+        )
+        path = str(tmp_path / "artifact.rpb")
+        artifact.save(path)
+        loaded = CompressedProvenance.load(path)
+
+        def forbid_create(*args, **kwargs):
+            if kwargs.get("create"):
+                raise AssertionError(
+                    "file-backed compiled sets must not publish shm"
+                )
+            return real(*args, **kwargs)
+
+        real = shared_memory.SharedMemory
+        monkeypatch.setattr(shared_memory, "SharedMemory", forbid_create)
+        scenarios = [{leaves[0]: 0.25 * i} for i in range(36)]
+        serial = evaluate_scenarios_parallel(
+            loaded.polynomials, scenarios, workers=0
+        )
+        parallel = evaluate_scenarios_parallel(
+            loaded.polynomials, scenarios, workers=2, min_parallel=0,
+            chunk_size=9,
+        )
+        assert numpy.array_equal(serial, parallel)
+
+    def test_workers_one_never_builds_pool(self, polys, monkeypatch):
+        """Explicit workers=1 routes through the serial chunked path —
+        no executor, no segment (the issue's first satellite fix)."""
+        def boom(*args, **kwargs):
+            raise AssertionError("workers=1 must not construct a pool")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", boom
+        )
+        scenarios = [{"a": 0.1 * i} for i in range(1000)]
+        result = evaluate_scenarios_parallel(
+            polys, scenarios, workers=1, min_parallel=0
+        )
+        assert numpy.array_equal(result, evaluate_scenarios(polys, scenarios))
+        blocks = list(iter_value_blocks(polys, scenarios, workers=1))
+        stitched = numpy.concatenate([v for _, _, v in blocks], axis=0)
+        assert numpy.array_equal(stitched, result)
 
 
 class TestTopK:
