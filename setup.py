@@ -1,8 +1,9 @@
 """Setuptools shim.
 
-Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
-offline environments whose setuptools lacks PEP 660 support (editable
-installs then fall back to ``setup.py develop``).
+All project metadata lives in ``pyproject.toml`` (PEP 621). This file
+exists only so ``pip install -e .`` works in offline environments whose
+setuptools lacks PEP 660 support (editable installs then fall back to
+``setup.py develop``).
 """
 
 from setuptools import setup

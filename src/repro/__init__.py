@@ -113,7 +113,7 @@ _LAZY_EXPORTS = {
 }
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     try:
         module_name, member = _LAZY_EXPORTS[name]
     except KeyError:
@@ -128,7 +128,7 @@ def __getattr__(name):
     return value
 
 
-def __dir__():
+def __dir__() -> list[str]:
     # Advertise the lazy names too, so dir(repro)/tab-completion sees
     # the full public surface before anything has been resolved.
     return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -781,7 +781,7 @@ def _columnar_greedy(polynomials, forest, bound, *, clean, ml_tie_break):
         unique_keys, counts = numpy.unique(keys, return_counts=True)
         key_slots = unique_keys // bound_
         bounds = run_starts(key_slots).tolist() + [len(unique_keys)]
-        for start, stop in zip(bounds, bounds[1:]):
+        for start, stop in zip(bounds, bounds[1:], strict=False):
             yield (
                 int(key_slots[start]),
                 unique_keys[start:stop] % bound_,

@@ -86,7 +86,7 @@ def _combine_children(child_tables, child_labels, k):
     saturates at ``k`` (the paper's ``A_v[k]`` records "ML ≥ k").
     """
     table = {0: (0, ())}
-    for label, child in zip(child_labels, child_tables):
+    for label, child in zip(child_labels, child_tables, strict=True):
         merged = {}
         for ml_acc, (vl_acc, picks) in table.items():
             for ml_child, (vl_child, _) in child.items():

@@ -25,12 +25,25 @@ answered approximately.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.forest import ValidVariableSet
 from repro.core.polynomial import PolynomialSet
 from repro.core.valuation import Valuation
 from repro.core import serialize
 from repro.scenarios.analysis import approximate_lift
+
+if TYPE_CHECKING:
+    import os
+    from collections.abc import Iterable, Iterator, Mapping
+    from typing import Union
+
+    from repro.algorithms.result import AbstractionResult
+    from repro.core.forest import AbstractionForest
+    from repro.scenarios.scenario import Scenario
+
+    #: Anything :meth:`Valuation.coerce` accepts as a scenario.
+    ScenarioLike = Union[Scenario, Valuation, Mapping[str, float]]
 
 __all__ = ["Answer", "CompressedProvenance"]
 
@@ -47,14 +60,14 @@ class Answer:
     """
 
     name: str
-    values: tuple
+    values: tuple[float, ...]
     exact: bool
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         """Iterate the per-polynomial values."""
         return iter(self.values)
 
-    def __len__(self):
+    def __len__(self) -> int:
         """Number of polynomials answered."""
         return len(self.values)
 
@@ -81,9 +94,19 @@ class CompressedProvenance:
         "variable_loss",
     )
 
-    def __init__(self, polynomials, forest, vvs, *, algorithm, bound,
-                 original_size, original_granularity,
-                 monomial_loss, variable_loss):
+    def __init__(
+        self,
+        polynomials: PolynomialSet,
+        forest: AbstractionForest,
+        vvs: ValidVariableSet,
+        *,
+        algorithm: str,
+        bound: int,
+        original_size: int,
+        original_granularity: int,
+        monomial_loss: int,
+        variable_loss: int,
+    ) -> None:
         if not isinstance(polynomials, PolynomialSet):
             raise TypeError(
                 f"expected PolynomialSet, got {type(polynomials).__name__}"
@@ -103,8 +126,15 @@ class CompressedProvenance:
         self.variable_loss = int(variable_loss)
 
     @classmethod
-    def from_result(cls, result, original, *, algorithm, bound,
-                    backend="auto"):
+    def from_result(
+        cls,
+        result: AbstractionResult,
+        original: PolynomialSet,
+        *,
+        algorithm: str,
+        bound: int,
+        backend: str = "auto",
+    ) -> CompressedProvenance:
         """Package an :class:`AbstractionResult` computed on ``original``.
 
         ``backend`` selects the ``P↓S`` materialization engine (see
@@ -128,33 +158,33 @@ class CompressedProvenance:
     # -------------------------------------------------------------- measures
 
     @property
-    def abstracted_size(self):
+    def abstracted_size(self) -> int:
         """``|P↓S|_M`` — monomials after compression."""
         return self.polynomials.num_monomials
 
     @property
-    def abstracted_granularity(self):
+    def abstracted_granularity(self) -> int:
         """``|P↓S|_V`` — surviving degrees of freedom."""
         return self.polynomials.num_variables
 
     @property
-    def compression_ratio(self):
+    def compression_ratio(self) -> float:
         """``|P↓S|_M / |P|_M`` (1.0 for empty provenance)."""
         if self.original_size == 0:
             return 1.0
         return self.abstracted_size / self.original_size
 
-    def __len__(self):
+    def __len__(self) -> int:
         """Number of polynomials (query result groups)."""
         return len(self.polynomials)
 
     # ------------------------------------------------------------- answering
 
-    def supports(self, scenario, default=1.0):
+    def supports(self, scenario: ScenarioLike, default: float = 1.0) -> bool:
         """``True`` iff ``scenario`` is answered exactly (uniform on the cut)."""
         return Valuation.coerce(scenario, default).is_uniform_on(self.vvs)
 
-    def lift(self, scenario, default=1.0):
+    def lift(self, scenario: ScenarioLike, default: float = 1.0) -> Valuation:
         """The scenario on this artifact's meta-variables.
 
         Exact (the lifting homomorphism) when the scenario is uniform
@@ -170,7 +200,7 @@ class CompressedProvenance:
             return valuation.lift(self.vvs)
         return approximate_lift(valuation, self.vvs)
 
-    def ask(self, scenario, default=1.0):
+    def ask(self, scenario: ScenarioLike, default: float = 1.0) -> Answer:
         """Answer one scenario (Scenario / Valuation / mapping).
 
         Uniform-on-the-cut scenarios are lifted exactly onto the
@@ -180,7 +210,13 @@ class CompressedProvenance:
         """
         return self.ask_many([scenario], default=default)[0]
 
-    def ask_many(self, scenarios, default=1.0, workers=None, engine="auto"):
+    def ask_many(
+        self,
+        scenarios: Iterable[ScenarioLike],
+        default: float = 1.0,
+        workers: int | None = None,
+        engine: str = "auto",
+    ) -> list[Answer]:
         """Answer a whole scenario family in one vectorized pass.
 
         :param scenarios: a :class:`~repro.scenarios.scenario.ScenarioSuite`,
@@ -220,16 +256,18 @@ class CompressedProvenance:
         )
         return [
             Answer(name, tuple(float(v) for v in row), exact)
-            for name, exact, row in zip(names, exacts, matrix)
+            for name, exact, row in zip(names, exacts, matrix, strict=True)
         ]
 
     # ----------------------------------------------------------- persistence
 
-    def dumps(self):
+    def dumps(self) -> str:
         """The one-envelope JSON string (``kind: compressed_provenance``)."""
         return serialize.dumps(self)
 
-    def save(self, path, format="auto"):
+    def save(
+        self, path: str | os.PathLike, format: str = "auto"
+    ) -> str | os.PathLike:
         """Write the artifact to ``path``; returns ``path``.
 
         :param format: ``"json"`` (the portable tagged envelope),
@@ -260,7 +298,9 @@ class CompressedProvenance:
         return path
 
     @classmethod
-    def load(cls, path, mmap=True):
+    def load(
+        cls, path: str | os.PathLike, mmap: bool = True
+    ) -> CompressedProvenance:
         """Read an artifact written by :meth:`save`, either format.
 
         Binary containers are detected by magic bytes and loaded

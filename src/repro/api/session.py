@@ -24,6 +24,8 @@ unchanged.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.algorithms import registry
 from repro.core.abstraction import ensure_set
 from repro.core.forest import AbstractionForest
@@ -31,6 +33,23 @@ from repro.core.parser import parse_set
 from repro.core.polynomial import Polynomial, PolynomialSet
 from repro.core.tree import AbstractionTree
 from repro.api.artifact import CompressedProvenance
+
+if TYPE_CHECKING:
+    import os
+    from collections.abc import Callable, Iterable, Mapping
+    from fractions import Fraction
+    from typing import Union
+
+    from repro.api.artifact import Answer, ScenarioLike
+    from repro.core.statistics import ProvenanceProfile
+    from repro.engine.table import Relation
+
+    #: Anything :func:`as_forest` normalizes (``None`` = no forest).
+    ForestSpec = Union[
+        AbstractionForest, AbstractionTree, tuple, Iterable, None
+    ]
+    #: Anything :func:`repro.core.abstraction.ensure_set` accepts.
+    PolynomialsLike = Union[Polynomial, PolynomialSet, Iterable[Polynomial]]
 
 __all__ = ["ProvenanceSession", "as_forest"]
 
@@ -56,7 +75,7 @@ def _accepts_backend(solver):
     )
 
 
-def as_forest(spec):
+def as_forest(spec: ForestSpec) -> AbstractionForest | None:
     """Normalize a forest specification to an :class:`AbstractionForest`.
 
     Accepts a forest (unchanged), a single tree, a nested-tuple tree
@@ -87,19 +106,25 @@ class ProvenanceSession:
 
     __slots__ = ("polynomials", "forest")
 
-    def __init__(self, polynomials, forest=None):
+    def __init__(
+        self, polynomials: PolynomialsLike, forest: ForestSpec = None
+    ) -> None:
         self.polynomials = ensure_set(polynomials)
         self.forest = as_forest(forest)
 
     # --------------------------------------------------------- entry points
 
     @classmethod
-    def from_polynomials(cls, polynomials, forest=None):
+    def from_polynomials(
+        cls, polynomials: PolynomialsLike, forest: ForestSpec = None
+    ) -> ProvenanceSession:
         """Wrap an existing :class:`Polynomial`/:class:`PolynomialSet`."""
         return cls(polynomials, forest)
 
     @classmethod
-    def from_strings(cls, texts, forest=None):
+    def from_strings(
+        cls, texts: Iterable[str], forest: ForestSpec = None
+    ) -> ProvenanceSession:
         """Parse polynomial strings (see :func:`repro.core.parser.parse_set`).
 
         >>> session = ProvenanceSession.from_strings(
@@ -110,7 +135,13 @@ class ProvenanceSession:
         return cls(parse_set(texts), forest)
 
     @classmethod
-    def from_query(cls, sql, relations, params=None, forest=None):
+    def from_query(
+        cls,
+        sql: str,
+        relations: Mapping[str, Relation],
+        params: Callable | None = None,
+        forest: ForestSpec = None,
+    ) -> ProvenanceSession:
         """Capture provenance by running SQL through :mod:`repro.engine`.
 
         :param sql: a SPJ + ``SUM`` aggregate query (the §2.1 class).
@@ -144,23 +175,25 @@ class ProvenanceSession:
 
     # -------------------------------------------------------------- fluent
 
-    def with_forest(self, forest):
+    def with_forest(self, forest: ForestSpec) -> ProvenanceSession:
         """A new session over the same provenance with ``forest`` attached."""
         return ProvenanceSession(self.polynomials, forest)
 
-    def profile(self):
+    def profile(self) -> ProvenanceProfile:
         """Summary statistics (see :func:`repro.core.statistics.profile`)."""
         from repro.core.statistics import profile
 
         return profile(self.polynomials)
 
-    def evaluate(self, scenario, default=1.0):
+    def evaluate(
+        self, scenario: ScenarioLike, default: float = 1.0
+    ) -> list[float | Fraction]:
         """Valuate one scenario against the *raw* provenance."""
         from repro.core.valuation import Valuation
 
         return Valuation.coerce(scenario, default).evaluate(self.polynomials)
 
-    def ask(self, scenario, default=1.0):
+    def ask(self, scenario: ScenarioLike, default: float = 1.0) -> Answer:
         """Answer one scenario against the raw provenance.
 
         Raw provenance loses nothing, so the returned
@@ -171,7 +204,13 @@ class ProvenanceSession:
         """
         return self.ask_many([scenario], default=default)[0]
 
-    def ask_many(self, scenarios, default=1.0, workers=None, engine="auto"):
+    def ask_many(
+        self,
+        scenarios: Iterable[ScenarioLike],
+        default: float = 1.0,
+        workers: int | None = None,
+        engine: str = "auto",
+    ) -> list[Answer]:
         """Answer a scenario family against the raw provenance.
 
         :param scenarios: a :class:`~repro.scenarios.sweep.Sweep`, a
@@ -201,7 +240,7 @@ class ProvenanceSession:
             engine=engine,
         )
         answers = []
-        for index, (item, row) in enumerate(zip(items, matrix)):
+        for index, (item, row) in enumerate(zip(items, matrix, strict=True)):
             name = getattr(item, "name", None)
             answers.append(Answer(
                 str(name) if name is not None else f"scenario-{index}",
@@ -212,8 +251,13 @@ class ProvenanceSession:
 
     # ------------------------------------------------------------- compress
 
-    def compress(self, bound, algorithm=registry.AUTO, backend="auto",
-                 **options):
+    def compress(
+        self,
+        bound: int,
+        algorithm: str = registry.AUTO,
+        backend: str = "auto",
+        **options: object,
+    ) -> CompressedProvenance:
         """Select and apply a VVS; package the result as an artifact.
 
         :param bound: maximum number of monomials ``B``.
@@ -266,7 +310,9 @@ class ProvenanceSession:
         )
 
     @staticmethod
-    def load_artifact(path, mmap=True):
+    def load_artifact(
+        path: str | os.PathLike, mmap: bool = True
+    ) -> CompressedProvenance:
         """Reload a saved :class:`CompressedProvenance`, either format.
 
         Binary ``.rpb`` containers load zero-copy via ``mmap`` (pass

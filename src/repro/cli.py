@@ -14,6 +14,7 @@ analysts. This CLI is that pipeline::
     python -m repro valuate  compressed.json --set q1=0.8 --set Business=1.1
     python -m repro decide   provenance.json forest.json --size 4 --granularity 5
     python -m repro bench    --smoke --check BENCH_core.json
+    python -m repro lint     src tests
 
 Files are the JSON produced by :mod:`repro.core.serialize` (tagged
 ``polynomial_set`` / ``forest`` / ``compressed_provenance`` payloads).
@@ -37,6 +38,7 @@ from repro.core import serialize
 from repro.core.forest import AbstractionForest
 from repro.core.polynomial import PolynomialSet
 from repro.core.valuation import Valuation
+from repro.lint import cli as lint_cli
 from repro.scenarios.scenario import Scenario, ScenarioSuite
 
 __all__ = ["main"]
@@ -46,7 +48,7 @@ def _load(path, expected):
     try:
         payload = serialize.load_path(path)
     except serialize.SerializeError as error:
-        raise SystemExit(f"{path}: {error}")
+        raise SystemExit(f"{path}: {error}") from None
     if not isinstance(payload, expected):
         raise SystemExit(
             f"{path}: expected a {expected.__name__}, "
@@ -85,10 +87,10 @@ def _cmd_compress(args):
         artifact = session.compress(args.bound, algorithm=args.algorithm,
                                     backend=args.backend)
     except InfeasibleBoundError as error:
-        raise SystemExit(f"infeasible: {error}")
+        raise SystemExit(f"infeasible: {error}") from None
     except ValueError as error:
         # e.g. optimal requested on a multi-tree forest (NP-hard).
-        raise SystemExit(str(error))
+        raise SystemExit(str(error)) from None
     print(f"algorithm:     {artifact.algorithm}")
     print(f"selected VVS:  {sorted(artifact.vvs.labels)}")
     print(f"size:          {artifact.original_size} -> {artifact.abstracted_size}")
@@ -120,7 +122,9 @@ def _parse_assignment(settings):
         try:
             assignment[name] = float(value)
         except ValueError:
-            raise SystemExit(f"value of {name!r} is not a number: {value!r}")
+            raise SystemExit(
+                f"value of {name!r} is not a number: {value!r}"
+            ) from None
     return assignment
 
 
@@ -190,7 +194,7 @@ def _parse_multipliers(args, flag="--multipliers"):
         try:
             out.append(float(item))
         except ValueError:
-            raise SystemExit(f"{flag}: not a number: {item!r}")
+            raise SystemExit(f"{flag}: not a number: {item!r}") from None
     return out
 
 
@@ -236,7 +240,7 @@ def _cmd_sweep(args):
     try:
         payload = serialize.load_path(args.target)
     except serialize.SerializeError as error:
-        raise SystemExit(f"{args.target}: {error}")
+        raise SystemExit(f"{args.target}: {error}") from None
     if isinstance(payload, CompressedProvenance):
         polynomials, transform = payload.polynomials, payload.lift
     elif isinstance(payload, PolynomialSet):
@@ -486,6 +490,11 @@ def build_parser():
                             "existing results and --check gates only "
                             "the stages that ran")
     bench.set_defaults(run=_cmd_bench)
+
+    lint = commands.add_parser(
+        "lint", help="AST-based invariant checks (see INVARIANTS.md)"
+    )
+    lint_cli.configure_parser(lint)
 
     return parser
 

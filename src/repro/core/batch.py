@@ -336,7 +336,7 @@ class CompiledPolynomialSet:
         needs. Derived from the layers, so it is rebuilt identically
         after unpickling."""
         real_factors = 0
-        for _, cols, nonunit, exps in self._layers:
+        for _, cols, _nonunit, exps in self._layers:
             real_factors += len(cols) - int((exps == 0).sum())
         return real_factors / self.num_variables
 

@@ -295,7 +295,7 @@ def _parse_container(buf, what="container"):
             bytes(buf[prefix:prefix + header_len]).decode("utf-8")
         )
     except (UnicodeDecodeError, ValueError) as error:
-        raise SerializeError(f"corrupt {what} header: {error}")
+        raise SerializeError(f"corrupt {what} header: {error}") from error
     if not isinstance(header, dict):
         raise SerializeError(f"corrupt {what} header: not an object")
     if header.get("schema") != SCHEMA_VERSION:
@@ -325,7 +325,7 @@ def _views(header, buf, origin):
             count = int(spec["count"])
             offset = origin + int(spec["offset"])
         except (KeyError, TypeError, ValueError) as error:
-            raise SerializeError(f"bad buffer entry {name!r}: {error}")
+            raise SerializeError(f"bad buffer entry {name!r}: {error}") from error
         if count == 0:
             arrays[name] = numpy.zeros(0, dtype=dtype)
             continue
@@ -347,7 +347,9 @@ def _get(arrays, name):
     try:
         return arrays[name]
     except KeyError:
-        raise SerializeError(f"container is missing buffer {name!r}")
+        raise SerializeError(
+            f"container is missing buffer {name!r}"
+        ) from None
 
 
 def _compiled_from(meta, arrays, source=None):
@@ -397,7 +399,7 @@ def _decode_exact(entries):
     except (TypeError, ValueError) as error:
         if isinstance(error, SerializeError):
             raise
-        raise SerializeError(f"bad exact-coefficient sidecar: {error}")
+        raise SerializeError(f"bad exact-coefficient sidecar: {error}") from error
     return table
 
 
@@ -417,7 +419,7 @@ def _decode_coeffs(kinds, f64, i64, exact):
             except KeyError:
                 raise SerializeError(
                     f"missing exact coefficient for row {row}"
-                )
+                ) from None
         else:
             raise SerializeError(f"unknown coefficient kind {kind}")
     return coeffs
@@ -495,7 +497,7 @@ class BufferBackedPolynomialSet(PolynomialSet):
         except IndexError:
             raise SerializeError(
                 "column index out of range for the container's variables"
-            )
+            ) from None
         coeffs = _decode_coeffs(
             _get(arrays, "cm.coeff_kind"),
             _get(arrays, "cm.coeff_f64"),
@@ -598,7 +600,7 @@ def read_artifact(path, mmap=True):
             variable_loss=stats["variable_loss"],
         )
     except (KeyError, TypeError, IndexError) as error:
-        raise SerializeError(f"{path}: corrupt artifact container: {error}")
+        raise SerializeError(f"{path}: corrupt artifact container: {error}") from error
 
 
 def read_compiled(path, mmap=True):
@@ -620,7 +622,7 @@ def read_compiled(path, mmap=True):
             source=os.path.abspath(path) if mmap else None,
         )
     except (KeyError, TypeError, IndexError) as error:
-        raise SerializeError(f"{path}: corrupt compiled container: {error}")
+        raise SerializeError(f"{path}: corrupt compiled container: {error}") from error
 
 
 def compiled_from_buffer(buf, source=None):
@@ -639,7 +641,7 @@ def compiled_from_buffer(buf, source=None):
     try:
         return _compiled_from(header["compiled"], arrays, source=source)
     except (KeyError, TypeError, IndexError) as error:
-        raise SerializeError(f"corrupt compiled container: {error}")
+        raise SerializeError(f"corrupt compiled container: {error}") from error
 
 
 def is_binary(path):

@@ -299,7 +299,7 @@ class ColumnarMultiset:
             terms = {}
             for row in range(poly_starts[p], poly_starts[p + 1]):
                 lo, hi = starts[row], starts[row + 1]
-                key = tuple(zip(vid_list[lo:hi], exp_list[lo:hi]))
+                key = tuple(zip(vid_list[lo:hi], exp_list[lo:hi], strict=True))
                 monomial = cache.get(key)
                 if monomial is None:
                     monomial = Monomial._from_key(key)
@@ -454,7 +454,7 @@ class ColumnarMultiset:
             representative, ids, numpy.arange(self.num_monomials, dtype=numpy.intp)
         )
         sums = [0] * count
-        for group, coeff in zip(ids.tolist(), self.coeffs):
+        for group, coeff in zip(ids.tolist(), self.coeffs, strict=True):
             sums[group] += coeff
         starts = new_starts.tolist()
         vid_list = m_vids.tolist()
@@ -466,6 +466,6 @@ class ColumnarMultiset:
             if coeff == 0:
                 continue
             lo, hi = starts[row], starts[row + 1]
-            key = tuple(zip(vid_list[lo:hi], exp_list[lo:hi]))
+            key = tuple(zip(vid_list[lo:hi], exp_list[lo:hi], strict=True))
             terms[group_poly[group]][Monomial._from_key(key)] = coeff
         return terms

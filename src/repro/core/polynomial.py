@@ -659,7 +659,7 @@ class PolynomialSet:
         if len(self) != len(other):
             return False
         return all(
-            a.almost_equal(b, tolerance) for a, b in zip(self, other)
+            a.almost_equal(b, tolerance) for a, b in zip(self, other, strict=True)
         )
 
     def __repr__(self):

@@ -64,7 +64,7 @@ def _coeff_from_json(value):
         try:
             return Fraction(value["fraction"])
         except (KeyError, ValueError, ZeroDivisionError) as error:
-            raise SerializeError(f"bad coefficient {value!r}: {error}")
+            raise SerializeError(f"bad coefficient {value!r}: {error}") from error
     return value
 
 

@@ -81,7 +81,7 @@ class Schema:
 
     def row_to_dict(self, row):
         """Zip a value tuple with the column names."""
-        return dict(zip(self.columns, row))
+        return dict(zip(self.columns, row, strict=True))
 
     def dict_to_row(self, mapping):
         """Project a dict onto this schema's column order."""

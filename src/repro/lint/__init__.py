@@ -1,0 +1,22 @@
+"""``repro.lint`` — AST-based invariant checks for this codebase.
+
+The linter machine-enforces contracts that otherwise live only in
+docstrings and property tests; INVARIANTS.md at the repository root
+documents every rule. Run it as ``python -m repro lint [paths]``.
+"""
+
+from repro.lint.base import Checker, Finding, ModuleSource, suppressed_lines
+from repro.lint.checkers import AST_CHECKERS
+from repro.lint.data_checks import DATA_CHECKS
+from repro.lint.runner import all_rules, run_lint
+
+__all__ = [
+    "AST_CHECKERS",
+    "Checker",
+    "DATA_CHECKS",
+    "Finding",
+    "ModuleSource",
+    "all_rules",
+    "run_lint",
+    "suppressed_lines",
+]

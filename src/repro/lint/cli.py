@@ -1,0 +1,120 @@
+"""The ``repro lint`` command-line surface.
+
+Used two ways: ``python -m repro lint ...`` (wired as a subcommand in
+:mod:`repro.cli`) and ``python -m repro.lint ...`` standalone. Exit
+status is 1 iff findings survive filtering — the blocking-CI contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.lint.runner import all_rules, run_lint
+
+__all__ = ["configure_parser", "main"]
+
+#: Default lint scope when no paths are given (only those that exist,
+#: so the command works from any checkout shape).
+DEFAULT_PATHS = ("src", "tests")
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint arguments + runner to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated RPL codes to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated RPL codes to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings on stdout as lines or as a JSON document",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write the JSON findings document to PATH "
+        "(the CI artifact hook; written on success too)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule and exit",
+    )
+    parser.set_defaults(run=_cmd_lint)
+
+
+def _parse_codes(text):
+    if text is None:
+        return None
+    return frozenset(
+        code.strip().upper() for code in text.split(",") if code.strip()
+    )
+
+
+def _document(findings) -> dict:
+    return {
+        "tool": "repro-lint",
+        "findings": [finding.to_dict() for finding in findings],
+        "count": len(findings),
+    }
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return 0
+
+    paths = args.paths or [p for p in DEFAULT_PATHS if os.path.exists(p)]
+    if not paths:
+        print("repro lint: no paths given and none of src/ tests/ exist",
+              file=sys.stderr)
+        return 2
+
+    findings = run_lint(
+        paths,
+        select=_parse_codes(args.select),
+        ignore=_parse_codes(args.ignore),
+    )
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(_document(findings), handle, indent=2)
+            handle.write("\n")
+
+    if args.format == "json":
+        json.dump(_document(findings), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for finding in findings:
+            print(finding)
+        if findings:
+            noun = "finding" if len(findings) == 1 else "findings"
+            print(f"repro lint: {len(findings)} {noun}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+def main(argv=None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant checks for the repro codebase",
+    )
+    configure_parser(parser)
+    args = parser.parse_args(argv)
+    return args.run(args)

@@ -1,0 +1,187 @@
+"""RPL100 — cross-validate the bench gate against the baseline file.
+
+``benchmarks/bench_regression.py`` gates performance through
+``CHECK_FIELDS`` rows evaluated against ``BENCH_core.json``. The two
+drift independently: a stage renamed in the bench harness leaves a
+stale row silently matching nothing, and a new gated field recorded in
+the baseline without a row silently escapes the gate. This check
+parses both sides (the bench module via ``ast``, never imported; the
+baseline via ``json``) and fails fast on either direction.
+
+Unlike the AST checkers this is a *repo-level* check: it locates the
+two files by walking up from the lint paths, and silently skips when
+either is absent (fixture trees in tests, partial checkouts).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+
+from repro.lint.base import Finding
+
+__all__ = ["BenchGateConsistency", "DATA_CHECKS"]
+
+#: Result fields that must be gated whenever a baseline records them.
+GATED_FIELDS = frozenset({"speedup", "max_abs_error"})
+
+
+class BenchGateConsistency:
+    """The RPL100 rule object (duck-typed like :class:`Checker` for
+    registry/metadata purposes, but run once per lint invocation over
+    the repo, not per module)."""
+
+    code = "RPL100"
+    name = "bench-gate-consistency"
+    description = (
+        "CHECK_FIELDS rows in benchmarks/bench_regression.py must match "
+        "the stages/fields recorded in BENCH_core.json, both ways"
+    )
+
+    BENCH_RELPATH = os.path.join("benchmarks", "bench_regression.py")
+    BASELINE_RELPATH = "BENCH_core.json"
+
+    def find_root(self, paths) -> str | None:
+        """The nearest ancestor of any lint path holding both files."""
+        for path in paths:
+            probe = os.path.abspath(path)
+            if os.path.isfile(probe):
+                probe = os.path.dirname(probe)
+            while True:
+                if os.path.isfile(
+                    os.path.join(probe, self.BENCH_RELPATH)
+                ) and os.path.isfile(
+                    os.path.join(probe, self.BASELINE_RELPATH)
+                ):
+                    return probe
+                parent = os.path.dirname(probe)
+                if parent == probe:
+                    break
+                probe = parent
+        return None
+
+    def check_repo(self, root: str):
+        """Yield :class:`Finding` objects for the repo at ``root``."""
+        bench_path = os.path.join(root, self.BENCH_RELPATH)
+        baseline_path = os.path.join(root, self.BASELINE_RELPATH)
+        display = os.path.relpath(bench_path)
+
+        with open(bench_path, encoding="utf-8") as handle:
+            tree = ast.parse(handle.read(), filename=bench_path)
+        rows, stages, table_line = self._parse_bench(tree)
+        if rows is None:
+            yield Finding(
+                display, table_line or 1, self.code,
+                "could not locate a literal CHECK_FIELDS table in the "
+                "bench harness — the gate cannot be cross-validated",
+            )
+            return
+
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        runs = baseline.get("runs", {})
+        if not isinstance(runs, dict) or not runs:
+            yield Finding(
+                display, table_line, self.code,
+                f"{self.BASELINE_RELPATH} has no runs to validate "
+                "CHECK_FIELDS against",
+            )
+            return
+
+        # Direction A: every gate row must point at a recorded metric.
+        for stage, field, line in rows:
+            if stages is not None and stage not in stages:
+                yield Finding(
+                    display, line, self.code,
+                    f"CHECK_FIELDS row ({stage!r}, {field!r}) names a "
+                    "stage missing from STAGES — the gate row is dead",
+                )
+                continue
+            for mode, run in runs.items():
+                results = run.get("results", {})
+                if field not in results.get(stage, {}):
+                    yield Finding(
+                        display, line, self.code,
+                        f"CHECK_FIELDS row ({stage!r}, {field!r}) has no "
+                        f"matching key in {self.BASELINE_RELPATH} run "
+                        f"{mode!r} — the row silently gates nothing",
+                    )
+
+        # Direction B: every recorded gated field must have a gate row
+        # (reported once per (stage, field), however many modes record it).
+        gated = {(stage, field) for stage, field, _ in rows}
+        ungated = {}
+        for mode, run in runs.items():
+            for stage, metrics in run.get("results", {}).items():
+                if not isinstance(metrics, dict):
+                    continue
+                for field in sorted(GATED_FIELDS & metrics.keys()):
+                    if (stage, field) not in gated:
+                        ungated.setdefault((stage, field), []).append(mode)
+        for (stage, field), modes in sorted(ungated.items()):
+            yield Finding(
+                display, table_line, self.code,
+                f"{self.BASELINE_RELPATH} records {stage}.{field} "
+                f"(run {', '.join(sorted(modes))}) but CHECK_FIELDS has "
+                "no row for it — the stage is silently un-gated",
+            )
+
+    @staticmethod
+    def _parse_bench(tree: ast.Module):
+        """``(rows, stages, check_fields_lineno)`` from the bench AST.
+
+        ``rows`` is ``[(stage, field, lineno), ...]`` from the literal
+        ``CHECK_FIELDS`` table (``None`` if the table is missing or not
+        a literal); ``stages`` is the ``STAGES`` tuple as a set, or
+        ``None`` when absent.
+        """
+        rows = None
+        stages = None
+        table_line = None
+        for node in tree.body:
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                targets = [node.target.id]
+            if "CHECK_FIELDS" in targets:
+                table_line = node.lineno
+                rows = []
+                value = node.value
+                if not isinstance(value, (ast.List, ast.Tuple)):
+                    return None, stages, table_line
+                for element in value.elts:
+                    if not (
+                        isinstance(element, ast.Tuple)
+                        and len(element.elts) >= 2
+                        and all(
+                            isinstance(part, ast.Constant)
+                            and isinstance(part.value, str)
+                            for part in element.elts[:2]
+                        )
+                    ):
+                        return None, stages, table_line
+                    stage = element.elts[0].value
+                    field = element.elts[1].value
+                    rows.append((stage, field, element.lineno))
+            elif "STAGES" in targets and isinstance(
+                node.value, (ast.List, ast.Tuple)
+            ):
+                literal = [
+                    part.value
+                    for part in node.value.elts
+                    if isinstance(part, ast.Constant)
+                    and isinstance(part.value, str)
+                ]
+                if len(literal) == len(node.value.elts):
+                    stages = set(literal)
+        return rows, stages, table_line
+
+
+#: Repo-level checks run once per lint invocation.
+DATA_CHECKS = (BenchGateConsistency,)

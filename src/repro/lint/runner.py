@@ -1,0 +1,153 @@
+"""Discovery + orchestration for ``repro lint``.
+
+:func:`run_lint` is the one entry point: it walks the requested paths,
+parses each ``.py`` file once, fans it out to every applicable
+checker, applies ``# repro-lint: ignore[...]`` pragmas and the
+``--select``/``--ignore`` filters, runs the repo-level data checks,
+and returns findings sorted by ``(path, line, code)``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.lint.base import CODE_RE, Finding, ModuleSource, suppressed_lines
+from repro.lint.checkers import AST_CHECKERS
+from repro.lint.data_checks import DATA_CHECKS
+
+__all__ = ["all_rules", "iter_python_files", "run_lint"]
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".pytest_cache"})
+
+
+def all_rules() -> tuple:
+    """Every registered rule class (AST checkers + data checks),
+    validated for well-formed, unique codes."""
+    rules = tuple(AST_CHECKERS) + tuple(DATA_CHECKS)
+    seen = set()
+    for rule in rules:
+        if not CODE_RE.match(rule.code):
+            raise ValueError(f"malformed rule code: {rule.code!r}")
+        if rule.code in seen:
+            raise ValueError(f"duplicate rule code: {rule.code!r}")
+        seen.add(rule.code)
+    return rules
+
+
+def iter_python_files(paths):
+    """Yield ``.py`` file paths under ``paths`` (files pass through;
+    directories are walked, sorted, skipping hidden/cache dirs)."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d
+                    for d in dirnames
+                    if not d.startswith(".") and d not in _SKIP_DIRS
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        # Nonexistent paths are the CLI's problem, not the runner's.
+
+
+def _selected(code: str, select, ignore) -> bool:
+    if select is not None and code not in select:
+        return False
+    return not (ignore is not None and code in ignore)
+
+
+def run_lint(
+    paths,
+    *,
+    select=None,
+    ignore=None,
+    checkers=None,
+    data_checks=True,
+) -> list:
+    """Lint ``paths`` and return sorted :class:`Finding` objects.
+
+    * ``select``/``ignore`` — iterables of ``RPLxxx`` codes (select
+      wins first, then ignore is subtracted); ``None`` = no filter;
+    * ``checkers`` — override the AST checker classes (tests);
+    * ``data_checks`` — run the repo-level RPL100 pass (skipped
+      automatically when its input files aren't found).
+    """
+    select = frozenset(select) if select is not None else None
+    ignore = frozenset(ignore) if ignore is not None else None
+    checker_classes = AST_CHECKERS if checkers is None else tuple(checkers)
+    active = [
+        cls()
+        for cls in checker_classes
+        if _selected(cls.code, select, ignore)
+    ]
+
+    findings = []
+    paths = list(paths)
+    for filepath in iter_python_files(paths):
+        try:
+            with open(filepath, encoding="utf-8") as handle:
+                text = handle.read()
+        except (OSError, UnicodeDecodeError) as error:
+            findings.append(
+                Finding(filepath, 1, "RPL000", f"unreadable file: {error}")
+            )
+            continue
+        module = ModuleSource(filepath, text)
+        applicable = [c for c in active if c.applies_to(module.path)]
+        if not applicable:
+            continue
+        try:
+            module.tree
+        except SyntaxError as error:
+            if _selected("RPL000", select, ignore):
+                findings.append(
+                    Finding(
+                        module.path,
+                        error.lineno or 1,
+                        "RPL000",
+                        f"syntax error: {error.msg}",
+                    )
+                )
+            continue
+        suppressions = suppressed_lines(text)
+        for checker in applicable:
+            for finding in checker.check(module):
+                if finding.code in suppressions.get(finding.line, ()):
+                    continue
+                findings.append(finding)
+
+    if data_checks:
+        findings.extend(_run_data_checks(paths, select, ignore))
+
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _run_data_checks(paths, select, ignore):
+    """Repo-level checks, with per-file pragma suppression applied to
+    whatever file each finding lands in."""
+    pragma_cache = {}
+    for cls in DATA_CHECKS:
+        if not _selected(cls.code, select, ignore):
+            continue
+        rule = cls()
+        root = rule.find_root(paths)
+        if root is None:
+            continue
+        for finding in rule.check_repo(root):
+            if finding.path not in pragma_cache:
+                try:
+                    with open(finding.path, encoding="utf-8") as handle:
+                        pragma_cache[finding.path] = suppressed_lines(
+                            handle.read()
+                        )
+                except OSError:
+                    pragma_cache[finding.path] = {}
+            suppressed = pragma_cache[finding.path].get(finding.line, ())
+            if finding.code in suppressed:
+                continue
+            yield finding

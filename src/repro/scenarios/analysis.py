@@ -269,7 +269,7 @@ class SpeedupReport:
 
 
 def assignment_speedup(polynomials, abstracted, scenarios, vvs=None, repeat=3,
-                       batch=True):
+                       batch=True, engine="auto"):
     """Time a scenario suite on raw vs abstracted provenance.
 
     Scenarios are lifted onto meta-variables when a ``vvs`` is given
@@ -280,7 +280,9 @@ def assignment_speedup(polynomials, abstracted, scenarios, vvs=None, repeat=3,
     compiled :meth:`~repro.core.polynomial.PolynomialSet.evaluate_batch`
     — the whole suite per matrix product; ``batch=False`` keeps the
     per-scenario interpreter loop (the pre-vectorization behaviour,
-    useful for measuring what batching itself buys).
+    useful for measuring what batching itself buys). ``engine`` picks
+    the batch evaluator (``dense``/``delta``/``auto``) so timed runs
+    can pin the engine like every other evaluation surface.
     """
     raw_valuations = [s.valuation() for s in scenarios]
     if vvs is None:
@@ -293,7 +295,7 @@ def assignment_speedup(polynomials, abstracted, scenarios, vvs=None, repeat=3,
 
     if batch:
         def run(polys, valuations):
-            return polys.evaluate_batch(valuations)
+            return polys.evaluate_batch(valuations, engine=engine)
     else:
         def run(polys, valuations):
             out = []
@@ -349,5 +351,5 @@ def scenario_error(polynomials, abstracted, vvs, scenario):
         lifted = approximate_lift(scenario, vvs)
     approx = lifted.evaluate(abstracted)
     return [
-        abs(a - e) / max(1.0, abs(e)) for a, e in zip(approx, exact)
+        abs(a - e) / max(1.0, abs(e)) for a, e in zip(approx, exact, strict=True)
     ]

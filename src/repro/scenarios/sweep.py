@@ -305,7 +305,7 @@ class Sweep:
     def _grid_changes(self, chosen):
         groups, _ = self._spec
         changes = {}
-        for (_, variables), choice in zip(groups, chosen):
+        for (_, variables), choice in zip(groups, chosen, strict=True):
             for variable in variables:
                 changes[variable] = choice
         return changes
@@ -315,7 +315,7 @@ class Sweep:
         chosen = self._grid_choices(index)
         labels = [
             f"{label}={_format_multiplier(choice)}"
-            for (label, _), choice in zip(groups, chosen)
+            for (label, _), choice in zip(groups, chosen, strict=True)
         ]
         return Scenario(
             f"{self.name}[{','.join(labels)}]", self._grid_changes(chosen)

@@ -35,8 +35,8 @@ def format_table(headers, rows, title=None):
     if title:
         lines.append(title)
         lines.append("=" * len(title))
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)).rstrip())
     lines.append("-+-".join("-" * w for w in widths))
     for row in str_rows:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)).rstrip())
     return "\n".join(lines)

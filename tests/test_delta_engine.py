@@ -223,7 +223,7 @@ class TestEdgeCases:
             results = list(pool.map(
                 lambda s: compiled.evaluate(s, engine="delta"), suites
             ))
-        for got, want in zip(results, expected):
+        for got, want in zip(results, expected, strict=True):
             assert numpy.array_equal(got, want)
 
 
@@ -257,7 +257,7 @@ class TestEngineSelection:
         monomials per variable it touches ~20% of the multiset — the
         fan-in-aware policy must pick dense for that shape (and delta
         once the change-set really is small)."""
-        fan_in = dict(mean_monomials_per_variable=18.5, num_monomials=1781)
+        fan_in = {"mean_monomials_per_variable": 18.5, "num_monomials": 1781}
         assert choose_engine(20.0, 288, **fan_in) == "dense"
         assert choose_engine(1.0, 288, **fan_in) == "delta"
 

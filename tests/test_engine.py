@@ -181,6 +181,6 @@ class TestProvenancePropagation:
         annotated = base.with_tuple_variables("t")
         other = rename(base.with_tuple_variables("u"), {"v": "w"})
         out = project(join(annotated, other, on="k"), ["k"])
-        for row, annotation in out:
+        for _row, annotation in out:
             # All tuples present -> every output row must be derivable.
             assert evaluate_in(annotation, BOOLEAN, {}) is True

@@ -84,7 +84,7 @@ class TestSimulateAndApply:
         _, rewrites = state.apply_merge(ids("a", "b"), vid("g"))
         assert len(rewrites) == 4
         assert sum(1 for *_, survived in rewrites if not survived) == 1
-        for poly_number, old_key, new_key, survived in rewrites:
+        for poly_number, old_key, new_key, _survived in rewrites:
             assert old_key not in state.polys[poly_number]
             assert new_key in state.polys[poly_number]
 

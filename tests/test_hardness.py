@@ -22,7 +22,11 @@ from repro.hardness import (
     uniformly_partitioned,
 )
 
-EXAMPLE17 = dict(num_meta=4, blowup=3, index_pairs=[(1, 2), (1, 3), (2, 3), (2, 4)])
+EXAMPLE17 = {
+    "num_meta": 4,
+    "blowup": 3,
+    "index_pairs": [(1, 2), (1, 3), (2, 3), (2, 4)],
+}
 
 
 class TestVertexCover:

@@ -80,7 +80,7 @@ class TestAbstractionPreservesSupportedScenarios:
         abstracted = vvs.apply(provenance)
         scenario = Scenario.uniform("q1-cut", ["m1", "m3"], 0.8)
         lifted = scenario.lift(vvs)
-        for raw, compact in zip(provenance, abstracted):
+        for raw, compact in zip(provenance, abstracted, strict=True):
             assert lifted.evaluate(compact) == pytest.approx(
                 scenario.valuation().evaluate(raw)
             )
@@ -99,13 +99,13 @@ class TestAbstractionPreservesSupportedScenarios:
             if label in tree.labels or True
         }
         changes = {}
-        for number, (label, leaves) in enumerate(sorted(groups.items())):
+        for number, (_label, leaves) in enumerate(sorted(groups.items())):
             for leaf in leaves:
                 changes[leaf] = 0.5 + 0.1 * (number % 5)
         scenario = Scenario("group-uniform", changes)
         assert scenario.is_supported_by(result.vvs)
         lifted = scenario.lift(result.vvs)
-        for raw, compact in zip(provenance, abstracted):
+        for raw, compact in zip(provenance, abstracted, strict=True):
             assert lifted.evaluate(compact) == pytest.approx(
                 scenario.valuation().evaluate(raw)
             )
@@ -124,7 +124,7 @@ class TestAbstractionPreservesSupportedScenarios:
                 changes[leaf] = 1.2
         scenario = Scenario("suppliers-up", changes)
         lifted = scenario.lift(result.vvs)
-        for raw, compact in zip(provenance, abstracted):
+        for raw, compact in zip(provenance, abstracted, strict=True):
             assert lifted.evaluate(compact) == pytest.approx(
                 scenario.valuation().evaluate(raw)
             )

@@ -46,7 +46,7 @@ class TestMonomialKey:
         m = Monomial.of("z", "a", ("m", 2))
         assert sorted(m.key) == list(m.key)
         assert {VARIABLES.name(vid) for vid, _ in m.key} == {"z", "a", "m"}
-        assert dict((VARIABLES.name(vid), e) for vid, e in m.key) == dict(m.powers)
+        assert {VARIABLES.name(vid): e for vid, e in m.key} == dict(m.powers)
 
     def test_equal_monomials_share_key(self):
         assert Monomial.of("x", "y").key == Monomial.of("y", "x").key

@@ -55,7 +55,7 @@ class TestOperations:
     def test_indexing_and_iteration(self):
         ps = parse_set(["x", "y"])
         assert ps[0] == parse("x")
-        assert [p for p in ps] == [parse("x"), parse("y")]
+        assert list(ps) == [parse("x"), parse("y")]
 
     def test_equality(self):
         assert parse_set(["x", "y"]) == parse_set(["x", "y"])

@@ -60,7 +60,9 @@ class TestOptimalDP:
         except InfeasibleBoundError:
             try:
                 optimal_vvs(polys, tree, bound)
-                raise AssertionError("DP found a VVS where none is adequate")
+                raise AssertionError(
+                    "DP found a VVS where none is adequate"
+                ) from None
             except InfeasibleBoundError:
                 return
         result = optimal_vvs(polys, tree, bound)
@@ -78,7 +80,9 @@ class TestOptimalDP:
         except InfeasibleBoundError:
             try:
                 optimal_vvs_naive(polys, tree, bound)
-                raise AssertionError("naive found a VVS, optimized did not")
+                raise AssertionError(
+                    "naive found a VVS, optimized did not"
+                ) from None
             except InfeasibleBoundError:
                 return
         slow = optimal_vvs_naive(polys, tree, bound)

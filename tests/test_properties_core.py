@@ -184,7 +184,7 @@ class TestAbstractionProperties:
             )
             lifted = scenario.lift(vvs)
             abstracted = abstract(polys, vvs)
-            for raw, compact in zip(polys, abstracted):
+            for raw, compact in zip(polys, abstracted, strict=True):
                 expected = raw.evaluate(scenario.assignment)
                 actual = compact.evaluate(lifted.assignment)
                 assert abs(actual - expected) <= 1e-6 * (1 + abs(expected))

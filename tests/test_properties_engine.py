@@ -123,7 +123,7 @@ class TestCompetitorValuePreservation:
         )
         result = summarize(polys, forest, bound=1)
         assert len(result.polynomials) == len(polys)
-        for before, after in zip(polys, result.polynomials):
+        for before, after in zip(polys, result.polynomials, strict=True):
             assert abs(before.evaluate({}) - after.evaluate({})) < 1e-6
 
 
@@ -143,5 +143,5 @@ class TestAbstractionValuePreservation:
         assume(forest.count_cuts() <= 100)
         for vvs in forest.iter_cuts():
             abstracted = vvs.apply(polys)
-            for before, after in zip(polys, abstracted):
+            for before, after in zip(polys, abstracted, strict=True):
                 assert abs(before.evaluate({}) - after.evaluate({})) < 1e-6
