@@ -35,9 +35,16 @@ perf trajectory behind:
 * **session** — the end-to-end facade: ``ProvenanceSession`` →
   ``compress`` (auto policy) → ``ask_many`` over the suite, plus the
   artifact's JSON round-trip (reloaded artifact answers asserted
-  identical).
+  identical);
+* **service** — the what-if HTTP server (``repro.service``) under a
+  16-client closed-loop single-scenario barrage: naive per-request
+  facade dispatch (``window=0``, no warm index) against the production
+  serving stack (micro-batch coalescing + the per-artifact lift
+  index), answers asserted bit-identical to direct ``ask_many``, with
+  a contract floor of 3x; also records p50/p99 latency and the
+  coalesced batch-size histogram.
 
-The JSON document (schema ``repro-bench-core/6``) keys one run entry
+The JSON document (schema ``repro-bench-core/7``) keys one run entry
 per mode under ``runs`` and merges into an existing file, so the
 checked-in baseline can carry the ``full`` trajectory *and* the
 ``smoke`` entry CI gates on. ``--check BASELINE`` compares the current
@@ -80,6 +87,7 @@ from repro.core import serialize
 from repro.core.abstraction import abstract, abstract_counts
 from repro.core.forest import AbstractionForest
 from repro.core.valuation import Valuation
+from repro.options import EvalOptions
 from repro.scenarios.analysis import top_k
 from repro.scenarios.parallel import evaluate_scenarios_parallel
 from repro.scenarios.sweep import Sweep
@@ -88,7 +96,7 @@ from repro.util.timing import time_call
 from repro.workloads.random_polys import random_polynomials
 from repro.workloads.trees import layered_tree
 
-SCHEMA = "repro-bench-core/6"
+SCHEMA = "repro-bench-core/7"
 
 #: Stage names accepted by ``--stage`` (run order is fixed).
 STAGES = (
@@ -101,6 +109,7 @@ STAGES = (
     "compress_scale",
     "artifact_io",
     "session",
+    "service",
 )
 
 #: Workload scales per mode: (pool leaves, tree fanouts, #polynomials,
@@ -119,6 +128,9 @@ MODES = {
         # 10x the main workload: ~100k monomials, the scale the
         # columnar compression core's 5x contract is stated for.
         compress_polynomials=800, compress_monomials=120,
+        service_clients=16, service_requests=512,
+        service_polynomials=16, service_monomials=2400,
+        service_leaves=2048, service_fanouts=(4, 4, 4, 4, 4),
     ),
     "smoke": dict(
         leaves=256, fanouts=(4, 4, 4), polynomials=30,
@@ -128,6 +140,14 @@ MODES = {
         # Reduced but still far above the columnar auto threshold
         # (~38k monomials), so the gated ratio is not sub-ms jitter.
         compress_polynomials=320, compress_monomials=120,
+        # The full 16-client fleet and artifact scale even in smoke —
+        # the 3x coalescing contract is stated at that concurrency on
+        # a serving-sized artifact (wide alphabet, deep hierarchy:
+        # that is what makes the naive arm's per-request lift walk
+        # expensive); fewer requests only shortens the run.
+        service_clients=16, service_requests=192,
+        service_polynomials=16, service_monomials=2400,
+        service_leaves=2048, service_fanouts=(4, 4, 4, 4, 4),
     ),
     "tiny": dict(
         leaves=32, fanouts=(4, 4), polynomials=6,
@@ -138,6 +158,9 @@ MODES = {
         # make the tiny self-check tests jitter-flaky.
         delta_polynomials=30, delta_monomials=120,
         compress_polynomials=12, compress_monomials=30,
+        service_clients=4, service_requests=16,
+        service_polynomials=4, service_monomials=120,
+        service_leaves=64, service_fanouts=(4, 4),
     ),
 }
 
@@ -170,6 +193,11 @@ CHECK_FIELDS = (
     # mmap loads must beat JSON parsing by 10x at compress_scale
     # workload size — the zero-copy container's contract.
     ("artifact_io", "speedup", "higher", 10.0, None),
+    # The serving stack (micro-batch coalescing + the per-artifact warm
+    # lift index) must answer a 16-client single-scenario barrage at
+    # least 3x faster than naive per-request facade dispatch, with
+    # bit-identical answers (asserted in the stage).
+    ("service", "speedup", "higher", 3.0, None),
 )
 
 #: Default allowed relative regression for ``--check``.
@@ -479,10 +507,12 @@ def bench_compress_scale(spec, repeat, seed=31):
     session = ProvenanceSession.from_polynomials(provenance, forest)
     bound = max(1, provenance.num_monomials // 3)
     object_seconds, object_artifact = time_call(
-        session.compress, bound, backend="object", repeat=repeat
+        session.compress, bound, options=EvalOptions(backend="object"),
+        repeat=repeat,
     )
     columnar_seconds, columnar_artifact = time_call(
-        session.compress, bound, backend="columnar", repeat=repeat
+        session.compress, bound, options=EvalOptions(backend="columnar"),
+        repeat=repeat,
     )
     if sorted(object_artifact.vvs.labels) != sorted(columnar_artifact.vvs.labels):
         raise AssertionError("columnar compress selected a different VVS")
@@ -597,6 +627,236 @@ def bench_session(provenance, forest, scenarios, repeat):
         "artifact_bytes": serialize.serialized_size(artifact),
         "seconds_compress": compress_seconds,
         "seconds_ask": ask_seconds,
+    }
+
+
+#: Coalescing window of the service stage's batched arm (seconds).
+SERVICE_WINDOW = 0.005
+
+
+def _host_service(spool, window, warm_lift, max_batch):
+    """Boot the what-if service on a background event-loop thread.
+
+    Returns ``(loop, thread, server)``; stop with :func:`_stop_service`.
+    """
+    import asyncio
+    import threading
+
+    from repro.service.app import start_service
+
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+    box = {}
+
+    def host():
+        asyncio.set_event_loop(loop)
+
+        async def boot():
+            box["server"] = await start_service(
+                spool, window=window, warm_lift=warm_lift,
+                max_batch=max_batch,
+            )
+
+        loop.run_until_complete(boot())
+        ready.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=host, daemon=True)
+    thread.start()
+    ready.wait()
+    return loop, thread, box["server"]
+
+
+def _stop_service(loop, thread, server):
+    import asyncio
+
+    asyncio.run_coroutine_threadsafe(server.aclose(), loop).result(timeout=60)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=60)
+    loop.close()
+
+
+def _drive_service(port, artifact_id, changes_list, clients):
+    """A closed-loop client fleet: ``clients`` threads, one keep-alive
+    connection each, single-scenario asks split round-robin.
+
+    Returns ``(wall_seconds, latencies, values)`` — latencies and
+    answer-value tuples indexed like ``changes_list``.
+    """
+    import http.client
+    import threading
+    import time
+
+    total = len(changes_list)
+    latencies = [0.0] * total
+    values = [None] * total
+    errors = []
+    barrier = threading.Barrier(clients + 1)
+
+    def client(which):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        try:
+            barrier.wait()
+            for index in range(which, total, clients):
+                body = json.dumps(
+                    {"scenario": {"changes": changes_list[index]}}
+                ).encode()
+                begin = time.perf_counter()
+                conn.request(
+                    "POST", f"/artifacts/{artifact_id}/ask", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                latencies[index] = time.perf_counter() - begin
+                if response.status != 200:
+                    raise AssertionError(f"ask failed: {payload}")
+                values[index] = tuple(payload["answers"][0]["values"])
+        except BaseException as error:
+            errors.append(error)
+            barrier.abort()
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=client, args=(which,))
+        for which in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - begin
+    if errors:
+        raise errors[0]
+    return seconds, latencies, values
+
+
+def bench_service(spec, repeat, seed=47):
+    """The serving stack against naive per-request dispatch.
+
+    Boots the real asyncio HTTP server twice on a dedicated
+    serving-shaped provenance — few polynomials, many monomials, a
+    wide abstracted alphabet (``service_leaves`` under deep
+    ``service_fanouts``), the "compress once, ask forever" artifact
+    the paper's interactive setting implies — and drives each with the
+    same closed-loop fleet of ``service_clients`` keep-alive
+    connections issuing single-scenario asks:
+
+    * **uncoalesced** — ``window=0`` (every request is its own batch)
+      and ``warm_lift=False`` (each request pays the facade's full
+      per-scenario lift walk): what a naive one-ask-per-request server
+      does;
+    * **coalesced** — the production configuration: requests landing
+      within :data:`SERVICE_WINDOW` of each other merge into one
+      evaluator call, fed by the per-artifact warm lift index.
+
+    Reported: wall-clock requests/sec for both arms, p50/p99 request
+    latency, the coalesced arm's batch-size histogram, and the gated
+    ``speedup`` (uncoalesced seconds / coalesced seconds, best of
+    ``repeat`` closed-loop rounds per arm). Every answer from both
+    arms is asserted **bit-identical** to a direct
+    ``CompressedProvenance.ask_many`` over the same scenarios.
+    """
+    import statistics
+
+    pool = [f"s{i}" for i in range(spec["service_leaves"])]
+    side_pool = [f"m{i}" for i in range(SIDE_TREE_LEAVES)]
+    provenance = random_polynomials(
+        spec["service_polynomials"],
+        spec["service_monomials"],
+        [pool, side_pool],
+        seed=seed,
+        extra_variables=spec["free_variables"],
+    )
+    forest = AbstractionForest([
+        layered_tree(pool, spec["service_fanouts"], prefix="sup"),
+        layered_tree(side_pool, (4,), prefix="q"),
+    ]).clean(provenance)
+    session = ProvenanceSession.from_polynomials(provenance, forest)
+    bound = max(1, provenance.num_monomials // 3)
+    artifact = session.compress(bound)
+
+    rng = derive_rng(seed, "bench_service")
+    variables = sorted(provenance.variables)
+    changes_list = [
+        {variables[rng.randrange(len(variables))]: rng.uniform(0.5, 1.5)}
+        for _ in range(spec["service_requests"])
+    ]
+    expected = [
+        answer.values
+        for answer in artifact.ask_many([dict(c) for c in changes_list])
+    ]
+    clients = spec["service_clients"]
+
+    arms = {}
+    histogram = {}
+    for arm, window, warm_lift in (
+        ("uncoalesced", 0.0, False),
+        ("coalesced", SERVICE_WINDOW, True),
+    ):
+        with tempfile.TemporaryDirectory() as spool:
+            # max_batch = fleet size: a closed-loop round flushes the
+            # moment every client's request has arrived, so the window
+            # only pads the arrival tail instead of stalling each batch.
+            loop, thread, server = _host_service(
+                spool, window, warm_lift, max_batch=clients
+            )
+            try:
+                artifact_id = server.service.store.put(artifact)
+                best = None
+                for _ in range(repeat):
+                    seconds, latencies, values = _drive_service(
+                        server.port, artifact_id, changes_list, clients
+                    )
+                    if values != expected:
+                        raise AssertionError(
+                            f"{arm} service answers diverged from direct "
+                            "ask_many"
+                        )
+                    if best is None or seconds < best[0]:
+                        best = (seconds, latencies)
+                if arm == "coalesced":
+                    histogram = dict(server.service.batcher.batch_sizes)
+            finally:
+                _stop_service(loop, thread, server)
+        seconds, latencies = best
+        hundredths = statistics.quantiles(latencies, n=100)
+        arms[arm] = {
+            "seconds": seconds,
+            "rps": len(changes_list) / seconds,
+            "p50_ms": hundredths[49] * 1e3,
+            "p99_ms": hundredths[98] * 1e3,
+        }
+
+    batched = sum(size * count for size, count in histogram.items())
+    return {
+        "clients": clients,
+        "requests": len(changes_list),
+        "polynomials": len(provenance),
+        "monomials": provenance.num_monomials,
+        "bound": bound,
+        "window_ms": SERVICE_WINDOW * 1e3,
+        "seconds_uncoalesced": arms["uncoalesced"]["seconds"],
+        "seconds_coalesced": arms["coalesced"]["seconds"],
+        "rps_uncoalesced": arms["uncoalesced"]["rps"],
+        "rps_coalesced": arms["coalesced"]["rps"],
+        "p50_ms_uncoalesced": arms["uncoalesced"]["p50_ms"],
+        "p99_ms_uncoalesced": arms["uncoalesced"]["p99_ms"],
+        "p50_ms_coalesced": arms["coalesced"]["p50_ms"],
+        "p99_ms_coalesced": arms["coalesced"]["p99_ms"],
+        # All coalesced-arm rounds, not just the best-timed one.
+        "batch_size_histogram": {
+            str(size): count for size, count in sorted(histogram.items())
+        },
+        "mean_batch_size": (
+            batched / sum(histogram.values()) if histogram else 0.0
+        ),
+        "speedup": arms["uncoalesced"]["seconds"]
+        / arms["coalesced"]["seconds"]
+        if arms["coalesced"]["seconds"] else float("inf"),
     }
 
 
@@ -826,6 +1086,15 @@ def run(mode="full", repeat=3, output=None, quiet=False, write=True,
             "session: compress {seconds_compress:.3f}s ({algorithm}), "
             "ask {seconds_ask:.3f}s over {scenarios} scenarios "
             "({artifact_bytes} artifact bytes)".format(**results["session"])
+        )
+
+    if wanted("service"):
+        results["service"] = bench_service(MODES[mode], repeat)
+        say(
+            "service: uncoalesced {rps_uncoalesced:.0f} req/s -> coalesced "
+            "{rps_coalesced:.0f} req/s ({speedup:.1f}x, {clients} clients, "
+            "{requests} asks, mean batch {mean_batch_size:.1f}, p99 "
+            "{p99_ms_coalesced:.1f}ms)".format(**results["service"])
         )
 
     entry = {

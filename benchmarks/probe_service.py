@@ -1,0 +1,163 @@
+"""CI smoke probe for the what-if service: boot, barrage, verify.
+
+Boots the real server through its CLI entry point (``python -m repro
+serve``), creates an artifact over HTTP, fires **50 concurrent
+single-scenario asks** from a thread fleet, and verifies every answer
+bit-identically against a direct in-process ``ask_many`` over the same
+scenarios. Also checks the error mapping (unknown artifact → 404) and
+that ``/healthz`` reports the traffic. Exits non-zero on any mismatch —
+the CI job gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/probe_service.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+PROBE_REQUESTS = 50
+PROBE_CLIENTS = 10
+
+POLYNOMIALS = [
+    "2*b1*m1 + 3*b2*m1 + b3*m2",
+    "b1*m2 + 4*b2*m2 + 2*b3*m1",
+    "5*b2*m1 + b3*m1 + b1*m1",
+]
+FOREST = [["SB", ["b1", "b2", "b3"]], ["SM", ["m1", "m2"]]]
+BOUND = 3
+
+
+def request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    payload = json.dumps(body).encode() if body is not None else None
+    try:
+        conn.request(
+            method, path, body=payload,
+            headers={"Content-Type": "application/json"} if payload else {},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def boot_server(spool):
+    """``python -m repro serve`` on an ephemeral port; returns
+    ``(process, port)`` once the readiness line appears."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--spool-dir", spool],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    line = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            raise SystemExit(f"server exited early (rc={process.returncode})")
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        if match:
+            return process, int(match.group(1))
+    raise SystemExit(f"server never reported its port (last line: {line!r})")
+
+
+def expected_answers(scenarios):
+    from repro.api.session import ProvenanceSession
+
+    session = ProvenanceSession.from_strings(
+        POLYNOMIALS,
+        forest=[(tree[0], tree[1]) for tree in FOREST],
+    )
+    artifact = session.compress(BOUND, algorithm="greedy")
+    return [
+        answer.values
+        for answer in artifact.ask_many([dict(s) for s in scenarios])
+    ]
+
+
+def main():
+    scenarios = [
+        {"b1": 0.5 + 0.01 * index, "m1": 1.5 - 0.01 * index}
+        for index in range(PROBE_REQUESTS)
+    ]
+    expected = expected_answers(scenarios)
+
+    with tempfile.TemporaryDirectory() as spool:
+        process, port = boot_server(spool)
+        try:
+            status, created = request(port, "POST", "/artifacts", {
+                "polynomials": POLYNOMIALS,
+                "forest": FOREST,
+                "bound": BOUND,
+                "algorithm": "greedy",
+            })
+            assert status == 201, (status, created)
+            artifact_id = created["id"]
+            print(f"artifact {artifact_id[:16]}… "
+                  f"({created['stats']['abstracted_size']} monomials)")
+
+            status, body = request(port, "GET", "/artifacts/" + "f" * 64)
+            assert status == 404, (status, body)
+
+            results = [None] * PROBE_REQUESTS
+            failures = []
+
+            def client(which):
+                try:
+                    for index in range(which, PROBE_REQUESTS, PROBE_CLIENTS):
+                        status, body = request(
+                            port, "POST", f"/artifacts/{artifact_id}/ask",
+                            {"scenario": {"changes": scenarios[index]}},
+                        )
+                        assert status == 200, (status, body)
+                        results[index] = tuple(body["answers"][0]["values"])
+                except BaseException as error:
+                    failures.append(error)
+
+            threads = [
+                threading.Thread(target=client, args=(which,))
+                for which in range(PROBE_CLIENTS)
+            ]
+            begin = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            seconds = time.perf_counter() - begin
+            if failures:
+                raise failures[0]
+
+            mismatched = [
+                index for index in range(PROBE_REQUESTS)
+                if results[index] != expected[index]
+            ]
+            assert not mismatched, f"answers diverged at {mismatched}"
+
+            status, health = request(port, "GET", "/healthz")
+            assert status == 200 and health["status"] == "ok", health
+            served = health["requests"]
+            assert served >= PROBE_REQUESTS, health
+            print(
+                f"{PROBE_REQUESTS} concurrent asks in {seconds:.2f}s "
+                f"({PROBE_REQUESTS / seconds:.0f} req/s), all bit-identical; "
+                f"batches: {health['batcher']['batch_size_histogram']}"
+            )
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+    print("service probe OK")
+
+
+if __name__ == "__main__":
+    main()

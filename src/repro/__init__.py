@@ -87,6 +87,14 @@ __all__ = [
     "top_k",
     "sensitivity",
     "serialize",
+    "service",
+    "errors",
+    "ReproError",
+    "SerializeError",
+    "CompressionError",
+    "EvaluationError",
+    "ArtifactNotFound",
+    "EvalOptions",
     "ProvenanceSession",
     "CompressedProvenance",
     "Answer",
@@ -107,6 +115,14 @@ _LAZY_EXPORTS = {
     "top_k": ("repro.scenarios.analysis", "top_k"),
     "sensitivity": ("repro.scenarios.analysis", "sensitivity"),
     "serialize": ("repro.core.serialize", None),
+    "service": ("repro.service", None),
+    "errors": ("repro.errors", None),
+    "ReproError": ("repro.errors", "ReproError"),
+    "SerializeError": ("repro.errors", "SerializeError"),
+    "CompressionError": ("repro.errors", "CompressionError"),
+    "EvaluationError": ("repro.errors", "EvaluationError"),
+    "ArtifactNotFound": ("repro.errors", "ArtifactNotFound"),
+    "EvalOptions": ("repro.options", "EvalOptions"),
     "ProvenanceSession": ("repro.api.session", "ProvenanceSession"),
     "CompressedProvenance": ("repro.api.artifact", "CompressedProvenance"),
     "Answer": ("repro.api.artifact", "Answer"),

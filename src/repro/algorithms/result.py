@@ -5,11 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.forest import ValidVariableSet
+from repro.errors import CompressionError
 
 __all__ = ["AbstractionResult", "InfeasibleBoundError"]
 
 
-class InfeasibleBoundError(ValueError):
+class InfeasibleBoundError(CompressionError, ValueError):
     """No valid variable set is adequate for the requested bound.
 
     The paper notes (after Definition 7 / Example 8) that adequacy is

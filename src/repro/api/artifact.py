@@ -31,6 +31,7 @@ from repro.core.forest import ValidVariableSet
 from repro.core.polynomial import PolynomialSet
 from repro.core.valuation import Valuation
 from repro.core import serialize
+from repro.options import resolve_options
 from repro.scenarios.analysis import approximate_lift
 
 if TYPE_CHECKING:
@@ -40,12 +41,17 @@ if TYPE_CHECKING:
 
     from repro.algorithms.result import AbstractionResult
     from repro.core.forest import AbstractionForest
+    from repro.options import OptionsLike
     from repro.scenarios.scenario import Scenario
 
     #: Anything :meth:`Valuation.coerce` accepts as a scenario.
     ScenarioLike = Union[Scenario, Valuation, Mapping[str, float]]
 
 __all__ = ["Answer", "CompressedProvenance"]
+
+#: One warning per process for the JSON-ignores-mmap fallback (see
+#: :meth:`CompressedProvenance.load`).
+_WARNED_JSON_MMAP = False
 
 
 @dataclass(frozen=True)
@@ -174,6 +180,39 @@ class CompressedProvenance:
             return 1.0
         return self.abstracted_size / self.original_size
 
+    @property
+    def mmap_active(self) -> bool:
+        """``True`` iff the polynomials view an ``mmap`` of the artifact file.
+
+        Only binary (``.rpb``) containers loaded with ``mmap=True`` are
+        mmap-backed; JSON envelopes always load eagerly, whatever
+        ``mmap=`` said (:meth:`load` warns once about that fallback).
+        While ``True``, the artifact file must stay in place.
+        """
+        return bool(getattr(self.polynomials, "mmap_active", False))
+
+    def stats(self) -> dict[str, object]:
+        """The artifact's size/loss accounting plus its load mode.
+
+        One JSON-ready dict — what ``GET /artifacts/{id}`` serves —
+        with the paper's measures (sizes, granularities, losses, the
+        compression ratio) and ``mmap_active`` making the load mode
+        explicit instead of a silent eager fallback.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "bound": self.bound,
+            "polynomials": len(self.polynomials),
+            "original_size": self.original_size,
+            "abstracted_size": self.abstracted_size,
+            "original_granularity": self.original_granularity,
+            "abstracted_granularity": self.abstracted_granularity,
+            "monomial_loss": self.monomial_loss,
+            "variable_loss": self.variable_loss,
+            "compression_ratio": self.compression_ratio,
+            "mmap_active": self.mmap_active,
+        }
+
     def __len__(self) -> int:
         """Number of polynomials (query result groups)."""
         return len(self.polynomials)
@@ -200,7 +239,13 @@ class CompressedProvenance:
             return valuation.lift(self.vvs)
         return approximate_lift(valuation, self.vvs)
 
-    def ask(self, scenario: ScenarioLike, default: float = 1.0) -> Answer:
+    def ask(
+        self,
+        scenario: ScenarioLike,
+        default: float = 1.0,
+        *,
+        options: OptionsLike = None,
+    ) -> Answer:
         """Answer one scenario (Scenario / Valuation / mapping).
 
         Uniform-on-the-cut scenarios are lifted exactly onto the
@@ -208,33 +253,41 @@ class CompressedProvenance:
         :func:`~repro.scenarios.analysis.approximate_lift` and are
         flagged ``exact=False``.
         """
-        return self.ask_many([scenario], default=default)[0]
+        return self.ask_many([scenario], default=default, options=options)[0]
 
     def ask_many(
         self,
         scenarios: Iterable[ScenarioLike],
         default: float = 1.0,
         workers: int | None = None,
-        engine: str = "auto",
+        engine: str | None = None,
+        *,
+        options: OptionsLike = None,
     ) -> list[Answer]:
         """Answer a whole scenario family in one vectorized pass.
 
         :param scenarios: a :class:`~repro.scenarios.scenario.ScenarioSuite`,
             a :class:`~repro.scenarios.sweep.Sweep`, or any iterable of
             Scenario / Valuation / mapping entries.
-        :param workers: shard the batch evaluation of the lifted
-            valuations across this many worker processes (see
-            :func:`repro.scenarios.analysis.evaluate_scenarios`);
-            ``None`` stays in process. Answers are bit-identical.
-        :param engine: dense vs. delta batch evaluation of the lifted
-            valuations; ``"auto"`` (the default) picks delta for
-            sparse families — lifting onto a cut only shrinks a
-            scenario's change-set, so sparse scenarios stay sparse on
-            meta-variables. Answers are bit-identical either way.
+        :param options: an :class:`~repro.options.EvalOptions` (or a
+            mapping of its fields) bundling the evaluation knobs —
+            ``engine`` (dense vs. delta batch evaluation of the lifted
+            valuations; ``"auto"`` picks delta for sparse families —
+            lifting onto a cut only shrinks a scenario's change-set,
+            so sparse scenarios stay sparse on meta-variables),
+            ``workers`` (shard across processes; ``None`` stays in
+            process) and ``chunk_size``. Answers are bit-identical
+            whatever the knobs.
+        :param workers: deprecated — use ``options=``.
+        :param engine: deprecated — use ``options=``.
         :returns: a list of :class:`Answer`, one per scenario, in order.
         """
         from repro.scenarios.analysis import evaluate_scenarios
 
+        opts = resolve_options(
+            options, where="CompressedProvenance.ask_many", workers=workers,
+            engine=engine,
+        )
         names = []
         exacts = []
         lifted = []
@@ -251,8 +304,7 @@ class CompressedProvenance:
         if not lifted:
             return []
         matrix = evaluate_scenarios(
-            self.polynomials, lifted, default=default, workers=workers,
-            engine=engine,
+            self.polynomials, lifted, default=default, options=opts,
         )
         return [
             Answer(name, tuple(float(v) for v in row), exact)
@@ -306,13 +358,30 @@ class CompressedProvenance:
         Binary containers are detected by magic bytes and loaded
         zero-copy (via ``mmap`` unless disabled — see
         :func:`repro.core.binfmt.read_artifact`); anything else parses
-        as the JSON envelope.
+        as the JSON envelope. JSON has no zero-copy story, so
+        ``mmap=True`` on a JSON artifact falls back to an eager parse —
+        the loaded artifact reports :attr:`mmap_active` ``False`` and
+        the first such fallback per process warns (convert the file
+        with ``save(path, format="bin")`` to actually map it).
         """
         artifact = serialize.load_path(path, mmap=mmap)
         if not isinstance(artifact, cls):
             raise TypeError(
                 f"{path}: expected a {cls.__name__} envelope, "
                 f"got {type(artifact).__name__}"
+            )
+        global _WARNED_JSON_MMAP
+        if mmap and not artifact.mmap_active and not _WARNED_JSON_MMAP:
+            import warnings
+
+            _WARNED_JSON_MMAP = True
+            warnings.warn(
+                f"{path}: mmap=True has no effect on JSON artifacts — the "
+                "envelope was parsed eagerly (mmap_active=False). Save as a "
+                "binary container (.rpb) for zero-copy loads. This warning "
+                "is emitted once per process.",
+                UserWarning,
+                stacklevel=2,
             )
         return artifact
 

@@ -33,6 +33,7 @@ from repro.core.parser import parse_set
 from repro.core.polynomial import Polynomial, PolynomialSet
 from repro.core.tree import AbstractionTree
 from repro.api.artifact import CompressedProvenance
+from repro.options import EvalOptions, resolve_options
 
 if TYPE_CHECKING:
     import os
@@ -43,6 +44,7 @@ if TYPE_CHECKING:
     from repro.api.artifact import Answer, ScenarioLike
     from repro.core.statistics import ProvenanceProfile
     from repro.engine.table import Relation
+    from repro.options import OptionsLike
 
     #: Anything :func:`as_forest` normalizes (``None`` = no forest).
     ForestSpec = Union[
@@ -193,7 +195,13 @@ class ProvenanceSession:
 
         return Valuation.coerce(scenario, default).evaluate(self.polynomials)
 
-    def ask(self, scenario: ScenarioLike, default: float = 1.0) -> Answer:
+    def ask(
+        self,
+        scenario: ScenarioLike,
+        default: float = 1.0,
+        *,
+        options: OptionsLike = None,
+    ) -> Answer:
         """Answer one scenario against the raw provenance.
 
         Raw provenance loses nothing, so the returned
@@ -202,28 +210,30 @@ class ProvenanceSession:
         :meth:`CompressedProvenance.ask
         <repro.api.artifact.CompressedProvenance.ask>`.
         """
-        return self.ask_many([scenario], default=default)[0]
+        return self.ask_many([scenario], default=default, options=options)[0]
 
     def ask_many(
         self,
         scenarios: Iterable[ScenarioLike],
         default: float = 1.0,
         workers: int | None = None,
-        engine: str = "auto",
+        engine: str | None = None,
+        *,
+        options: OptionsLike = None,
     ) -> list[Answer]:
         """Answer a scenario family against the raw provenance.
 
         :param scenarios: a :class:`~repro.scenarios.sweep.Sweep`, a
             :class:`~repro.scenarios.scenario.ScenarioSuite`, or any
             iterable of Scenario / Valuation / mapping entries.
-        :param workers: shard the batch evaluation across this many
-            worker processes (see
-            :func:`repro.scenarios.analysis.evaluate_scenarios`);
-            ``None`` stays in process. Answers are bit-identical.
-        :param engine: dense vs. delta batch evaluation; ``"auto"``
-            (the default) picks delta for sparse scenario families
-            (see :func:`repro.core.batch.choose_engine`). Answers are
-            bit-identical whichever engine runs.
+        :param options: an :class:`~repro.options.EvalOptions` (or a
+            mapping of its fields) bundling the evaluation knobs —
+            ``engine`` (dense vs. delta; ``"auto"`` picks by scenario
+            sparsity), ``workers`` (shard across processes; ``None``
+            stays in process) and ``chunk_size``. Answers are
+            bit-identical whatever the knobs.
+        :param workers: deprecated — use ``options=``.
+        :param engine: deprecated — use ``options=``.
         :returns: a list of :class:`~repro.api.artifact.Answer`, one
             per scenario, in order — all ``exact=True`` (nothing was
             abstracted away).
@@ -231,13 +241,16 @@ class ProvenanceSession:
         from repro.api.artifact import Answer
         from repro.scenarios.analysis import evaluate_scenarios
 
+        opts = resolve_options(
+            options, where="ProvenanceSession.ask_many", workers=workers,
+            engine=engine,
+        )
         # Materialize once: the Answer list is O(S) anyway, and a lazy
         # Sweep would otherwise be generated twice (once for evaluation,
         # once here for the names).
         items = scenarios if isinstance(scenarios, list) else list(scenarios)
         matrix = evaluate_scenarios(
-            self.polynomials, items, default=default, workers=workers,
-            engine=engine,
+            self.polynomials, items, default=default, options=opts,
         )
         answers = []
         for index, (item, row) in enumerate(zip(items, matrix, strict=True)):
@@ -255,8 +268,10 @@ class ProvenanceSession:
         self,
         bound: int,
         algorithm: str = registry.AUTO,
-        backend: str = "auto",
-        **options: object,
+        backend: str | None = None,
+        *,
+        options: OptionsLike = None,
+        **solver_options: object,
     ) -> CompressedProvenance:
         """Select and apply a VVS; package the result as an artifact.
 
@@ -265,19 +280,26 @@ class ProvenanceSession:
             ``"brute-force"``, …) or ``"auto"`` — pick the optimal DP
             for a single compatible tree, the greedy otherwise (see
             :func:`repro.algorithms.registry.choose`).
-        :param backend: compression engine — ``"object"`` (the
-            reference tuple-walking path), ``"columnar"`` (the
-            vectorized flat-array core of :mod:`repro.core.columnar`),
-            or ``"auto"`` (the default: columnar for large multisets).
-            The selected VVS, the losses and the artifact's monomial
-            structure are identical either way; the knob is forwarded
-            to the solver *and* to the ``P↓S`` materialization.
-        :param options: forwarded to the solver (e.g. ``clean=False``).
+        :param options: an :class:`~repro.options.EvalOptions` (or a
+            mapping of its fields); only its ``backend`` knob applies
+            here — ``"object"`` (the reference tuple-walking path),
+            ``"columnar"`` (the vectorized flat-array core of
+            :mod:`repro.core.columnar`), or ``"auto"`` (the default:
+            columnar for large multisets). The selected VVS, the
+            losses and the artifact's monomial structure are identical
+            either way; the knob is forwarded to the solver *and* to
+            the ``P↓S`` materialization.
+        :param backend: deprecated — use ``options=``.
+        :param solver_options: forwarded to the solver (e.g.
+            ``clean=False``).
         :raises ValueError: when the session has no forest.
         :raises InfeasibleBoundError: propagated from bound-strict
             solvers (``optimal``/``brute-force``); the greedy instead
             compresses as far as the forest allows.
         """
+        opts = resolve_options(
+            options, where="ProvenanceSession.compress", backend=backend,
+        )
         if self.forest is None:
             raise ValueError(
                 "this session has no abstraction forest; build one with "
@@ -302,11 +324,11 @@ class ProvenanceSession:
             else:
                 target = self.forest.trees[0]
         if _accepts_backend(solver):
-            options = {"backend": backend, **options}
-        result = solver(self.polynomials, target, bound, **options)
+            solver_options = {"backend": opts.backend, **solver_options}
+        result = solver(self.polynomials, target, bound, **solver_options)
         return CompressedProvenance.from_result(
             result, self.polynomials, algorithm=name, bound=bound,
-            backend=backend,
+            backend=opts.backend,
         )
 
     @staticmethod

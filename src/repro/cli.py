@@ -39,6 +39,7 @@ from repro.core.forest import AbstractionForest
 from repro.core.polynomial import PolynomialSet
 from repro.core.valuation import Valuation
 from repro.lint import cli as lint_cli
+from repro.options import EvalOptions
 from repro.scenarios.scenario import Scenario, ScenarioSuite
 
 __all__ = ["main"]
@@ -85,7 +86,7 @@ def _cmd_compress(args):
     session = ProvenanceSession(provenance, forest)
     try:
         artifact = session.compress(args.bound, algorithm=args.algorithm,
-                                    backend=args.backend)
+                                    options=EvalOptions(backend=args.backend))
     except InfeasibleBoundError as error:
         raise SystemExit(f"infeasible: {error}") from None
     except ValueError as error:
@@ -267,9 +268,10 @@ def _cmd_sweep(args):
         print(f"workers:     {args.workers}")
 
     started = time.perf_counter()
+    options = EvalOptions(engine=args.engine, workers=args.workers or None)
     ranked = top_k(
-        polynomials, sweep, k=args.top_k, workers=args.workers,
-        transform=transform, engine=args.engine,
+        polynomials, sweep, k=args.top_k, transform=transform,
+        options=options,
     )
     elapsed = time.perf_counter() - started
     print(f"evaluated:   {len(sweep)} scenarios in {elapsed:.3f}s")
@@ -282,8 +284,7 @@ def _cmd_sweep(args):
         print(f"  {entry.rank:>2}. {entry.name}  score={entry.score:g}{mode}")
     if args.sensitivity:
         report = sensitivity(
-            polynomials, sweep, workers=args.workers, transform=transform,
-            engine=args.engine,
+            polynomials, sweep, transform=transform, options=options,
         )
         print("sensitivity (mean |Δ| per changed variable):")
         for item in report[:args.top_k]:
@@ -332,6 +333,38 @@ def _cmd_bench(args):
     for stage in args.stage or ():
         argv.extend(["--stage", stage])
     return module.main(argv)
+
+
+def _cmd_serve(args):
+    """Run the what-if HTTP service until interrupted."""
+    import asyncio
+
+    from repro.service.app import start_service
+
+    async def run():
+        server = await start_service(
+            args.spool_dir,
+            host=args.host,
+            port=args.port,
+            capacity=args.cache_size,
+            window=args.window,
+            max_batch=args.max_batch,
+        )
+        print(f"serving on http://{args.host}:{server.port} "
+              f"(spool: {args.spool_dir}, cache: {args.cache_size}, "
+              f"window: {args.window * 1000:g}ms)")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _cmd_decide(args):
@@ -461,6 +494,30 @@ def build_parser():
     decide.add_argument("--size", type=int, required=True)
     decide.add_argument("--granularity", type=int, required=True)
     decide.set_defaults(run=_cmd_decide)
+
+    serve = commands.add_parser(
+        "serve", help="run the what-if HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8317,
+                       help="bind port; 0 picks a free one (default 8317)")
+    serve.add_argument("--spool-dir", default="artifacts",
+                       dest="spool_dir",
+                       help="directory for the .rpb artifact spool "
+                            "(default: ./artifacts)")
+    serve.add_argument("--cache-size", type=int, default=8,
+                       dest="cache_size",
+                       help="resident (mmap-backed) artifacts kept warm; "
+                            "older ones re-map on demand (default 8)")
+    serve.add_argument("--window", type=float, default=0.002,
+                       help="micro-batch coalescing window in seconds; "
+                            "0 disables coalescing (default 0.002)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       dest="max_batch",
+                       help="flush a coalesced batch early at this size "
+                            "(default 64)")
+    serve.set_defaults(run=_cmd_serve)
 
     bench = commands.add_parser(
         "bench", help="time the hot paths; write BENCH_core.json"

@@ -457,7 +457,9 @@ class BufferBackedPolynomialSet(PolynomialSet):
     raises (copy into a plain ``PolynomialSet`` to modify).
     """
 
-    def __init__(self, variables, counts, arrays, exact, compiled):
+    def __init__(
+        self, variables, counts, arrays, exact, compiled, mmap_active=False
+    ):
         # Parent slots, set directly: PolynomialSet.__init__ demands
         # materialized Polynomial objects, which is what we're avoiding.
         self._vids = None
@@ -469,6 +471,10 @@ class BufferBackedPolynomialSet(PolynomialSet):
         self._arrays = arrays
         self._exact = exact
         self._materialized = None
+        #: ``True`` when the buffers view an ``mmap`` of the container
+        #: file (zero-copy; the file must outlive the set), ``False``
+        #: when they view an eagerly-read bytes object.
+        self.mmap_active = bool(mmap_active)
 
     @property
     def polynomials(self):
@@ -584,6 +590,7 @@ def read_artifact(path, mmap=True):
             arrays,
             _decode_exact(header.get("exact_coeffs", ())),
             compiled,
+            mmap_active=isinstance(buf, _mmap.mmap),
         )
         forest = serialize.forest_from_dict(header["forest"])
         vvs = serialize.vvs_from_dict({"labels": header["vvs"]}, forest)

@@ -56,6 +56,7 @@ from __future__ import annotations
 import numpy
 
 from repro.core.interning import VARIABLES
+from repro.errors import CompressionError
 
 __all__ = [
     "BACKENDS",
@@ -70,7 +71,7 @@ __all__ = [
 ]
 
 
-class ColumnarUnsupportedError(ValueError):
+class ColumnarUnsupportedError(CompressionError, ValueError):
     """A structural precondition of a columnar algorithm failed.
 
     The columnar greedy requires forest compatibility (at most one

@@ -10,11 +10,12 @@ leaf variable by its chosen ancestor.
 from __future__ import annotations
 
 from repro.core.tree import AbstractionTree
+from repro.errors import ReproError
 
 __all__ = ["AbstractionForest", "ValidVariableSet", "CompatibilityError"]
 
 
-class CompatibilityError(ValueError):
+class CompatibilityError(ReproError, ValueError):
     """Raised when a forest is not compatible with a polynomial set."""
 
 

@@ -16,11 +16,12 @@ ordering and float formatting.
 import re
 
 from repro.core.polynomial import Monomial, Polynomial
+from repro.errors import ReproError
 
 __all__ = ["parse", "parse_set", "ParseError"]
 
 
-class ParseError(ValueError):
+class ParseError(ReproError, ValueError):
     """Raised when a polynomial string cannot be parsed."""
 
 

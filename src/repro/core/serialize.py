@@ -17,6 +17,10 @@ from repro.core.forest import AbstractionForest, ValidVariableSet
 from repro.core.polynomial import Monomial, Polynomial, PolynomialSet
 from repro.core.tree import AbstractionTree
 
+# SerializeError now lives in repro.errors (the unified hierarchy); this
+# re-export keeps the historical import site working.
+from repro.errors import SerializeError
+
 __all__ = [
     "SerializeError",
     "polynomial_to_dict",
@@ -38,12 +42,6 @@ __all__ = [
     "load_path",
     "serialized_size",
 ]
-
-
-class SerializeError(ValueError):
-    """A payload could not be decoded (unknown kind, corrupt or truncated
-    envelope, malformed binary container). Subclasses :class:`ValueError`
-    so callers catching the historical error type keep working."""
 
 
 def _coeff_to_json(coeff):

@@ -12,11 +12,12 @@ not group-uniform are the "loss of accuracy" the paper trades for size.
 from __future__ import annotations
 
 from repro.core.polynomial import Polynomial, PolynomialSet
+from repro.errors import ReproError
 
 __all__ = ["Valuation", "NonUniformError"]
 
 
-class NonUniformError(ValueError):
+class NonUniformError(ReproError, ValueError):
     """Raised when lifting a valuation that is not uniform on a VVS."""
 
 

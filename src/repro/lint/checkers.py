@@ -1,4 +1,4 @@
-"""The RPL001–RPL008 AST checkers: the repo's contracts, enforced.
+"""The RPL001–RPL009 AST checkers: the repo's contracts, enforced.
 
 Each rule guards an invariant that was introduced by a specific PR and
 is otherwise protected only by review attention (INVARIANTS.md at the
@@ -24,6 +24,7 @@ __all__ = [
     "KeywordContractChecker",
     "ExactCoefficientChecker",
     "PublicAnnotationChecker",
+    "OptionsContractChecker",
     "AST_CHECKERS",
 ]
 
@@ -382,6 +383,11 @@ class KeywordContractChecker(Checker):
     the ``auto`` policies resolve exactly once. A public callable that
     reaches a sink without accepting/forwarding the keyword silently
     re-defaults the choice mid-stack.
+
+    Since PR 8 the knobs may travel bundled: an ``options`` parameter
+    (an :class:`repro.options.EvalOptions`) carries every knob at once,
+    so accepting ``options`` / forwarding ``options=`` satisfies the
+    contract exactly like the bare keyword does.
     """
 
     code = "RPL006"
@@ -425,23 +431,31 @@ class KeywordContractChecker(Checker):
                 for keyword, sinks in self.CONTRACTS.items():
                     if called not in sinks:
                         continue
-                    if keyword not in params and not has_var_kw:
+                    if (
+                        keyword not in params
+                        and "options" not in params
+                        and not has_var_kw
+                    ):
                         yield self.finding(
                             module, node,
                             f"public callable {function.name!r} reaches "
-                            f"{called}() but does not accept {keyword}= — "
-                            "the knob must thread through every public "
-                            "evaluation surface",
+                            f"{called}() but does not accept {keyword}= "
+                            "or options= — the knob must thread through "
+                            "every public evaluation surface",
                         )
-                    elif _keyword(node, keyword) is None and not any(
-                        kw.arg is None for kw in node.keywords  # **kwargs
+                    elif (
+                        _keyword(node, keyword) is None
+                        and _keyword(node, "options") is None
+                        and not any(
+                            kw.arg is None for kw in node.keywords  # **kwargs
+                        )
                     ):
                         yield self.finding(
                             module, node,
                             f"public callable {function.name!r} does not "
-                            f"forward {keyword}= to {called}() — the "
-                            "caller's choice would be silently re-"
-                            "defaulted",
+                            f"forward {keyword}= (or options=) to "
+                            f"{called}() — the caller's choice would be "
+                            "silently re-defaulted",
                         )
 
     @staticmethod
@@ -622,6 +636,60 @@ class PublicAnnotationChecker(Checker):
                         yield item, True
 
 
+class OptionsContractChecker(Checker):
+    """RPL009 — public eval entry points accept ``options=`` (PR 8).
+
+    :class:`repro.options.EvalOptions` is the one bundled knob object
+    of the public evaluation surface; legacy bare keywords survive only
+    behind deprecation shims. Any public callable of the facade or the
+    analysis layer that reaches an evaluation sink (directly, or via
+    ``ask_many``) must therefore accept an ``options`` parameter — a
+    new entry point shipped without it would fracture the unified
+    signature the deprecation cycle is converging on.
+    """
+
+    code = "RPL009"
+    name = "options-contract"
+    description = (
+        "public eval entry points (facade/analysis callables reaching "
+        "an evaluation sink) must accept options="
+    )
+    paths = (
+        "api/session.py",
+        "api/artifact.py",
+        "scenarios/analysis.py",
+    )
+
+    #: Reaching any of these means the callable is an eval entry point:
+    #: the RPL006 engine sinks, plus the facade's own batch entry.
+    SINKS = frozenset({
+        "evaluate_batch",
+        "evaluate_scenarios",
+        "evaluate_scenarios_parallel",
+        "iter_value_blocks",
+        "ask_many",
+    })
+
+    def check(self, module: ModuleSource):
+        for function in KeywordContractChecker._public_callables(module.tree):
+            params = KeywordContractChecker._parameter_names(function)
+            if "options" in params or function.args.kwarg is not None:
+                continue
+            for node in ast.walk(function):
+                if (
+                    isinstance(node, ast.Call)
+                    and _call_name(node) in self.SINKS
+                ):
+                    yield self.finding(
+                        module, function,
+                        f"public eval entry point {function.name!r} "
+                        f"reaches {_call_name(node)}() but does not "
+                        "accept options= — new evaluation surfaces must "
+                        "take the bundled EvalOptions knob",
+                    )
+                    break
+
+
 #: Registration order == report order for same-line findings.
 AST_CHECKERS = (
     PowGroupingChecker,
@@ -632,4 +700,5 @@ AST_CHECKERS = (
     KeywordContractChecker,
     ExactCoefficientChecker,
     PublicAnnotationChecker,
+    OptionsContractChecker,
 )

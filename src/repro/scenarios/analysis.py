@@ -18,6 +18,7 @@ import heapq
 from dataclasses import dataclass
 
 from repro.core.valuation import Valuation
+from repro.options import resolve_options
 from repro.util.timing import time_call
 
 __all__ = [
@@ -33,26 +34,26 @@ __all__ = [
 ]
 
 
-def evaluate_scenarios(polynomials, scenarios, default=1.0, *, workers=None,
-                       chunk_size=None, engine="auto"):
+def evaluate_scenarios(polynomials, scenarios, default=1.0, *, options=None,
+                       workers=None, chunk_size=None, engine=None):
     """Valuate a whole scenario family in one vectorized pass.
 
     :param scenarios: a :class:`~repro.scenarios.sweep.Sweep`, a
         :class:`~repro.scenarios.scenario.ScenarioSuite`, or any
         iterable of :class:`Scenario`,
         :class:`~repro.core.valuation.Valuation` or plain dicts.
-    :param workers: shard the evaluation across this many worker
-        processes (see :func:`repro.scenarios.parallel.\
-evaluate_scenarios_parallel`); ``None`` — the default — stays in
-        process. Answers are bit-identical either way.
-    :param chunk_size: scenarios per shard/block for large inputs.
-    :param engine: ``"dense"`` recomputes every monomial per scenario,
-        ``"delta"`` valuates the baseline once and patches only the
-        monomials whose variables a scenario changes, and ``"auto"``
-        (the default) picks delta when the mean changed-variable count
-        is a small fraction of the alphabet (see
-        :func:`repro.core.batch.choose_engine`). Answers are
-        bit-identical whichever engine runs.
+    :param options: an :class:`~repro.options.EvalOptions` (or a
+        mapping of its fields) bundling the evaluation knobs —
+        ``engine`` (dense vs. delta batch evaluation; ``"auto"`` picks
+        delta for sparse families, see
+        :func:`repro.core.batch.choose_engine`), ``workers`` (shard
+        across processes via :func:`repro.scenarios.parallel.\
+evaluate_scenarios_parallel`; ``None`` stays in process) and
+        ``chunk_size`` (scenarios per shard/block). Answers are
+        bit-identical whatever the knobs.
+    :param workers: deprecated — use ``options=EvalOptions(workers=…)``.
+    :param chunk_size: deprecated — use ``options=``.
+    :param engine: deprecated — use ``options=EvalOptions(engine=…)``.
     :returns: a ``(num_scenarios, num_polynomials)`` NumPy array — row
         ``i`` is ``scenarios[i].evaluate(polynomials)``.
 
@@ -64,9 +65,13 @@ evaluate_scenarios_parallel`); ``None`` — the default — stays in
     """
     from repro.scenarios.parallel import evaluate_scenarios_parallel
 
-    return evaluate_scenarios_parallel(
-        polynomials, scenarios, workers=workers, default=default,
+    opts = resolve_options(
+        options, where="evaluate_scenarios", workers=workers,
         chunk_size=chunk_size, engine=engine,
+    )
+    return evaluate_scenarios_parallel(
+        polynomials, scenarios, workers=opts.workers, default=default,
+        chunk_size=opts.chunk_size, engine=opts.engine,
     )
 
 
@@ -89,8 +94,8 @@ class TopKEntry:
 
 
 def top_k(polynomials, scenarios, k=10, *, objective=None, largest=True,
-          default=1.0, workers=None, chunk_size=None, transform=None,
-          engine="auto"):
+          default=1.0, options=None, workers=None, chunk_size=None,
+          transform=None, engine=None):
     """The ``k`` scenarios with the most extreme objective values.
 
     Answers the analyst question sweeps exist for — "*which* what-if
@@ -105,14 +110,22 @@ def top_k(polynomials, scenarios, k=10, *, objective=None, largest=True,
     :param transform: optional per-scenario callable applied before
         evaluation (e.g. lifting onto an artifact's cut); names and
         indexes still refer to the original scenarios.
-    :param engine: dense vs. delta evaluation (``"auto"`` decides from
-        scenario density; rankings are identical either way).
+    :param options: an :class:`~repro.options.EvalOptions` (or mapping)
+        bundling ``engine``/``workers``/``chunk_size``; rankings are
+        identical whatever the knobs.
+    :param workers: deprecated — use ``options=``.
+    :param chunk_size: deprecated — use ``options=``.
+    :param engine: deprecated — use ``options=``.
     :returns: a list of :class:`TopKEntry`, best first; ties break
         toward the earlier scenario index, so rankings are
         deterministic.
     """
     from repro.scenarios.parallel import iter_value_blocks
 
+    opts = resolve_options(
+        options, where="top_k", workers=workers, chunk_size=chunk_size,
+        engine=engine,
+    )
     k = int(k)
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -122,9 +135,9 @@ def top_k(polynomials, scenarios, k=10, *, objective=None, largest=True,
     # generation pass: only the k kept entries get their names resolved
     # (by index) after the stream is drained.
     for start, chunk, values in iter_value_blocks(
-        polynomials, scenarios, default=default, workers=workers,
-        chunk_size=chunk_size, transform=transform, materialize=False,
-        engine=engine,
+        polynomials, scenarios, default=default, workers=opts.workers,
+        chunk_size=opts.chunk_size, transform=transform, materialize=False,
+        engine=opts.engine,
     ):
         for offset in range(values.shape[0]):
             row = values[offset]
@@ -177,8 +190,8 @@ class VariableSensitivity:
     scenarios: int
 
 
-def sensitivity(polynomials, scenarios, *, default=1.0, workers=None,
-                chunk_size=None, transform=None, engine="auto"):
+def sensitivity(polynomials, scenarios, *, default=1.0, options=None,
+                workers=None, chunk_size=None, transform=None, engine=None):
     """Rank variables by the output delta their scenarios induce.
 
     For each scenario the L1 distance between its per-polynomial values
@@ -190,11 +203,11 @@ def sensitivity(polynomials, scenarios, *, default=1.0, workers=None,
     tornado; over grids/Monte-Carlo it is a screening estimate (deltas
     of co-changed variables are attributed to each).
 
-    Evaluation streams in chunks (optionally across ``workers``
-    processes); memory stays O(variables), not O(scenarios). The
-    ``engine`` flag selects dense vs. delta evaluation (``"auto"``
-    decides from scenario density; the report is identical either way
-    — the engines are bit-identical).
+    Evaluation streams in chunks (optionally across worker processes);
+    memory stays O(variables), not O(scenarios). ``options`` bundles
+    the ``engine``/``workers``/``chunk_size`` knobs (the legacy
+    keywords still work but warn ``DeprecationWarning``); the report is
+    identical whatever the knobs — the engines are bit-identical.
 
     :returns: a list of :class:`VariableSensitivity`, largest
         ``mean_delta`` first (ties break by variable name).
@@ -203,6 +216,10 @@ def sensitivity(polynomials, scenarios, *, default=1.0, workers=None,
 
     from repro.scenarios.parallel import iter_value_blocks
 
+    opts = resolve_options(
+        options, where="sensitivity", workers=workers,
+        chunk_size=chunk_size, engine=engine,
+    )
     compiled = (
         polynomials.compiled() if hasattr(polynomials, "compiled")
         else polynomials
@@ -219,8 +236,8 @@ def sensitivity(polynomials, scenarios, *, default=1.0, workers=None,
     maxima = {}
     counts = {}
     for _, chunk, values in iter_value_blocks(
-        compiled, scenarios, default=default, workers=workers,
-        chunk_size=chunk_size, transform=transform, engine=engine,
+        compiled, scenarios, default=default, workers=opts.workers,
+        chunk_size=opts.chunk_size, transform=transform, engine=opts.engine,
     ):
         deltas = numpy.abs(values - baseline).sum(axis=1)
         for offset, entry in enumerate(chunk):
@@ -269,7 +286,7 @@ class SpeedupReport:
 
 
 def assignment_speedup(polynomials, abstracted, scenarios, vvs=None, repeat=3,
-                       batch=True, engine="auto"):
+                       batch=True, engine=None, *, options=None):
     """Time a scenario suite on raw vs abstracted provenance.
 
     Scenarios are lifted onto meta-variables when a ``vvs`` is given
@@ -280,10 +297,13 @@ def assignment_speedup(polynomials, abstracted, scenarios, vvs=None, repeat=3,
     compiled :meth:`~repro.core.polynomial.PolynomialSet.evaluate_batch`
     — the whole suite per matrix product; ``batch=False`` keeps the
     per-scenario interpreter loop (the pre-vectorization behaviour,
-    useful for measuring what batching itself buys). ``engine`` picks
-    the batch evaluator (``dense``/``delta``/``auto``) so timed runs
-    can pin the engine like every other evaluation surface.
+    useful for measuring what batching itself buys). ``options`` (an
+    :class:`~repro.options.EvalOptions`) pins the batch evaluator
+    (``dense``/``delta``/``auto``) so timed runs can fix the engine
+    like every other evaluation surface; the positional ``engine``
+    keyword is deprecated.
     """
+    opts = resolve_options(options, where="assignment_speedup", engine=engine)
     raw_valuations = [s.valuation() for s in scenarios]
     if vvs is None:
         abstracted_valuations = raw_valuations
@@ -295,7 +315,7 @@ def assignment_speedup(polynomials, abstracted, scenarios, vvs=None, repeat=3,
 
     if batch:
         def run(polys, valuations):
-            return polys.evaluate_batch(valuations, engine=engine)
+            return polys.evaluate_batch(valuations, engine=opts.engine)
     else:
         def run(polys, valuations):
             out = []

@@ -1,0 +1,123 @@
+"""Micro-batching: coalesce concurrent single-scenario asks.
+
+The compiled evaluator's throughput comes from batching — one
+``ask_many`` over S scenarios costs one lift pass plus one matrix
+product, while S separate ``ask`` calls pay S evaluator invocations.
+Interactive clients, though, naturally send one scenario per request.
+The :class:`MicroBatcher` bridges the two: a request parks for at most
+``window`` seconds; every request for the same key (artifact, default)
+that arrives inside the window joins the same batch; the batch is
+answered by **one** evaluator call and the answers fan back out to the
+waiting requests. Under concurrency the window fills and per-request
+cost approaches the amortized batch cost; an idle server adds at most
+``window`` latency.
+
+``window <= 0`` disables coalescing — every request is its own batch of
+one. The service bench's *uncoalesced* arm runs exactly that
+configuration, so the gated speedup measures what the batcher (plus the
+warm lift index it feeds) buys.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from collections.abc import Callable, Hashable, Sequence
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Coalesce awaitable submissions per key into windowed batches.
+
+    :param window: seconds a batch stays open after its first entry;
+        ``<= 0`` flushes every submission immediately (no coalescing).
+    :param max_batch: flush early once a batch reaches this size.
+
+    Evaluation runs synchronously on the event loop at flush time —
+    the evaluator is CPU-bound NumPy, so handing it to a thread would
+    only add handoff latency under the GIL. ``batch_sizes`` histograms
+    every flushed batch (size → count) for the bench stage.
+    """
+
+    def __init__(self, window: float = 0.002, max_batch: int = 64) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        #: key -> ([(item, future), ...], evaluate)
+        self._pending: dict = {}
+        self._timers: dict = {}
+        self.batch_sizes: dict[int, int] = {}
+        self.batches = 0
+        self.coalesced = 0  # requests answered by a batch of size > 1
+
+    async def submit(
+        self,
+        key: Hashable,
+        item: object,
+        evaluate: Callable[[list], Sequence],
+    ) -> object:
+        """Queue ``item`` under ``key``; resolve to its result.
+
+        ``evaluate`` answers the whole batch (``items -> results``,
+        index-aligned); the first submission of a batch donates the
+        callable — all submissions sharing a key must be answerable by
+        the same call, which the key (artifact id, default) guarantees.
+        """
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        bucket = self._pending.get(key)
+        if bucket is None:
+            bucket = self._pending[key] = ([], evaluate)
+            if self.window > 0:
+                self._timers[key] = loop.call_later(
+                    self.window, self._flush, key
+                )
+        bucket[0].append((item, future))
+        if self.window <= 0 or len(bucket[0]) >= self.max_batch:
+            self._flush(key)
+        return await future
+
+    def _flush(self, key: Hashable) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        bucket = self._pending.pop(key, None)
+        if bucket is None:
+            return
+        entries, evaluate = bucket
+        items = [item for item, _ in entries]
+        size = len(items)
+        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+        self.batches += 1
+        if size > 1:
+            self.coalesced += size
+        try:
+            results = evaluate(items)
+        except BaseException as error:  # fan the failure out to every waiter
+            for _, future in entries:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for (_, future), result in zip(entries, results, strict=True):
+            if not future.done():
+                future.set_result(result)
+
+    def drain(self) -> None:
+        """Flush every open batch now (graceful shutdown).
+
+        Flushing resolves the parked futures synchronously, so after
+        ``drain()`` returns no request is waiting on the batcher; the
+        connection handlers still need a loop turn to write their
+        responses out.
+        """
+        for key in list(self._pending):
+            self._flush(key)
+
+    @property
+    def pending(self) -> int:
+        """Requests currently parked in open batches."""
+        return sum(len(entries) for entries, _ in self._pending.values())

@@ -1,0 +1,225 @@
+"""A small, stdlib-only HTTP/1.1 layer over ``asyncio`` streams.
+
+Just enough protocol for the what-if service — no dependency on an
+ASGI server, no ``http.server`` threading model. Supported: request
+lines, headers, ``Content-Length`` bodies, keep-alive (on by default
+for HTTP/1.1, honoured via ``Connection:`` either way), JSON
+responses. Not supported (answered with clean 4xx/5xx instead of a
+hang): chunked request bodies, upgrades, pipelining beyond what the
+serial read loop naturally provides.
+
+The service's JSON framing lives here too: handlers speak
+``(status, payload-dict)`` and this layer renders the envelope, so
+every response — including protocol-level errors — is JSON with the
+same shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from collections.abc import Awaitable, Callable
+
+    #: A request handler: request -> (status, JSON-able payload).
+    Handler = Callable[["Request"], Awaitable[tuple[int, dict]]]
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "render_response",
+    "serve_connection",
+]
+
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level failure with the status it maps to."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json(self) -> object:
+        """The body parsed as JSON (:class:`HttpError` 400 otherwise)."""
+        if not self.body:
+            raise HttpError(400, "empty body where a JSON document is required")
+        try:
+            return json.loads(self.body)
+        except (ValueError, UnicodeDecodeError) as error:
+            raise HttpError(400, f"malformed JSON body: {error}") from error
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; ``None`` on a clean EOF.
+
+    Raises :class:`HttpError` for malformed or oversized requests and
+    lets stream-level exceptions (reset, mid-request EOF) propagate to
+    the connection loop, which just drops the connection.
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    if len(request_line) > MAX_HEADER_BYTES:
+        raise HttpError(431, "request line too long")
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, "malformed request line")
+    method, path, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise HttpError(400, "connection closed mid-headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(431, "headers too large")
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise HttpError(501, "chunked request bodies are not supported")
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length)
+    elif method in ("POST", "PUT", "PATCH"):
+        raise HttpError(411, "Content-Length required")
+    return Request(method, path, version, headers, body)
+
+
+def render_response(
+    status: int, payload: dict, *, keep_alive: bool
+) -> bytes:
+    """An HTTP/1.1 response with a JSON body, as wire bytes."""
+    body = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+    reason = _REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def serve_connection(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    handler: Handler,
+) -> None:
+    """The per-connection loop: parse → handle → respond, keep-alive.
+
+    Handlers may raise :class:`HttpError`; anything else escaping them
+    is the handler's bug and renders as a 500 (the connection closes —
+    the stream state is no longer trusted).
+    """
+    try:
+        while True:
+            try:
+                request = await read_request(reader)
+            except HttpError as error:
+                writer.write(render_response(
+                    error.status, _error_payload(error.status, str(error)),
+                    keep_alive=False,
+                ))
+                await writer.drain()
+                return
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                asyncio.LimitOverrunError,
+            ):
+                return
+            if request is None:
+                return
+            keep_alive = request.keep_alive
+            try:
+                status, payload = await handler(request)
+            except HttpError as error:
+                status, payload = error.status, _error_payload(
+                    error.status, str(error)
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                status = 500
+                payload = _error_payload(
+                    500, f"unhandled {type(error).__name__}: {error}"
+                )
+                keep_alive = False
+            writer.write(render_response(
+                status, payload, keep_alive=keep_alive
+            ))
+            await writer.drain()
+            if not keep_alive:
+                return
+    except (ConnectionError, asyncio.CancelledError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _error_payload(status: int, message: str) -> dict:
+    """The uniform error envelope (see also ``app.STATUS_OF``)."""
+    return {"error": {"status": status, "message": message}}

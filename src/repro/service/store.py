@@ -1,0 +1,170 @@
+"""The content-addressed artifact store behind the what-if service.
+
+Artifacts are compressed once (``POST /artifacts``), persisted as
+binary ``.rpb`` containers (:mod:`repro.core.binfmt`), and addressed by
+the SHA-256 of their container bytes — the write is deterministic
+(sorted-key header, fixed buffer layout), so the same compression
+result always yields the same id, and re-uploading an identical
+artifact is a no-op that returns the existing id.
+
+Serving state is a size-bounded LRU of :class:`~repro.service.warm.\
+WarmArtifact` entries keyed by that hash. Entries are **mmap-backed**:
+evicting one drops Python wrappers and lets the OS reclaim the page
+cache, and re-admitting it is an O(1) re-map plus the warm-index build
+— no deserialization of polynomial objects either way. Hit/miss/
+eviction counters feed ``GET /healthz``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import ArtifactNotFound, SerializeError
+from repro.service.warm import WarmArtifact
+
+if TYPE_CHECKING:
+    from repro.api.artifact import CompressedProvenance
+
+__all__ = ["ArtifactStore"]
+
+#: Store ids are the full SHA-256 hex digest of the container bytes.
+_ID_PATTERN = re.compile(r"^[0-9a-f]{64}$")
+
+
+class ArtifactStore:
+    """A spool directory of ``.rpb`` containers + an LRU of warm entries.
+
+    :param root: spool directory (created if missing); one
+        ``<sha256>.rpb`` file per artifact.
+    :param capacity: maximum *resident* (warm, mmap-backed) artifacts;
+        least-recently-used entries are evicted past that — their spool
+        files stay, so a later request re-maps them on demand.
+    """
+
+    def __init__(self, root: str | os.PathLike, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[str, WarmArtifact] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # --------------------------------------------------------------- writes
+
+    def put(self, artifact: CompressedProvenance) -> str:
+        """Persist ``artifact`` and return its content-hash id.
+
+        The container is written to a temp file in the spool directory,
+        hashed, and atomically renamed to ``<sha256>.rpb`` — concurrent
+        writers of the same artifact race benignly (same bytes, same
+        name). The stored entry is reloaded mmap-backed so the resident
+        copy is the cheap-to-evict one, not the builder's object graph.
+        """
+        from repro.core import binfmt
+
+        handle, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".incoming-", suffix=".rpb"
+        )
+        tmp = Path(tmp_name)
+        try:
+            os.close(handle)
+            binfmt.write_artifact(artifact, tmp)
+            artifact_id = _hash_file(tmp)
+            final = self.path_of(artifact_id)
+            os.replace(tmp, final)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        if artifact_id not in self._entries:
+            self._admit(artifact_id, self._map(artifact_id))
+        return artifact_id
+
+    # ---------------------------------------------------------------- reads
+
+    def get(self, artifact_id: str) -> WarmArtifact:
+        """The warm entry for ``artifact_id`` (LRU-promoted).
+
+        Resident entries return immediately; spooled ones are re-mapped
+        and re-warmed (a *miss*). Unknown ids — malformed, or with no
+        spool file — raise :class:`~repro.errors.ArtifactNotFound`.
+        """
+        entry = self._entries.get(artifact_id)
+        if entry is not None:
+            self._entries.move_to_end(artifact_id)
+            self.hits += 1
+            return entry
+        if not _ID_PATTERN.fullmatch(artifact_id):
+            raise ArtifactNotFound(
+                f"invalid artifact id {artifact_id!r} (expected the "
+                "64-hex-digit content hash returned by POST /artifacts)"
+            )
+        if not self.path_of(artifact_id).exists():
+            raise ArtifactNotFound(f"no artifact {artifact_id!r} in the store")
+        self.misses += 1
+        entry = self._map(artifact_id)
+        self._admit(artifact_id, entry)
+        return entry
+
+    def __contains__(self, artifact_id: str) -> bool:
+        return artifact_id in self._entries or (
+            bool(_ID_PATTERN.fullmatch(artifact_id))
+            and self.path_of(artifact_id).exists()
+        )
+
+    def path_of(self, artifact_id: str) -> Path:
+        """The spool path of ``artifact_id`` (existing or not)."""
+        return self.root / f"{artifact_id}.rpb"
+
+    def stats(self) -> dict[str, object]:
+        """Cache counters and occupancy, JSON-ready (for ``/healthz``)."""
+        return {
+            "capacity": self.capacity,
+            "resident": len(self._entries),
+            "spooled": sum(1 for _ in self.root.glob("*.rpb")),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    # ------------------------------------------------------------ internals
+
+    def _map(self, artifact_id: str) -> WarmArtifact:
+        """Load ``artifact_id``'s container mmap-backed, verifying that
+        the bytes still hash to the id (a spool file corrupted or
+        swapped behind the store's back must not serve under the old
+        content address)."""
+        from repro.api.artifact import CompressedProvenance
+
+        path = self.path_of(artifact_id)
+        actual = _hash_file(path)
+        if actual != artifact_id:
+            raise SerializeError(
+                f"content hash mismatch for artifact {artifact_id!r}: the "
+                f"spool file hashes to {actual!r} — the container was "
+                "modified after it was stored"
+            )
+        return WarmArtifact(CompressedProvenance.load(path, mmap=True))
+
+    def _admit(self, artifact_id: str, entry: WarmArtifact) -> None:
+        self._entries[artifact_id] = entry
+        self._entries.move_to_end(artifact_id)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+
+def _hash_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()

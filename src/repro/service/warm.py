@@ -1,0 +1,204 @@
+"""Per-artifact warm state: the precomputed lift index.
+
+Profiling the serving path shows the per-scenario cost is *not* the
+batch evaluation (a compiled artifact answers a scenario in ~100µs) but
+the lifting in front of it: :meth:`Valuation.is_uniform_on
+<repro.core.valuation.Valuation.is_uniform_on>` and
+:meth:`~repro.core.valuation.Valuation.lift` each walk
+``vvs.group(label)`` — a tree traversal — for *every* label of the cut,
+per scenario. A long-lived server answering thousands of single-
+scenario requests against the same artifact pays that traversal over
+and over for groups the scenario never touches.
+
+:class:`WarmArtifact` hoists everything scenario-independent out of the
+loop, once per artifact:
+
+* the label→group tables (each group as a tuple, in the exact order
+  ``vvs.group`` yields leaves);
+* the inverse leaf→label map, so a scenario's *touched* labels are
+  found in O(changes) instead of O(labels × group);
+* per-``default`` cached means of untouched groups for the approximate
+  path (computed by the same fold :func:`repro.scenarios.analysis.\
+approximate_lift` uses, so the cached float is bit-identical).
+
+:meth:`WarmArtifact.ask_many` then replicates
+:meth:`CompressedProvenance.ask_many
+<repro.api.artifact.CompressedProvenance.ask_many>` step for step —
+same uniformity decision, same lifted assignments, same evaluator —
+and its answers are **bit-identical** to the facade's (asserted by the
+service bench stage and the property tests). Only the traversals are
+gone.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.valuation import Valuation
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable
+
+    from repro.api.artifact import Answer, CompressedProvenance, ScenarioLike
+    from repro.options import OptionsLike
+
+__all__ = ["WarmArtifact"]
+
+
+class WarmArtifact:
+    """A :class:`~repro.api.artifact.CompressedProvenance` plus the
+    precomputed serving state the store keeps resident per artifact."""
+
+    __slots__ = (
+        "artifact",
+        "_groups",
+        "_group_of",
+        "_leaf_to_label",
+        "_untouched_means",
+    )
+
+    def __init__(self, artifact: CompressedProvenance) -> None:
+        self.artifact = artifact
+        vvs = artifact.vvs
+        self._groups: tuple = tuple(
+            (label, tuple(vvs.group(label))) for label in vvs.labels
+        )
+        self._group_of: dict = dict(self._groups)
+        self._leaf_to_label: dict = {
+            leaf: label for label, group in self._groups for leaf in group
+        }
+        #: default value -> {label: untouched-group mean} (lazy).
+        self._untouched_means: dict = {}
+        # Warm the compiled evaluator now, not on the first request.
+        artifact.polynomials.compiled()
+
+    # ------------------------------------------------------------- lifting
+
+    def _means_for(self, default: float) -> dict:
+        """Mean of an all-``default`` group, per label, cached per default.
+
+        Replicates :func:`~repro.scenarios.analysis.approximate_lift`'s
+        exact fold (``sum([default] * n) / n``) — for most defaults that
+        equals ``default`` and the label is omitted from the lifted
+        assignment, but floating-point summation can drift for some
+        (e.g. ``default=0.1``, ``n=3``), and the warm path must drift
+        identically.
+        """
+        means = self._untouched_means.get(default)
+        if means is None:
+            means = {}
+            for label, group in self._groups:
+                values = [default] * len(group)
+                means[label] = sum(values) / len(values)
+            self._untouched_means[default] = means
+        return means
+
+    def lift_one(self, valuation: Valuation) -> tuple[Valuation, bool]:
+        """``(lifted, exact)`` for one valuation — the facade's per-
+        scenario decision, computed in O(changed variables).
+
+        Bit-identical to ``valuation.lift(vvs)`` when the valuation is
+        uniform on the cut and to ``approximate_lift(valuation, vvs)``
+        otherwise.
+        """
+        assignment = valuation.assignment
+        default = valuation.default
+        # Touched labels, first-touch order (dict preserves insertion).
+        touched: dict = {}
+        for variable in assignment:
+            label = self._leaf_to_label.get(variable)
+            if label is not None:
+                touched[label] = True
+        # Uniformity: untouched groups are all-default, hence uniform;
+        # only touched multi-leaf groups can break it (Valuation.
+        # is_uniform_on skips len<=1 groups the same way).
+        exact = True
+        for label in touched:
+            group = self._group_of[label]
+            if len(group) <= 1:
+                continue
+            first = assignment.get(group[0], default)
+            for leaf in group:
+                if assignment.get(leaf, default) != first:
+                    exact = False
+                    break
+            if not exact:
+                break
+        lifted = dict(assignment)
+        if exact:
+            # Valuation.lift: untouched groups contribute their unique
+            # value `default`, which the `value != default` guard drops
+            # — so only touched groups mutate the assignment.
+            for label in touched:
+                group = self._group_of[label]
+                value = assignment.get(group[0], default)
+                for leaf in group:
+                    lifted.pop(leaf, None)
+                if value != default:
+                    lifted[label] = value
+        else:
+            # approximate_lift walks every label; untouched groups fall
+            # back to the cached all-default mean.
+            means = self._means_for(default)
+            for label, group in self._groups:
+                if label in touched:
+                    values = [
+                        assignment.get(leaf, default) for leaf in group
+                    ]
+                    for leaf in group:
+                        lifted.pop(leaf, None)
+                    mean = sum(values) / len(values)
+                else:
+                    mean = means[label]
+                if mean != default:
+                    lifted[label] = mean
+        return Valuation(lifted, default=default), exact
+
+    # ------------------------------------------------------------ answering
+
+    def ask_many(
+        self,
+        scenarios: Iterable[ScenarioLike],
+        default: float = 1.0,
+        *,
+        options: OptionsLike = None,
+    ) -> list[Answer]:
+        """Answer a scenario family — bit-identical to
+        :meth:`CompressedProvenance.ask_many
+        <repro.api.artifact.CompressedProvenance.ask_many>`, with the
+        per-scenario lifting served from the warm index."""
+        from repro.api.artifact import Answer
+        from repro.scenarios.analysis import evaluate_scenarios
+
+        names = []
+        exacts = []
+        lifted = []
+        for index, item in enumerate(scenarios):
+            valuation = Valuation.coerce(item, default)
+            name = getattr(item, "name", None)
+            names.append(
+                str(name) if name is not None else f"scenario-{index}"
+            )
+            entry, exact = self.lift_one(valuation)
+            exacts.append(exact)
+            lifted.append(entry)
+        if not lifted:
+            return []
+        matrix = evaluate_scenarios(
+            self.artifact.polynomials, lifted, default=default,
+            options=options,
+        )
+        return [
+            Answer(name, tuple(float(v) for v in row), exact)
+            for name, exact, row in zip(names, exacts, matrix, strict=True)
+        ]
+
+    def ask(
+        self,
+        scenario: ScenarioLike,
+        default: float = 1.0,
+        *,
+        options: OptionsLike = None,
+    ) -> Answer:
+        """Answer one scenario via the warm index (see :meth:`ask_many`)."""
+        return self.ask_many([scenario], default=default, options=options)[0]

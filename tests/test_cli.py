@@ -289,14 +289,14 @@ class TestBench:
             "--output", str(output),
         ]) == 0
         document = json.loads(output.read_text())
-        assert document["schema"] == "repro-bench-core/6"
+        assert document["schema"] == "repro-bench-core/7"
         entry = document["runs"]["tiny"]
         assert entry["mode"] == "tiny"
         results = entry["results"]
         assert set(results) == {
             "greedy", "optimal", "abstraction", "batch_valuation",
             "sweep", "sweep_delta", "compress_scale", "artifact_io",
-            "session",
+            "session", "service",
         }
         assert results["greedy"]["speedup"] > 0
         assert results["compress_scale"]["speedup"] > 0

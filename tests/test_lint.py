@@ -251,7 +251,7 @@ class TestKeywordContract:
                 def run_all(polys, scenarios):
                     return polys.evaluate_batch(scenarios)
                 """,
-        })
+        }, select={"RPL006"})
         assert codes(findings) == ["RPL006"]
 
     def test_fires_when_engine_not_forwarded(self, tmp_path):
@@ -260,14 +260,14 @@ class TestKeywordContract:
                 def run_all(polys, scenarios, engine="auto"):
                     return polys.evaluate_batch(scenarios)
                 """,
-        })
+        }, select={"RPL006"})
         assert codes(findings) == ["RPL006"]
         assert "forward" in findings[0].message
 
     def test_silent_when_threaded_or_private(self, tmp_path):
         assert lint_tree(tmp_path, {
             "scenarios/analysis.py": """\
-                def run_all(polys, scenarios, engine="auto"):
+                def run_all(polys, scenarios, engine="auto", *, options=None):
                     return polys.evaluate_batch(scenarios, engine=engine)
 
                 def run_kwargs(polys, scenarios, **options):
@@ -277,6 +277,16 @@ class TestKeywordContract:
                     return polys.evaluate_batch(scenarios)
                 """,
         }) == []
+
+    def test_options_carrier_satisfies_contract(self, tmp_path):
+        # Forwarding the bundled options= knob counts as threading the
+        # engine contract end to end (the EvalOptions carrier, PR 8).
+        assert lint_tree(tmp_path, {
+            "scenarios/analysis.py": """\
+                def run_all(polys, scenarios, *, options=None):
+                    return polys.evaluate_batch(scenarios, options=options)
+                """,
+        }, select={"RPL006"}) == []
 
     def test_backend_contract_on_solver_sinks(self, tmp_path):
         findings = lint_tree(tmp_path, {
@@ -288,6 +298,42 @@ class TestKeywordContract:
         }, select={"RPL006"})
         assert codes(findings) == ["RPL006"]
         assert "backend" in findings[0].message
+
+
+class TestOptionsContract:
+    def test_fires_when_entry_point_lacks_options(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "api/artifact.py": """\
+                def answer_all(artifact, scenarios):
+                    return artifact.ask_many(scenarios)
+                """,
+        }, select={"RPL009"})
+        assert codes(findings) == ["RPL009"]
+        assert "options=" in findings[0].message
+
+    def test_silent_with_options_param_or_kwargs_or_private(self, tmp_path):
+        assert lint_tree(tmp_path, {
+            "scenarios/analysis.py": """\
+                def run_all(polys, scenarios, *, options=None):
+                    return polys.evaluate_batch(scenarios, options=options)
+
+                def run_kwargs(polys, scenarios, **kwargs):
+                    return polys.evaluate_batch(scenarios, **kwargs)
+
+                def _internal(polys, scenarios):
+                    return polys.evaluate_batch(scenarios)
+                """,
+        }, select={"RPL009"}) == []
+
+    def test_silent_outside_entry_point_paths(self, tmp_path):
+        # The mechanism layer (scenarios/parallel.py) keeps its plain
+        # keyword signatures — RPL009 only binds the facade/analysis.
+        assert lint_tree(tmp_path, {
+            "scenarios/parallel.py": """\
+                def evaluate_scenarios_parallel(polys, scenarios):
+                    return polys.evaluate_batch(scenarios, engine="auto")
+                """,
+        }, select={"RPL009"}) == []
 
 
 class TestExactCoefficients:
@@ -346,7 +392,7 @@ def write_bench_repo(tmp_path, *, rows, stages, results):
         f"CHECK_FIELDS = [\n{row_lines}\n]\n"
     )
     (tmp_path / "BENCH_core.json").write_text(json.dumps({
-        "schema": "repro-bench-core/6",
+        "schema": "repro-bench-core/7",
         "runs": {"full": {"results": results}},
     }))
     source = tmp_path / "src"

@@ -27,6 +27,14 @@ PUBLIC_MODULES = [
     "repro.api",
     "repro.api.session",
     "repro.api.artifact",
+    "repro.errors",
+    "repro.options",
+    "repro.service",
+    "repro.service.app",
+    "repro.service.store",
+    "repro.service.warm",
+    "repro.service.batcher",
+    "repro.service.http",
     "repro.semiring",
     "repro.engine",
     "repro.engine.sql",
