@@ -26,6 +26,14 @@ perf trajectory behind:
   the object backend (tuple-walking reference) against the columnar
   flat-array core, artifacts asserted identical (same VVS, same
   ML/VL, same monomial structure), with a contract floor of 5x;
+* **incremental** — live-artifact maintenance at the compress_scale
+  workload: appending a ~10% batch of polynomials via the repair-path
+  ``CompressedProvenance.refresh`` (delta abstraction + in-place
+  columnar/compiled repair, see ``repro.api.mutation``) against a
+  from-scratch ``ProvenanceSession.compress`` over the extended
+  provenance — the repaired artifact's ``ask_many`` answers asserted
+  bit-identical to a from-scratch recompress at the same cut, with a
+  contract floor of 5x;
 * **artifact_io** — loading a saved artifact at the compress_scale
   workload: the JSON envelope (full parse + object rebuild) against
   the binary ``.rpb`` container (``mmap`` + O(1) header read, NumPy
@@ -44,7 +52,7 @@ perf trajectory behind:
   a contract floor of 3x; also records p50/p99 latency and the
   coalesced batch-size histogram.
 
-The JSON document (schema ``repro-bench-core/7``) keys one run entry
+The JSON document (schema ``repro-bench-core/8``) keys one run entry
 per mode under ``runs`` and merges into an existing file, so the
 checked-in baseline can carry the ``full`` trajectory *and* the
 ``smoke`` entry CI gates on. ``--check BASELINE`` compares the current
@@ -96,7 +104,7 @@ from repro.util.timing import time_call
 from repro.workloads.random_polys import random_polynomials
 from repro.workloads.trees import layered_tree
 
-SCHEMA = "repro-bench-core/7"
+SCHEMA = "repro-bench-core/8"
 
 #: Stage names accepted by ``--stage`` (run order is fixed).
 STAGES = (
@@ -107,6 +115,7 @@ STAGES = (
     "sweep",
     "sweep_delta",
     "compress_scale",
+    "incremental",
     "artifact_io",
     "session",
     "service",
@@ -190,6 +199,11 @@ CHECK_FIELDS = (
     # least its 5x contract; the cap keeps a fast-box baseline from
     # demanding more than the contract elsewhere.
     ("compress_scale", "speedup", "higher", 5.0, None),
+    # Repair-path extend (delta abstraction + in-place index repair)
+    # must beat a from-scratch recompress of the extended provenance by
+    # at least 5x at compress_scale workload size — the incremental
+    # maintenance contract of ``repro.api.mutation``.
+    ("incremental", "speedup", "higher", 5.0, None),
     # mmap loads must beat JSON parsing by 10x at compress_scale
     # workload size — the zero-copy container's contract.
     ("artifact_io", "speedup", "higher", 10.0, None),
@@ -535,6 +549,129 @@ def bench_compress_scale(spec, repeat, seed=31):
         "seconds_columnar": columnar_seconds,
         "speedup": object_seconds / columnar_seconds
         if columnar_seconds else float("inf"),
+    }
+
+
+def bench_incremental(spec, repeat, seed=31):
+    """Repair-path extend vs. from-scratch recompress after an append.
+
+    Reuses the compress_scale workload shape (same pools, same forest,
+    same bound recipe) plus one anchor polynomial touching every leaf,
+    so the cleaned forest keeps its full alphabet whatever the random
+    draw. A ~10% batch of new polynomials then arrives and the two ways
+    of getting a current artifact race:
+
+    * **scratch** — ``ProvenanceSession.compress`` over the extended
+      provenance: full greedy solve + full ``P↓S`` materialization;
+    * **repair** — ``CompressedProvenance.refresh`` (the
+      ``repro.api.mutation`` pipeline): abstract only the delta under
+      the existing cut, extend the columnar arrays and the compiled
+      batch matrix in place, account losses arithmetically.
+
+    ``refresh`` consumes its artifact (the mutation happens in place),
+    so one fresh clone per repeat is rebuilt outside the timer via the
+    JSON round-trip and warmed with an ``ask_many`` (the compiled
+    evaluator the repair path must patch rather than rebuild). The
+    repaired artifact's polynomials *and* its ``ask_many`` answers are
+    asserted bit-identical to a from-scratch recompress at the same
+    cut — ``abstract(extended, vvs)`` through the object backend, the
+    tuple-walking reference — which is what makes the 5x contract a
+    claim about a shortcut, not a different answer.
+    """
+    from repro.api.artifact import CompressedProvenance
+    from repro.core.polynomial import Monomial, Polynomial, PolynomialSet
+
+    pool = [f"s{i}" for i in range(spec["leaves"])]
+    side_pool = [f"m{i}" for i in range(SIDE_TREE_LEAVES)]
+    anchor = Polynomial({Monomial.of(leaf): 1 for leaf in pool + side_pool})
+    base = PolynomialSet(list(random_polynomials(
+        spec["compress_polynomials"],
+        spec["compress_monomials"],
+        [pool, side_pool],
+        seed=seed,
+        extra_variables=spec["free_variables"],
+    )) + [anchor])
+    added = random_polynomials(
+        max(1, spec["compress_polynomials"] // 10),
+        spec["compress_monomials"],
+        [pool, side_pool],
+        seed=seed + 1,
+        extra_variables=spec["free_variables"],
+    )
+    extended = PolynomialSet(list(base) + list(added))
+    forest = AbstractionForest([
+        layered_tree(pool, spec["fanouts"], prefix="sup"),
+        layered_tree(side_pool, (4,), prefix="q"),
+    ]).clean(base)
+    bound = max(1, base.num_monomials // 3)
+    options = EvalOptions(backend="columnar")
+    template = ProvenanceSession.from_polynomials(base, forest).compress(
+        bound, options=options
+    )
+    scenarios = build_scenarios(base, 32, seed=17)
+
+    # One pre-warmed clone per repeat: refresh mutates its artifact, so
+    # a timed repeat must never see an already-extended one.
+    payload = serialize.artifact_to_dict(template)
+    clones = []
+    for _ in range(repeat):
+        clone = serialize.artifact_from_dict(payload)
+        clone.ask_many(scenarios)
+        clones.append(clone)
+    mutations = []
+
+    def repair():
+        mutation = clones.pop().refresh(
+            added, drift_limit=float("inf"), options=options
+        )
+        mutations.append(mutation)
+        return mutation
+
+    repair_seconds, mutation = time_call(repair, repeat=repeat)
+    scratch_session = ProvenanceSession.from_polynomials(extended, forest)
+    scratch_seconds, scratch = time_call(
+        scratch_session.compress, bound, options=options, repeat=repeat
+    )
+
+    if mutation.path != "repaired":
+        raise AssertionError(f"extend fell back to {mutation.path}")
+    repaired = mutation.artifact
+    reference = CompressedProvenance(
+        abstract(extended, repaired.vvs, backend="object"),
+        repaired.forest,
+        repaired.vvs,
+        algorithm=repaired.algorithm,
+        bound=repaired.bound,
+        original_size=extended.num_monomials,
+        original_granularity=extended.num_variables,
+        monomial_loss=repaired.monomial_loss,
+        variable_loss=repaired.variable_loss,
+    )
+    if repaired.polynomials != reference.polynomials:
+        raise AssertionError("repaired artifact diverged from same-cut rebuild")
+    if (repaired.original_size, repaired.original_granularity) != (
+        reference.original_size, reference.original_granularity
+    ):
+        raise AssertionError("repaired artifact misaccounted the originals")
+    repaired_answers = [a.values for a in repaired.ask_many(scenarios)]
+    rebuilt_answers = [a.values for a in reference.ask_many(scenarios)]
+    if repaired_answers != rebuilt_answers:
+        raise AssertionError("repaired answers diverged from recompress")
+    return {
+        "bound": bound,
+        "polynomials": len(extended),
+        "monomials": extended.num_monomials,
+        "added_polynomials": mutation.added_polynomials,
+        "added_monomials": mutation.added_monomials,
+        "drift": mutation.drift,
+        "path": mutation.path,
+        "revision": mutation.revision,
+        "scratch_algorithm": scratch.algorithm,
+        "scenarios": len(scenarios),
+        "seconds_scratch": scratch_seconds,
+        "seconds_repair": repair_seconds,
+        "speedup": scratch_seconds / repair_seconds
+        if repair_seconds else float("inf"),
     }
 
 
@@ -1070,6 +1207,15 @@ def run(mode="full", repeat=3, output=None, quiet=False, write=True,
             "{seconds_columnar:.3f}s ({speedup:.1f}x end-to-end over "
             "{monomials} monomials, {algorithm})".format(
                 **results["compress_scale"]
+            )
+        )
+    if wanted("incremental"):
+        results["incremental"] = bench_incremental(MODES[mode], repeat)
+        say(
+            "incremental: scratch {seconds_scratch:.3f}s -> repair "
+            "{seconds_repair:.3f}s ({speedup:.1f}x, +{added_monomials} "
+            "monomials appended, drift {drift:.2f}, {path})".format(
+                **results["incremental"]
             )
         )
     if wanted("artifact_io"):

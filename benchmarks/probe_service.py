@@ -4,9 +4,12 @@ Boots the real server through its CLI entry point (``python -m repro
 serve``), creates an artifact over HTTP, fires **50 concurrent
 single-scenario asks** from a thread fleet, and verifies every answer
 bit-identically against a direct in-process ``ask_many`` over the same
-scenarios. Also checks the error mapping (unknown artifact → 404) and
-that ``/healthz`` reports the traffic. Exits non-zero on any mismatch —
-the CI job gate.
+scenarios. Then extends the artifact over HTTP
+(``POST /artifacts/{id}/extend``) and asks the *new* artifact id the
+same scenarios, verifying against an in-process repair-path
+``refresh`` — the live-artifact round trip. Also checks the error
+mapping (unknown artifact → 404) and that ``/healthz`` reports the
+traffic. Exits non-zero on any mismatch — the CI job gate.
 
 Usage::
 
@@ -34,6 +37,12 @@ POLYNOMIALS = [
 ]
 FOREST = [["SB", ["b1", "b2", "b3"]], ["SM", ["m1", "m2"]]]
 BOUND = 3
+
+#: Appended over HTTP after the barrage — the extend round-trip probe.
+EXTEND_POLYNOMIALS = [
+    "3*b1*m2 + 2*b2*m1",
+    "b3*m2 + 4*b1*m1",
+]
 
 
 def request(port, method, path, body=None):
@@ -73,17 +82,29 @@ def boot_server(spool):
 
 
 def expected_answers(scenarios):
+    """In-process ground truth: answers before the extend and after an
+    identical repair-path ``session.extend``."""
     from repro.api.session import ProvenanceSession
+    from repro.core.parser import parse_set
 
     session = ProvenanceSession.from_strings(
         POLYNOMIALS,
         forest=[(tree[0], tree[1]) for tree in FOREST],
     )
     artifact = session.compress(BOUND, algorithm="greedy")
-    return [
+    before = [
         answer.values
         for answer in artifact.ask_many([dict(s) for s in scenarios])
     ]
+    result = session.extend(
+        parse_set(EXTEND_POLYNOMIALS), artifact, drift_limit=10.0
+    )
+    assert result.path == "repaired", result.path
+    after = [
+        answer.values
+        for answer in result.artifact.ask_many([dict(s) for s in scenarios])
+    ]
+    return before, after
 
 
 def main():
@@ -91,7 +112,7 @@ def main():
         {"b1": 0.5 + 0.01 * index, "m1": 1.5 - 0.01 * index}
         for index in range(PROBE_REQUESTS)
     ]
-    expected = expected_answers(scenarios)
+    expected, expected_extended = expected_answers(scenarios)
 
     with tempfile.TemporaryDirectory() as spool:
         process, port = boot_server(spool)
@@ -152,6 +173,39 @@ def main():
                 f"{PROBE_REQUESTS} concurrent asks in {seconds:.2f}s "
                 f"({PROBE_REQUESTS / seconds:.0f} req/s), all bit-identical; "
                 f"batches: {health['batcher']['batch_size_histogram']}"
+            )
+
+            # Extend-then-ask round trip: the live-artifact path.
+            status, extended = request(
+                port, "POST", f"/artifacts/{artifact_id}/extend",
+                {"polynomials": EXTEND_POLYNOMIALS, "drift_limit": 10.0},
+            )
+            assert status == 201, (status, extended)
+            assert extended["path"] == "repaired", extended
+            assert extended["revision"] == 1, extended
+            extended_id = extended["id"]
+            assert extended_id != artifact_id, "extend must mint a new id"
+            for index, scenario in enumerate(scenarios):
+                status, body = request(
+                    port, "POST", f"/artifacts/{extended_id}/ask",
+                    {"scenario": {"changes": scenario}},
+                )
+                assert status == 200, (status, body)
+                answer = tuple(body["answers"][0]["values"])
+                assert answer == expected_extended[index], (
+                    f"extended answer diverged at scenario {index}"
+                )
+            # The source artifact is immutable server-side: same id,
+            # same answers as before the extend.
+            status, body = request(
+                port, "POST", f"/artifacts/{artifact_id}/ask",
+                {"scenario": {"changes": scenarios[0]}},
+            )
+            assert status == 200, (status, body)
+            assert tuple(body["answers"][0]["values"]) == expected[0]
+            print(
+                f"extend round trip OK: {extended_id[:16]}… at revision "
+                f"{extended['revision']}, {len(scenarios)} asks bit-identical"
             )
         finally:
             process.terminate()

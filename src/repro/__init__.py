@@ -98,6 +98,7 @@ __all__ = [
     "ProvenanceSession",
     "CompressedProvenance",
     "Answer",
+    "MutationResult",
     "__version__",
 ]
 
@@ -126,6 +127,7 @@ _LAZY_EXPORTS = {
     "ProvenanceSession": ("repro.api.session", "ProvenanceSession"),
     "CompressedProvenance": ("repro.api.artifact", "CompressedProvenance"),
     "Answer": ("repro.api.artifact", "Answer"),
+    "MutationResult": ("repro.api.mutation", "MutationResult"),
 }
 
 

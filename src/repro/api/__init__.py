@@ -7,13 +7,24 @@
   compression artifact; ``ask`` / ``ask_many`` answer scenarios with
   an exactness flag; one JSON envelope via
   :mod:`repro.core.serialize`;
-* :class:`~repro.api.artifact.Answer` — values + ``exact``.
+* :class:`~repro.api.artifact.Answer` — values + ``exact``;
+* :class:`~repro.api.mutation.MutationResult` — the unified return
+  shape of every artifact mutation (``session.extend`` /
+  ``artifact.refresh`` / the CLI and service ``extend`` surfaces).
 
 Algorithm selection goes through
 :mod:`repro.algorithms.registry` (``"auto"`` policy included).
 """
 
 from repro.api.artifact import Answer, CompressedProvenance
+from repro.api.mutation import MutationResult, extend_artifact
 from repro.api.session import ProvenanceSession, as_forest
 
-__all__ = ["ProvenanceSession", "CompressedProvenance", "Answer", "as_forest"]
+__all__ = [
+    "ProvenanceSession",
+    "CompressedProvenance",
+    "Answer",
+    "MutationResult",
+    "extend_artifact",
+    "as_forest",
+]

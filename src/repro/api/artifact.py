@@ -40,6 +40,8 @@ if TYPE_CHECKING:
     from typing import Union
 
     from repro.algorithms.result import AbstractionResult
+    from repro.api.mutation import MutationResult
+    from repro.api.session import PolynomialsLike
     from repro.core.forest import AbstractionForest
     from repro.options import OptionsLike
     from repro.scenarios.scenario import Scenario
@@ -98,6 +100,7 @@ class CompressedProvenance:
         "original_granularity",
         "monomial_loss",
         "variable_loss",
+        "revision",
     )
 
     def __init__(
@@ -112,6 +115,7 @@ class CompressedProvenance:
         original_granularity: int,
         monomial_loss: int,
         variable_loss: int,
+        revision: int = 0,
     ) -> None:
         if not isinstance(polynomials, PolynomialSet):
             raise TypeError(
@@ -130,6 +134,10 @@ class CompressedProvenance:
         self.original_granularity = int(original_granularity)
         self.monomial_loss = int(monomial_loss)
         self.variable_loss = int(variable_loss)
+        # Lineage counter, bumped by every mutation (extend / refresh).
+        # Not part of __eq__: a repaired artifact and a from-scratch one
+        # with the same content compare equal whatever their histories.
+        self.revision = int(revision)
 
     @classmethod
     def from_result(
@@ -211,6 +219,7 @@ class CompressedProvenance:
             "variable_loss": self.variable_loss,
             "compression_ratio": self.compression_ratio,
             "mmap_active": self.mmap_active,
+            "revision": self.revision,
         }
 
     def __len__(self) -> int:
@@ -310,6 +319,49 @@ class CompressedProvenance:
             Answer(name, tuple(float(v) for v in row), exact)
             for name, exact, row in zip(names, exacts, matrix, strict=True)
         ]
+
+    # -------------------------------------------------------------- mutation
+
+    def refresh(
+        self,
+        polynomials: PolynomialsLike,
+        *,
+        drift_limit: float | None = None,
+        options: OptionsLike = None,
+    ) -> MutationResult:
+        """Append original provenance to this artifact incrementally.
+
+        ``polynomials`` are *original* (unabstracted) provenance; they
+        are abstracted under this artifact's existing cut and appended
+        in place — the columnar arrays, the compiled batch matrix and
+        the delta-engine index are repaired, not rebuilt (see
+        :mod:`repro.api.mutation`). Returns a
+        :class:`~repro.api.mutation.MutationResult` whose ``artifact``
+        is the extended artifact (revision bumped); this artifact is
+        consumed by the mutation.
+
+        A bare artifact has no original provenance, so there is no
+        recompress fallback here: when the appended monomials drift the
+        abstracted size more than ``drift_limit`` past the bound
+        (default :data:`~repro.api.mutation.DEFAULT_DRIFT_LIMIT`), a
+        :class:`~repro.errors.CompressionError` is raised — keep the
+        originals in a :class:`~repro.api.session.ProvenanceSession`
+        and use :meth:`~repro.api.session.ProvenanceSession.extend` to
+        get the exact recompression fallback.
+
+        :param options: an :class:`~repro.options.EvalOptions` (or a
+            mapping of its fields); only ``backend`` applies — it picks
+            the delta-abstraction engine.
+        """
+        from repro.api.mutation import extend_artifact
+
+        return extend_artifact(
+            self,
+            polynomials,
+            drift_limit=drift_limit,
+            options=options,
+            where="CompressedProvenance.refresh",
+        )
 
     # ----------------------------------------------------------- persistence
 

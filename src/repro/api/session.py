@@ -42,6 +42,7 @@ if TYPE_CHECKING:
     from typing import Union
 
     from repro.api.artifact import Answer, ScenarioLike
+    from repro.api.mutation import MutationResult
     from repro.core.statistics import ProvenanceProfile
     from repro.engine.table import Relation
     from repro.options import OptionsLike
@@ -101,9 +102,13 @@ def as_forest(spec: ForestSpec) -> AbstractionForest | None:
 class ProvenanceSession:
     """Captured provenance plus its abstraction forest, ready to compress.
 
-    Sessions are immutable: :meth:`with_forest` returns a new session,
-    :meth:`compress` returns an artifact and leaves the session usable
-    for further compressions at other bounds/algorithms.
+    Sessions hold the *original* provenance: :meth:`with_forest`
+    returns a new session, :meth:`compress` returns an artifact and
+    leaves the session usable for further compressions at other
+    bounds/algorithms. The one mutator is :meth:`extend` — streaming
+    provenance appends to the session in place (repairing its cached
+    columnar/compiled views) and maintains a compressed artifact
+    incrementally.
     """
 
     __slots__ = ("polynomials", "forest")
@@ -329,6 +334,71 @@ class ProvenanceSession:
         return CompressedProvenance.from_result(
             result, self.polynomials, algorithm=name, bound=bound,
             backend=opts.backend,
+        )
+
+    # --------------------------------------------------------------- extend
+
+    def extend(
+        self,
+        polynomials: PolynomialsLike,
+        artifact: CompressedProvenance,
+        *,
+        drift_limit: float | None = None,
+        options: OptionsLike = None,
+    ) -> MutationResult:
+        """Append provenance to the session *and* an artifact it produced.
+
+        The streaming counterpart of :meth:`compress`: ``polynomials``
+        (new original provenance — fresh tuples' annotations) are
+        appended to this session in place, and ``artifact`` (previously
+        compressed from this session's provenance) is maintained
+        incrementally — its abstracted polynomials, columnar arrays,
+        compiled batch matrix and delta-engine index are *repaired*
+        under the existing cut rather than rebuilt (see
+        :mod:`repro.api.mutation`). When the appended monomials drift
+        the abstracted size more than ``drift_limit`` past the bound
+        (default :data:`~repro.api.mutation.DEFAULT_DRIFT_LIMIT`), an
+        exact from-scratch recompression over the full extended
+        provenance runs instead — that fallback is why the session
+        entry point exists; a bare
+        :meth:`CompressedProvenance.refresh
+        <repro.api.artifact.CompressedProvenance.refresh>` has no
+        originals and raises on drift overflow.
+
+        Returns a :class:`~repro.api.mutation.MutationResult`; its
+        ``artifact`` replaces the input artifact (which is consumed —
+        its polynomial set may have been extended in place), ``path``
+        says whether repair (``"repaired"``) or the fallback
+        (``"recompressed"``) ran, and ``drift`` quantifies the bound
+        overshoot that steered the choice.
+
+        :param options: an :class:`~repro.options.EvalOptions` (or a
+            mapping of its fields); only ``backend`` applies — it is
+            forwarded to the delta abstraction and, on the fallback
+            path, to :meth:`compress`.
+        :raises CompatibilityError: when ``polynomials`` mention a
+            meta-variable of the forest.
+        """
+        from repro.api.mutation import extend_artifact
+
+        opts = EvalOptions.coerce(options)
+        if isinstance(polynomials, (Polynomial, PolynomialSet)):
+            added = ensure_set(polynomials)
+        else:
+            added = PolynomialSet(polynomials)
+        # Grow the session first (repairing its caches in place): the
+        # recompress fallback must see the full extended provenance.
+        self.polynomials.extend(added.polynomials)
+        return extend_artifact(
+            artifact,
+            added,
+            originals=self.polynomials,
+            recompress=lambda: self.compress(
+                artifact.bound, algorithm=artifact.algorithm, options=opts,
+            ),
+            drift_limit=drift_limit,
+            options=opts,
+            where="ProvenanceSession.extend",
         )
 
     @staticmethod

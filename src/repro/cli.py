@@ -9,6 +9,8 @@ analysts. This CLI is that pipeline::
         --bound 500 --algorithm greedy --output compressed.json \
         --vvs-output cut.json --artifact artifact.json
     python -m repro ask      artifact.json --set m1=0.8
+    python -m repro extend   artifact.json --added delta.json \
+        --provenance provenance.json --output artifact2.rpb
     python -m repro sweep    artifact.json --oaat all \
         --multipliers 0.8,1.2 --workers 4 --top-k 5 --sensitivity
     python -m repro valuate  compressed.json --set q1=0.8 --set Business=1.1
@@ -111,6 +113,45 @@ def _cmd_compress(args):
     if args.artifact:
         artifact.save(args.artifact, format=args.format)
         print(f"wrote compression artifact to {args.artifact}")
+    return 0
+
+
+def _cmd_extend(args):
+    """Append provenance to an artifact incrementally (`repro extend`)."""
+    from repro.errors import CompressionError
+
+    artifact = CompressedProvenance.load(args.artifact, mmap=False)
+    added = _load(args.added, PolynomialSet)
+    options = EvalOptions(backend=args.backend)
+    try:
+        if args.provenance:
+            # With the originals on hand the drift fallback can run an
+            # exact recompression; the artifact file carries the forest.
+            provenance = _load(args.provenance, PolynomialSet)
+            session = ProvenanceSession(provenance, artifact.forest)
+            result = session.extend(
+                added, artifact,
+                drift_limit=args.drift_limit, options=options,
+            )
+        else:
+            result = artifact.refresh(
+                added, drift_limit=args.drift_limit, options=options,
+            )
+    except CompressionError as error:
+        raise SystemExit(str(error)) from None
+    extended = result.artifact
+    print(f"path:          {result.path}")
+    print(f"drift:         {result.drift:.4f} (limit {result.drift_limit})")
+    print(f"appended:      {result.added_polynomials} polynomials, "
+          f"{result.added_monomials} monomials")
+    print(f"revision:      {result.revision}")
+    print(f"size:          {extended.original_size} -> "
+          f"{extended.abstracted_size}")
+    print(f"granularity:   {extended.original_granularity} -> "
+          f"{extended.abstracted_granularity}")
+    if args.output:
+        extended.save(args.output, format=args.format)
+        print(f"wrote extended artifact to {args.output}")
     return 0
 
 
@@ -417,6 +458,37 @@ def build_parser():
                                "(default: auto; `ask`/`sweep` detect "
                                "either by magic bytes)")
     compress.set_defaults(run=_cmd_compress)
+
+    extend = commands.add_parser(
+        "extend",
+        help="append provenance to an artifact incrementally",
+    )
+    extend.add_argument("artifact",
+                        help="a compression artifact, JSON envelope or "
+                             "binary .rpb container")
+    extend.add_argument("--added", required=True,
+                        help="polynomial_set JSON with the appended "
+                             "(original, unabstracted) provenance")
+    extend.add_argument("--provenance",
+                        help="the full original provenance the artifact "
+                             "was compressed from; enables the exact "
+                             "recompress fallback when drift exceeds "
+                             "the limit (without it, overflow fails)")
+    extend.add_argument("--drift-limit", type=float, default=None,
+                        dest="drift_limit",
+                        help="bound-overshoot fraction tolerated before "
+                             "falling back to recompression "
+                             "(default 0.25)")
+    extend.add_argument("--backend", choices=["object", "columnar", "auto"],
+                        default="auto",
+                        help="delta abstraction engine (default: auto)")
+    extend.add_argument("--output",
+                        help="write the extended artifact here")
+    extend.add_argument("--format", choices=["json", "bin", "auto"],
+                        default="auto",
+                        help="artifact encoding for --output "
+                             "(default: auto by suffix)")
+    extend.set_defaults(run=_cmd_extend)
 
     ask = commands.add_parser(
         "ask", help="answer scenarios against a compression artifact"

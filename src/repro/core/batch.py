@@ -227,6 +227,91 @@ class _DeltaIndex:
         )
         self.column_cache = {}
 
+    def extend(self, local_layers, base_rows, added_rows, poly_starts,
+               num_variables):
+        """Grow the index by appended monomial rows — never rebuilt.
+
+        ``local_layers`` are the appended part's layer tuples with
+        selectors in *local* coordinates (always concrete, never
+        ``None``); the appended rows occupy ``[base_rows, base_rows +
+        added_rows)``. The padded factor matrices grow by trailing
+        columns (and trailing layer rows when the appended monomials
+        are deeper), the per-column CSR gains each column's new rows at
+        the end of its segment (rows stay ascending: every new row id
+        exceeds every old one), and only the single-column plans of
+        columns that actually gained rows are dropped from the cache —
+        untouched columns keep their plans, whose gathers reference old
+        rows and old polynomial runs exclusively.
+        """
+        old_depth = self.pad_cols.shape[0]
+        depth = max(old_depth, len(local_layers))
+        total = base_rows + added_rows
+        pad_cols = numpy.zeros((depth, total), dtype=numpy.intp)
+        pad_exps = numpy.ones((depth, total), dtype=numpy.int64)
+        pad_cols[:old_depth, :base_rows] = self.pad_cols
+        pad_exps[:old_depth, :base_rows] = self.pad_exps
+        depths = numpy.zeros(total, dtype=numpy.intp)
+        depths[:base_rows] = self.depths
+        row_parts = []
+        col_parts = []
+        for j, (selector, cols, nonunit, exps) in enumerate(local_layers):
+            rows = base_rows + selector
+            depths[rows] += 1
+            pad_cols[j, rows] = cols
+            full_exps = numpy.ones(len(cols), dtype=numpy.int64)
+            full_exps[nonunit] = exps
+            pad_exps[j, rows] = full_exps
+            real = full_exps != 0
+            row_parts.append(rows[real])
+            col_parts.append(cols[real])
+        new_rows = (
+            numpy.concatenate(row_parts)
+            if row_parts
+            else numpy.zeros(0, dtype=numpy.intp)
+        )
+        new_cols = (
+            numpy.concatenate(col_parts)
+            if col_parts
+            else numpy.zeros(0, dtype=numpy.intp)
+        )
+        from repro.core.columnar import gather_ranges, invert_index
+
+        old_vars = len(self.col_starts) - 1
+        old_counts = numpy.diff(self.col_starts)
+        if num_variables > old_vars:
+            old_counts = numpy.concatenate(
+                [
+                    old_counts,
+                    numpy.zeros(num_variables - old_vars, dtype=numpy.intp),
+                ]
+            )
+        added_starts, order = invert_index(
+            new_cols, num_variables, secondary=new_rows
+        )
+        added_counts = numpy.diff(added_starts)
+        counts = old_counts + added_counts
+        starts = numpy.zeros(num_variables + 1, dtype=numpy.intp)
+        numpy.cumsum(counts, out=starts[1:])
+        col_rows = numpy.empty(int(counts.sum()), dtype=numpy.intp)
+        col_rows[gather_ranges(starts[:-1], old_counts)] = self.col_rows
+        col_rows[gather_ranges(starts[:-1] + old_counts, added_counts)] = (
+            new_rows[order]
+        )
+        for col in numpy.flatnonzero(added_counts).tolist():
+            self.column_cache.pop(col, None)
+        self.depths = depths
+        self.pad_cols = pad_cols
+        self.pad_exps = pad_exps
+        self.col_starts = starts
+        self.col_rows = col_rows
+        self.mono_poly = numpy.repeat(
+            numpy.arange(len(poly_starts) - 1, dtype=numpy.intp),
+            numpy.diff(poly_starts),
+        )
+        self.any_nonunit = bool(
+            ((self.pad_exps != 1) & (self.pad_exps != 0)).any()
+        )
+
 
 class CompiledPolynomialSet:
     """A polynomial multiset compiled to NumPy arrays for batch valuation.
@@ -327,6 +412,131 @@ class CompiledPolynomialSet:
         # Delta-engine structures are derived lazily (and locally after
         # unpickling) — dense-only users never build them.
         self._delta = None
+        self._baselines = {}
+        self._source = None
+
+    def extend(self, polynomials):
+        """Grow the compiled matrix by appended polynomials, in place.
+
+        The incremental counterpart of compiling from scratch: the
+        appended monomials become trailing rows (old row indices — and
+        the float summation order of every old polynomial — are
+        untouched), new variables become trailing columns (old columns
+        keep their indices), each existing layer grows by concatenation
+        (appended selectors sort after every old row), and deeper
+        layers are appended when the new monomials need them. The
+        delta-engine index, when already built, is extended by the same
+        rows via :meth:`_DeltaIndex.extend` — never rebuilt. Baselines
+        are dropped (their row width changed) and ``_source`` is
+        cleared (an extended set no longer matches its file).
+
+        A fresh compile of the concatenated set may number columns
+        differently (it sorts the whole alphabet), but per-row factor
+        order and per-polynomial reduction order are identical, so
+        evaluation answers are bit-identical to a from-scratch compile
+        — the contract the incremental-maintenance property tests pin.
+        """
+        from repro.core.polynomial import PolynomialSet
+
+        added = PolynomialSet(list(polynomials))
+        if not len(added):
+            return
+        cm = added.columnar()
+        new_vids = sorted(set(added.variable_ids()) - set(self._columns))
+        start = len(self._columns)
+        for col, vid in enumerate(new_vids, start=start):
+            self._columns[vid] = col
+        self.num_variables = max(1, len(self._columns))
+
+        # Normalization of the appended part, exactly as in __init__.
+        rows = cm.num_monomials
+        lengths = cm.row_lengths
+        poly_rows = numpy.diff(cm.poly_starts)
+        added_polys = cm.num_polynomials
+        pad_before = numpy.zeros(added_polys, dtype=numpy.intp)
+        numpy.cumsum(poly_rows[:-1] == 0, out=pad_before[1:])
+        total = rows + int((poly_rows == 0).sum())
+        final_idx = (
+            numpy.arange(rows, dtype=numpy.intp) + pad_before[cm.row_poly]
+        )
+        coeffs = numpy.zeros(total, dtype=numpy.float64)
+        coeffs[final_idx] = numpy.asarray(
+            [float(coeff) for coeff in cm.coeffs], dtype=numpy.float64
+        )
+        base_total = self.num_monomials
+        self._coeffs = numpy.concatenate([self._coeffs, coeffs])
+        run_lengths = numpy.maximum(poly_rows, 1)
+        new_starts = numpy.empty(added_polys, dtype=numpy.intp)
+        numpy.cumsum(run_lengths, out=new_starts)
+        self._poly_starts = numpy.concatenate(
+            [self._poly_starts, base_total + new_starts]
+        )
+
+        eff_len = numpy.ones(total, dtype=numpy.intp)
+        eff_len[final_idx] = numpy.maximum(lengths, 1)
+        real_len = numpy.zeros(total, dtype=numpy.intp)
+        real_len[final_idx] = lengths
+        flat_start = numpy.zeros(total, dtype=numpy.intp)
+        flat_start[final_idx] = cm.row_starts[:-1]
+        col_of = numpy.zeros(max(cm.max_vid(), -1) + 2, dtype=numpy.intp)
+        present = sorted(added.variable_ids())
+        if present:
+            col_of[numpy.asarray(present, dtype=numpy.intp)] = numpy.asarray(
+                [self._columns[vid] for vid in present], dtype=numpy.intp
+            )
+        cols_flat = col_of[cm.vids]
+
+        old_depth = len(self._layers)
+        depth = int(eff_len.max()) if total else 0
+        layers = list(self._layers)
+        local_layers = []
+        for j in range(depth):
+            select = numpy.flatnonzero(eff_len > j)
+            has_real = real_len[select] > j
+            cols = numpy.zeros(len(select), dtype=numpy.intp)
+            exps = numpy.zeros(len(select), dtype=numpy.int64)
+            source = flat_start[select[has_real]] + j
+            cols[has_real] = cols_flat[source]
+            exps[has_real] = cm.exps[source]
+            nonunit = numpy.nonzero(exps != 1)[0]
+            local_layers.append((select, cols, nonunit, exps[nonunit]))
+            if j < old_depth:
+                old_selector, old_cols, old_nonunit, old_exps = layers[j]
+                merged_selector = (
+                    None
+                    if old_selector is None
+                    else numpy.concatenate(
+                        [old_selector, base_total + select]
+                    )
+                )
+                layers[j] = (
+                    merged_selector,
+                    numpy.concatenate([old_cols, cols]),
+                    numpy.concatenate(
+                        [old_nonunit, nonunit + len(old_cols)]
+                    ),
+                    numpy.concatenate([old_exps, exps[nonunit]]),
+                )
+            else:
+                # Old layer 0 has selector None (it covers every old
+                # row); a genuinely new layer needs one — except when
+                # the set was empty, where layer 0 still covers all.
+                selector = (
+                    None
+                    if j == 0 and base_total == 0
+                    else base_total + select
+                )
+                layers.append((selector, cols, nonunit, exps[nonunit]))
+
+        self._layers = layers
+        self.num_monomials = base_total + total
+        self.num_polynomials += added_polys
+        self._mean_touches = self._compute_mean_touches()
+        if self._delta is not None:
+            self._delta.extend(
+                local_layers, base_total, total,
+                self._poly_starts, self.num_variables,
+            )
         self._baselines = {}
         self._source = None
 

@@ -245,6 +245,7 @@ def write_artifact(artifact, path):
             "original_granularity": artifact.original_granularity,
             "monomial_loss": artifact.monomial_loss,
             "variable_loss": artifact.variable_loss,
+            "revision": artifact.revision,
         },
         "forest": serialize.forest_to_dict(artifact.forest),
         "vvs": sorted(artifact.vvs.labels),
@@ -605,6 +606,7 @@ def read_artifact(path, mmap=True):
             original_granularity=stats["original_granularity"],
             monomial_loss=stats["monomial_loss"],
             variable_loss=stats["variable_loss"],
+            revision=stats.get("revision", 0),
         )
     except (KeyError, TypeError, IndexError) as error:
         raise SerializeError(f"{path}: corrupt artifact container: {error}") from error

@@ -274,6 +274,70 @@ class ColumnarMultiset:
         self._factor_rows = None
         return self
 
+    def extend(self, polynomials):
+        """Append the rows of ``polynomials`` in place (incremental path).
+
+        The exact extraction loop of ``__init__`` run over the new
+        polynomials with the existing arrays as the offset base, so the
+        extended multiset is array-identical to a from-scratch build of
+        the concatenated set — the invariant the incremental artifact
+        pipeline (``ProvenanceSession.extend``) is pinned on. Callers
+        must append the same polynomials to the owning
+        :class:`~repro.core.polynomial.PolynomialSet` (done by
+        :meth:`PolynomialSet.extend
+        <repro.core.polynomial.PolynomialSet.extend>`).
+        """
+        vids = []
+        exps = []
+        row_starts = []
+        poly_starts = []
+        coeffs = []
+        base_factors = len(self.vids)
+        base_rows = self.num_monomials
+        for polynomial in polynomials:
+            for coeff, monomial in polynomial:
+                coeffs.append(coeff)
+                for vid, exp in monomial.key:
+                    vids.append(vid)
+                    exps.append(exp)
+                row_starts.append(base_factors + len(vids))
+            poly_starts.append(base_rows + len(coeffs))
+        added_polys = len(poly_starts)
+        if not added_polys:
+            return
+        self.vids = numpy.concatenate(
+            [self.vids, numpy.asarray(vids, dtype=numpy.intp)]
+        )
+        self.exps = numpy.concatenate(
+            [self.exps, numpy.asarray(exps, dtype=numpy.int64)]
+        )
+        self.row_starts = numpy.concatenate(
+            [self.row_starts, numpy.asarray(row_starts, dtype=numpy.intp)]
+        )
+        starts = numpy.empty(added_polys + 1, dtype=numpy.intp)
+        starts[0] = base_rows
+        starts[1:] = poly_starts
+        self.row_poly = numpy.concatenate(
+            [
+                self.row_poly,
+                numpy.repeat(
+                    numpy.arange(
+                        self.num_polynomials,
+                        self.num_polynomials + added_polys,
+                        dtype=numpy.intp,
+                    ),
+                    numpy.diff(starts),
+                ),
+            ]
+        )
+        self.poly_starts = numpy.concatenate(
+            [self.poly_starts, starts[1:]]
+        )
+        self.coeffs.extend(coeffs)
+        self.num_polynomials += added_polys
+        self.num_monomials += len(coeffs)
+        self._factor_rows = None
+
     def to_polynomial_set(self):
         """Materialize the multiset back into a ``PolynomialSet``.
 

@@ -519,7 +519,8 @@ class PolynomialSet:
 
     The paper's measures lift point-wise: ``|P|_M`` sums monomial counts
     and ``V(P)`` / ``|P|_V`` union variables. Both are cached; the cache
-    is invalidated by :meth:`append` (the only mutator).
+    is invalidated by :meth:`append` and *repaired* (not dropped) by
+    :meth:`extend`, the streaming-provenance mutator.
 
     >>> ps = PolynomialSet([Polynomial.variable("x"), Polynomial.variable("x")])
     >>> ps.num_monomials, ps.num_variables
@@ -545,6 +546,39 @@ class PolynomialSet:
         self._vids = None
         self._compiled = None
         self._columnar = None
+
+    def extend(self, polynomials):
+        """Append many polynomials, *repairing* the caches in place.
+
+        The incremental counterpart of :meth:`append`: instead of
+        dropping the cached variable union, columnar view and compiled
+        evaluator, each one (when already built) is extended by exactly
+        the appended polynomials —
+        :meth:`ColumnarMultiset.extend
+        <repro.core.columnar.ColumnarMultiset.extend>` appends factor
+        rows to the CSR arrays and
+        :meth:`CompiledPolynomialSet.extend
+        <repro.core.batch.CompiledPolynomialSet.extend>` grows the batch
+        matrix by trailing rows/layers. Unbuilt caches stay unbuilt.
+        """
+        added = list(polynomials)
+        for p in added:
+            if not isinstance(p, Polynomial):
+                raise TypeError(
+                    f"expected Polynomial, got {type(p).__name__}"
+                )
+        if not added:
+            return
+        self.polynomials.extend(added)
+        if self._vids is not None:
+            out = set(self._vids)
+            for p in added:
+                out.update(p.variable_ids())
+            self._vids = frozenset(out)
+        if self._columnar is not None:
+            self._columnar.extend(added)
+        if self._compiled is not None:
+            self._compiled.extend(added)
 
     def __reduce__(self):
         """Pickle the polynomials; compiled/columnar caches are rebuilt."""

@@ -179,6 +179,7 @@ def artifact_to_dict(artifact):
             "original_granularity": artifact.original_granularity,
             "monomial_loss": artifact.monomial_loss,
             "variable_loss": artifact.variable_loss,
+            "revision": artifact.revision,
         },
     }
 
@@ -199,6 +200,7 @@ def artifact_from_dict(data):
         original_granularity=stats["original_granularity"],
         monomial_loss=stats["monomial_loss"],
         variable_loss=stats["variable_loss"],
+        revision=stats.get("revision", 0),
     )
 
 

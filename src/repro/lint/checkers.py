@@ -1,4 +1,4 @@
-"""The RPL001–RPL009 AST checkers: the repo's contracts, enforced.
+"""The RPL001–RPL010 AST checkers: the repo's contracts, enforced.
 
 Each rule guards an invariant that was introduced by a specific PR and
 is otherwise protected only by review attention (INVARIANTS.md at the
@@ -25,6 +25,7 @@ __all__ = [
     "ExactCoefficientChecker",
     "PublicAnnotationChecker",
     "OptionsContractChecker",
+    "MutationContractChecker",
     "AST_CHECKERS",
 ]
 
@@ -690,6 +691,71 @@ class OptionsContractChecker(Checker):
                     break
 
 
+class MutationContractChecker(Checker):
+    """RPL010 — mutation surfaces take ``options=``, never bare knobs (PR 9).
+
+    Artifact mutation (``session.extend`` / ``artifact.refresh`` /
+    ``extend_artifact`` and the service route over them) is a new
+    public surface born *after* the ``EvalOptions`` unification — so
+    unlike the evaluation facade there is no legacy to deprecate:
+    every public callable reaching a mutation sink must accept the
+    bundled ``options=`` knob, and must not accept any of the bare
+    per-knob keywords (``engine``/``backend``/``workers``/
+    ``chunk_size``) the PR-8 deprecation cycle is retiring. Mirrors
+    RPL009, one generation stricter.
+    """
+
+    code = "RPL010"
+    name = "mutation-contract"
+    description = (
+        "public mutation entry points (callables reaching extend/refresh/"
+        "extend_artifact) must accept options= and no bare eval knobs"
+    )
+    paths = (
+        "api/session.py",
+        "api/artifact.py",
+        "api/mutation.py",
+        "service/app.py",
+    )
+
+    #: Reaching any of these means the callable mutates an artifact.
+    SINKS = frozenset({"extend", "refresh", "extend_artifact"})
+
+    #: The bare per-knob keywords EvalOptions bundles — banned outright
+    #: on mutation signatures (no deprecation grace here).
+    KNOBS = frozenset({"engine", "backend", "workers", "chunk_size"})
+
+    def check(self, module: ModuleSource):
+        for function in KeywordContractChecker._public_callables(module.tree):
+            sink = next(
+                (
+                    _call_name(node)
+                    for node in ast.walk(function)
+                    if isinstance(node, ast.Call)
+                    and _call_name(node) in self.SINKS
+                ),
+                None,
+            )
+            if sink is None:
+                continue
+            params = KeywordContractChecker._parameter_names(function)
+            for knob in sorted(params & self.KNOBS):
+                yield self.finding(
+                    module, function,
+                    f"mutation entry point {function.name!r} accepts the "
+                    f"bare {knob}= keyword — mutation surfaces bundle "
+                    "every evaluation knob in options=EvalOptions(...)",
+                )
+            if "options" not in params and function.args.kwarg is None:
+                yield self.finding(
+                    module, function,
+                    f"public mutation entry point {function.name!r} "
+                    f"reaches {sink}() but does not accept options= — "
+                    "mutation surfaces must take the bundled EvalOptions "
+                    "knob",
+                )
+
+
 #: Registration order == report order for same-line findings.
 AST_CHECKERS = (
     PowGroupingChecker,
@@ -701,4 +767,5 @@ AST_CHECKERS = (
     ExactCoefficientChecker,
     PublicAnnotationChecker,
     OptionsContractChecker,
+    MutationContractChecker,
 )

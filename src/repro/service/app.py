@@ -12,6 +12,16 @@ Endpoints (all JSON):
   ``"scenario"`` rides the micro-batcher (coalescing concurrent
   requests into one evaluator call); a ``"scenarios"`` list is already
   a batch and dispatches directly.
+* ``POST /artifacts/{id}/extend`` — append provenance incrementally.
+  The body carries the new original polynomials as strings
+  (``"polynomials"``), plus optional ``"drift_limit"`` and
+  ``"options"``. The artifact is maintained under its existing cut
+  (columnar/compiled structures repaired, the warm lift index carried
+  over) and re-spooled; returns ``201`` with the **new** content-hash
+  ``id`` and the unified :class:`~repro.api.mutation.MutationResult`
+  stats (``path``, ``drift``, ``revision``). Drift past the limit maps
+  to ``422`` — the service holds no original provenance to recompress
+  from.
 * ``GET /artifacts/{id}`` — the artifact's stats (sizes, losses,
   ``mmap_active``) and residency.
 * ``GET /healthz`` — liveness, store counters, coalescing histogram.
@@ -140,6 +150,10 @@ class WhatIfService:
                 if method != "POST":
                     raise HttpError(405, f"{method} not allowed on {path}")
                 return await self._ask(artifact_id, request)
+            if action == "extend":
+                if method != "POST":
+                    raise HttpError(405, f"{method} not allowed on {path}")
+                return self._extend(artifact_id, request)
         raise HttpError(404, f"no route for {method} {request.path}")
 
     # ---------------------------------------------------------------- routes
@@ -176,6 +190,45 @@ class WhatIfService:
         artifact_id = self.store.put(artifact)
         stored = self.store.get(artifact_id)
         return 201, {"id": artifact_id, "stats": stored.artifact.stats()}
+
+    def _extend(self, artifact_id: str, request: Request) -> tuple[int, dict]:
+        import warnings
+
+        from repro.core.parser import parse_set
+
+        body = _require_object(request.json(), "extend request")
+        texts = body.get("polynomials")
+        if (
+            not isinstance(texts, list)
+            or not texts
+            or not all(isinstance(text, str) for text in texts)
+        ):
+            raise HttpError(
+                400, "'polynomials' must be a non-empty list of strings"
+            )
+        drift_limit = body.get("drift_limit")
+        if drift_limit is not None and (
+            not isinstance(drift_limit, (int, float))
+            or isinstance(drift_limit, bool)
+        ):
+            raise HttpError(400, "'drift_limit' must be a number")
+        options = EvalOptions.coerce(body.get("options"))
+        warm = self.store.get(artifact_id)
+        added = parse_set(texts)
+        with warnings.catch_warnings():
+            # Spooled artifacts are always mmap-backed, so every service
+            # extend goes copy-on-extend by construction — the API's
+            # one-time advisory about it is noise here.
+            warnings.filterwarnings(
+                "ignore", message="extending a binary-loaded artifact"
+            )
+            result = warm.artifact.refresh(
+                added, drift_limit=drift_limit, options=options
+            )
+        # Re-spool under the new content hash; the unchanged cut lets
+        # the warm lift index carry over instead of being rebuilt.
+        new_id = self.store.put(result.artifact, warm_from=warm)
+        return 201, result.with_id(new_id).stats()
 
     def _describe_artifact(self, artifact_id: str) -> dict:
         warm = self.store.get(artifact_id)

@@ -60,7 +60,12 @@ class ArtifactStore:
 
     # --------------------------------------------------------------- writes
 
-    def put(self, artifact: CompressedProvenance) -> str:
+    def put(
+        self,
+        artifact: CompressedProvenance,
+        *,
+        warm_from: WarmArtifact | None = None,
+    ) -> str:
         """Persist ``artifact`` and return its content-hash id.
 
         The container is written to a temp file in the spool directory,
@@ -68,6 +73,13 @@ class ArtifactStore:
         writers of the same artifact race benignly (same bytes, same
         name). The stored entry is reloaded mmap-backed so the resident
         copy is the cheap-to-evict one, not the builder's object graph.
+
+        :param warm_from: the warm entry the artifact was mutated from
+            (the ``POST /artifacts/{id}/extend`` path). When the cut is
+            unchanged, the new entry is built with
+            :meth:`WarmArtifact.repaired
+            <repro.service.warm.WarmArtifact.repaired>` — the lift
+            index carries over instead of being rebuilt from the tree.
         """
         from repro.core import binfmt
 
@@ -85,7 +97,15 @@ class ArtifactStore:
             tmp.unlink(missing_ok=True)
             raise
         if artifact_id not in self._entries:
-            self._admit(artifact_id, self._map(artifact_id))
+            loaded = self._load_verified(artifact_id)
+            if (
+                warm_from is not None
+                and warm_from.artifact.vvs.labels == loaded.vvs.labels
+            ):
+                entry = warm_from.repaired(loaded)
+            else:
+                entry = WarmArtifact(loaded)
+            self._admit(artifact_id, entry)
         return artifact_id
 
     # ---------------------------------------------------------------- reads
@@ -138,6 +158,10 @@ class ArtifactStore:
     # ------------------------------------------------------------ internals
 
     def _map(self, artifact_id: str) -> WarmArtifact:
+        """A cold warm entry for ``artifact_id`` (see :meth:`_load_verified`)."""
+        return WarmArtifact(self._load_verified(artifact_id))
+
+    def _load_verified(self, artifact_id: str) -> CompressedProvenance:
         """Load ``artifact_id``'s container mmap-backed, verifying that
         the bytes still hash to the id (a spool file corrupted or
         swapped behind the store's back must not serve under the old
@@ -152,7 +176,7 @@ class ArtifactStore:
                 f"spool file hashes to {actual!r} — the container was "
                 "modified after it was stored"
             )
-        return WarmArtifact(CompressedProvenance.load(path, mmap=True))
+        return CompressedProvenance.load(path, mmap=True)
 
     def _admit(self, artifact_id: str, entry: WarmArtifact) -> None:
         self._entries[artifact_id] = entry

@@ -72,6 +72,28 @@ class WarmArtifact:
         # Warm the compiled evaluator now, not on the first request.
         artifact.polynomials.compiled()
 
+    def repaired(self, artifact: CompressedProvenance) -> WarmArtifact:
+        """A warm entry for ``artifact``, reusing this one's lift index.
+
+        The incremental-extend path: an extended artifact keeps its
+        cut, and every precomputed table here depends only on the cut —
+        the label→group tables, the leaf→label inverse and the cached
+        untouched-group means are all reused as-is (sharing is safe:
+        the tables are read-only and the means cache only ever gains
+        per-default entries both entries would compute identically).
+        Only the compiled evaluator is warmed on the new polynomials —
+        so admitting a repaired artifact skips the per-label tree
+        traversals a cold :class:`WarmArtifact` build pays.
+        """
+        clone = object.__new__(WarmArtifact)
+        clone.artifact = artifact
+        clone._groups = self._groups
+        clone._group_of = self._group_of
+        clone._leaf_to_label = self._leaf_to_label
+        clone._untouched_means = self._untouched_means
+        artifact.polynomials.compiled()
+        return clone
+
     # ------------------------------------------------------------- lifting
 
     def _means_for(self, default: float) -> dict:

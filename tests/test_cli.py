@@ -289,18 +289,22 @@ class TestBench:
             "--output", str(output),
         ]) == 0
         document = json.loads(output.read_text())
-        assert document["schema"] == "repro-bench-core/7"
+        assert document["schema"] == "repro-bench-core/8"
         entry = document["runs"]["tiny"]
         assert entry["mode"] == "tiny"
         results = entry["results"]
         assert set(results) == {
             "greedy", "optimal", "abstraction", "batch_valuation",
-            "sweep", "sweep_delta", "compress_scale", "artifact_io",
-            "session", "service",
+            "sweep", "sweep_delta", "compress_scale", "incremental",
+            "artifact_io", "session", "service",
         }
         assert results["greedy"]["speedup"] > 0
         assert results["compress_scale"]["speedup"] > 0
         assert results["compress_scale"]["algorithm"] == "greedy"
+        assert results["incremental"]["speedup"] > 0
+        assert results["incremental"]["path"] == "repaired"
+        assert results["incremental"]["revision"] == 1
+        assert results["incremental"]["added_monomials"] > 0
         assert results["artifact_io"]["speedup"] > 0
         assert results["artifact_io"]["json_bytes"] > 0
         assert results["artifact_io"]["bin_bytes"] > 0

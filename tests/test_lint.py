@@ -336,6 +336,51 @@ class TestOptionsContract:
         }, select={"RPL009"}) == []
 
 
+class TestMutationContract:
+    def test_fires_when_mutation_entry_lacks_options(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "api/mutation.py": """\
+                def grow(artifact, polynomials):
+                    return artifact.refresh(polynomials)
+                """,
+        }, select={"RPL010"})
+        assert codes(findings) == ["RPL010"]
+        assert "options=" in findings[0].message
+
+    def test_fires_on_bare_knob_even_with_options(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "api/session.py": """\
+                def grow(session, polynomials, *, backend="auto", options=None):
+                    return session.extend(polynomials, options=options)
+                """,
+        }, select={"RPL010"})
+        assert codes(findings) == ["RPL010"]
+        assert "backend=" in findings[0].message
+
+    def test_silent_with_options_or_private_or_no_sink(self, tmp_path):
+        assert lint_tree(tmp_path, {
+            "api/artifact.py": """\
+                def grow(artifact, polynomials, *, options=None):
+                    return artifact.refresh(polynomials, options=options)
+
+                def _internal(artifact, polynomials):
+                    return artifact.refresh(polynomials)
+
+                def describe(artifact):
+                    return artifact.stats()
+                """,
+        }, select={"RPL010"}) == []
+
+    def test_silent_outside_mutation_paths(self, tmp_path):
+        # list.extend in the core is not an artifact mutation surface.
+        assert lint_tree(tmp_path, {
+            "core/polynomial.py": """\
+                def merge(target, polynomials):
+                    return target.extend(polynomials)
+                """,
+        }, select={"RPL010"}) == []
+
+
 class TestExactCoefficients:
     def test_fires_on_float_coercion_and_literal(self, tmp_path):
         findings = lint_tree(tmp_path, {

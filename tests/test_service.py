@@ -136,6 +136,108 @@ class TestEndToEnd:
         assert s1 == s2 == 201
         assert first["id"] == second["id"]
 
+    def test_extend_then_ask_round_trip(self, tmp_path):
+        async def scenario(server):
+            port = server.port
+            status, created = await asyncio.to_thread(
+                call, port, "POST", "/artifacts", artifact_body(bound=2))
+            assert status == 201
+            artifact_id = created["id"]
+
+            status, extended = await asyncio.to_thread(
+                call, port, "POST", f"/artifacts/{artifact_id}/extend",
+                {"polynomials": ["3*b1*m1 + b2*m2"], "drift_limit": 1e9})
+            assert status == 201
+            assert extended["path"] == "repaired"
+            assert extended["revision"] == 1
+            assert extended["added_polynomials"] == 1
+            assert extended["added_monomials"] == 2
+            new_id = extended["id"]
+            assert len(new_id) == 64 and new_id != artifact_id
+            assert extended["artifact"]["revision"] == 1
+
+            status, answers = await asyncio.to_thread(
+                call, port, "POST", f"/artifacts/{new_id}/ask",
+                {"scenarios": SCENARIOS})
+            assert status == 200
+            # The pre-extend artifact still serves under its old id.
+            status, old = await asyncio.to_thread(
+                call, port, "POST", f"/artifacts/{artifact_id}/ask",
+                {"scenarios": SCENARIOS})
+            assert status == 200
+            return answers, old
+
+        answers, old = asyncio.run(with_server(scenario)(tmp_path))
+        # Ground truth: extend the same session's artifact through the API.
+        session = ProvenanceSession.from_strings(
+            POLYNOMIALS + ["3*b1*m1 + b2*m2"],
+            forest=[("SB", ["b1", "b2", "b3"]), ("SM", ["m1", "m2"])],
+        )
+        # Same cut: the service repaired under the original artifact's
+        # VVS, which re-compressing the base provenance reproduces.
+        base = ProvenanceSession.from_strings(
+            POLYNOMIALS,
+            forest=[("SB", ["b1", "b2", "b3"]), ("SM", ["m1", "m2"])],
+        )
+        artifact = base.compress(2, algorithm="greedy")
+        from repro.core.abstraction import abstract
+
+        want = [
+            tuple(value for value in answer.values)
+            for answer in type(artifact)(
+                abstract(session.polynomials, artifact.vvs),
+                artifact.forest, artifact.vvs,
+                algorithm=artifact.algorithm, bound=artifact.bound,
+                original_size=session.polynomials.num_monomials,
+                original_granularity=session.polynomials.num_variables,
+                monomial_loss=0, variable_loss=0,
+            ).ask_many([dict(s["changes"]) for s in SCENARIOS])
+        ]
+        assert [tuple(a["values"]) for a in answers["answers"]] == want
+        assert [tuple(a["values"]) for a in old["answers"]] == [
+            a.values for a in direct_answers()]
+
+    def test_extend_drift_overflow_is_422(self, tmp_path):
+        async def scenario(server):
+            port = server.port
+            _, created = await asyncio.to_thread(
+                call, port, "POST", "/artifacts", artifact_body(bound=2))
+            artifact_id = created["id"]
+            return await asyncio.to_thread(
+                call, port, "POST", f"/artifacts/{artifact_id}/extend",
+                {"polynomials": ["z1*w1 + z2*w2 + z3*w3"],
+                 "drift_limit": 0.0})
+
+        status, body = asyncio.run(with_server(scenario)(tmp_path))
+        assert status == 422
+        assert "drift" in body["error"]["message"] or (
+            "bound" in body["error"]["message"])
+
+    def test_extend_malformed_bodies_are_400(self, tmp_path):
+        async def scenario(server):
+            port = server.port
+            _, created = await asyncio.to_thread(
+                call, port, "POST", "/artifacts", artifact_body(bound=2))
+            artifact_id = created["id"]
+            cases = []
+            for body in (
+                {},  # missing polynomials
+                {"polynomials": []},  # empty
+                {"polynomials": [7]},  # not strings
+                {"polynomials": ["b1*m1"], "drift_limit": "lots"},
+            ):
+                status, _ = await asyncio.to_thread(
+                    call, port, "POST",
+                    f"/artifacts/{artifact_id}/extend", body)
+                cases.append(status)
+            status, _ = await asyncio.to_thread(
+                call, port, "GET", f"/artifacts/{artifact_id}/extend")
+            cases.append(status)
+            return cases
+
+        assert asyncio.run(with_server(scenario)(tmp_path)) == [
+            400, 400, 400, 400, 405]
+
     def test_healthz_reports_counters(self, tmp_path):
         async def scenario(server):
             port = server.port
