@@ -770,6 +770,13 @@ def bench_session(provenance, forest, scenarios, repeat):
 #: Coalescing window of the service stage's batched arm (seconds).
 SERVICE_WINDOW = 0.005
 
+#: Per-request deadline for the service stage (seconds). The bench
+#: measures the server as deployed — deadlines armed — while staying
+#: far above any sane request latency, so the gate never trips on it.
+#: No ``max_pending``: admission shedding would starve the closed-loop
+#: client fleet and measure the shed path instead of the serve path.
+SERVICE_DEADLINE = 30.0
+
 
 def _host_service(spool, window, warm_lift, max_batch):
     """Boot the what-if service on a background event-loop thread.
@@ -791,7 +798,7 @@ def _host_service(spool, window, warm_lift, max_batch):
         async def boot():
             box["server"] = await start_service(
                 spool, window=window, warm_lift=warm_lift,
-                max_batch=max_batch,
+                max_batch=max_batch, deadline=SERVICE_DEADLINE,
             )
 
         loop.run_until_complete(boot())

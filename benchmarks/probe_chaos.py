@@ -1,0 +1,142 @@
+"""CI chaos probe: scheduled faults, bit-identical answers anyway.
+
+Part A boots no server: a 49,000-scenario sweep runs across a process
+pool while a deterministic fault plan (:mod:`repro.faults`) crashes one
+worker at start-up and hangs one shard past the shard timeout. The
+healed parallel matrix must equal the serial one bit for bit.
+
+Part B boots the real server (``python -m repro serve``) with a
+``REPRO_FAULT_PLAN`` environment plan that corrupts the first artifact
+spool write. The store's decode-verify + retry loop must absorb the
+corruption: the create still succeeds, every answer stays bit-identical
+to an in-process ask over the same scenarios, and ``/healthz`` reports
+the quarantined torn write. Exits non-zero on any mismatch — the CI
+chaos-smoke gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/probe_chaos.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import numpy
+
+from probe_service import BOUND, FOREST, POLYNOMIALS, boot_server, request
+from repro.faults import ENV_VAR, FaultPlan, FaultSpec, installed
+from repro.scenarios import Sweep, evaluate_scenarios
+from repro.scenarios.parallel import evaluate_scenarios_parallel
+from repro.util.retry import RetryPolicy
+from repro.workloads.random_polys import random_polynomials
+
+SWEEP_SCENARIOS = 49_000
+
+#: Chaos heals several times over one probe; keep the backoff tight.
+CHAOS_RETRY = RetryPolicy(attempts=3, base_delay=0.02, max_delay=0.2)
+
+
+def chaos_sweep():
+    """Part A: crash + hang during a 49k-scenario parallel sweep."""
+    pool = [f"v{i}" for i in range(12)]
+    polys = random_polynomials(8, 20, [pool], seed=5, extra_variables=4)
+    sweep = Sweep.random(
+        sorted(polys.variables), SWEEP_SCENARIOS, seed=31, changes=4
+    )
+    serial = evaluate_scenarios(polys, sweep)
+
+    with tempfile.TemporaryDirectory() as tokens:
+        plan = FaultPlan(
+            [
+                FaultSpec("worker.start", "crash", once=True),
+                FaultSpec("shard.evaluate", "delay", at=3, delay=5.0,
+                          once=True),
+            ],
+            token_dir=tokens,
+        )
+        with installed(plan, env=True):
+            begin = time.perf_counter()
+            healed = evaluate_scenarios_parallel(
+                polys, sweep, workers=2, min_parallel=0, chunk_size=1024,
+                retry=CHAOS_RETRY, shard_timeout=0.5,
+            )
+            seconds = time.perf_counter() - begin
+
+    assert healed.shape == serial.shape, (healed.shape, serial.shape)
+    assert numpy.array_equal(serial, healed), (
+        "healed sweep diverged from the serial baseline"
+    )
+    print(
+        f"sweep chaos OK: {SWEEP_SCENARIOS} scenarios healed through one "
+        f"worker crash + one hung shard in {seconds:.2f}s, bit-identical"
+    )
+
+
+def chaos_service():
+    """Part B: the server survives a corrupted first spool write."""
+    scenarios = [
+        {"b1": 0.5 + 0.01 * index, "m1": 1.5 - 0.01 * index}
+        for index in range(10)
+    ]
+    from repro.api.session import ProvenanceSession
+
+    session = ProvenanceSession.from_strings(
+        POLYNOMIALS, forest=[(tree[0], tree[1]) for tree in FOREST]
+    )
+    artifact = session.compress(BOUND, algorithm="greedy")
+    expected = [
+        answer.values
+        for answer in artifact.ask_many([dict(s) for s in scenarios])
+    ]
+
+    plan = FaultPlan(
+        [FaultSpec("store.spool_write", "corrupt", at=1, offset=0)]
+    )
+    env = dict(os.environ)
+    env[ENV_VAR] = plan.to_json()
+    with tempfile.TemporaryDirectory() as spool:
+        process, port = boot_server(spool, env=env)
+        try:
+            status, created = request(port, "POST", "/artifacts", {
+                "polynomials": POLYNOMIALS,
+                "forest": FOREST,
+                "bound": BOUND,
+                "algorithm": "greedy",
+            })
+            assert status == 201, (status, created)
+            artifact_id = created["id"]
+            for index, scenario in enumerate(scenarios):
+                status, body = request(
+                    port, "POST", f"/artifacts/{artifact_id}/ask",
+                    {"scenario": {"changes": scenario}},
+                )
+                assert status == 200, (status, body)
+                answer = tuple(body["answers"][0]["values"])
+                assert answer == expected[index], (
+                    f"answer diverged at scenario {index} after the "
+                    "corrupted spool write"
+                )
+            status, health = request(port, "GET", "/healthz")
+            assert status == 200, (status, health)
+            assert health["store"]["quarantined"] >= 1, health
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+    print(
+        f"service chaos OK: corrupted spool write quarantined "
+        f"({health['store']['quarantined']}), {len(scenarios)} asks "
+        "bit-identical"
+    )
+
+
+def main():
+    chaos_sweep()
+    chaos_service()
+    print("chaos probe OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,8 +27,15 @@ import tempfile
 import threading
 import time
 
+from repro.util.retry import RetryPolicy
+
 PROBE_REQUESTS = 50
 PROBE_CLIENTS = 10
+
+#: Post-boot readiness: poll ``/healthz`` under capped exponential
+#: backoff instead of trusting the first connect — fast when the server
+#: is fast, patient on a loaded CI box.
+CONNECT_POLICY = RetryPolicy(attempts=8, base_delay=0.05, max_delay=1.0)
 
 POLYNOMIALS = [
     "2*b1*m1 + 3*b2*m1 + b3*m2",
@@ -59,15 +66,31 @@ def request(port, method, path, body=None):
         conn.close()
 
 
-def boot_server(spool):
+def wait_ready(port):
+    """Block until ``/healthz`` answers ``ok`` (retried with backoff)."""
+
+    def healthz():
+        status, body = request(port, "GET", "/healthz")
+        if status != 200 or body.get("status") != "ok":
+            raise ConnectionError(f"healthz not ready: {status} {body}")
+        return body
+
+    return CONNECT_POLICY.call(
+        healthz, retry_on=(OSError,), token="service-ready"
+    )
+
+
+def boot_server(spool, extra_args=(), env=None):
     """``python -m repro serve`` on an ephemeral port; returns
-    ``(process, port)`` once the readiness line appears."""
+    ``(process, port)`` once the readiness line appears *and* the
+    socket actually serves ``/healthz``."""
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--spool-dir", spool],
+         "--spool-dir", spool, *extra_args],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
+        env=env,
     )
     deadline = time.monotonic() + 30
     line = ""
@@ -77,7 +100,9 @@ def boot_server(spool):
             raise SystemExit(f"server exited early (rc={process.returncode})")
         match = re.search(r"http://[\d.]+:(\d+)", line)
         if match:
-            return process, int(match.group(1))
+            port = int(match.group(1))
+            wait_ready(port)
+            return process, port
     raise SystemExit(f"server never reported its port (last line: {line!r})")
 
 

@@ -382,6 +382,11 @@ def _cmd_serve(args):
 
     from repro.service.app import start_service
 
+    if args.deadline < 0:
+        raise SystemExit("--deadline must be >= 0 (0 disables)")
+    if args.max_pending < 0:
+        raise SystemExit("--max-pending must be >= 0 (0 disables)")
+
     async def run():
         server = await start_service(
             args.spool_dir,
@@ -390,10 +395,14 @@ def _cmd_serve(args):
             capacity=args.cache_size,
             window=args.window,
             max_batch=args.max_batch,
+            deadline=args.deadline if args.deadline > 0 else None,
+            max_pending=args.max_pending if args.max_pending > 0 else None,
         )
         print(f"serving on http://{args.host}:{server.port} "
               f"(spool: {args.spool_dir}, cache: {args.cache_size}, "
-              f"window: {args.window * 1000:g}ms)")
+              f"window: {args.window * 1000:g}ms, "
+              f"deadline: {args.deadline:g}s, "
+              f"max-pending: {args.max_pending})")
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
@@ -589,6 +598,15 @@ def build_parser():
                        dest="max_batch",
                        help="flush a coalesced batch early at this size "
                             "(default 64)")
+    serve.add_argument("--deadline", type=float, default=30.0,
+                       help="per-request deadline budget in seconds; "
+                            "expired requests answer 504; 0 disables "
+                            "(default 30)")
+    serve.add_argument("--max-pending", type=int, default=256,
+                       dest="max_pending",
+                       help="bounded admission: past this many in-flight "
+                            "requests new ones shed with 503 + "
+                            "Retry-After; 0 disables (default 256)")
     serve.set_defaults(run=_cmd_serve)
 
     bench = commands.add_parser(

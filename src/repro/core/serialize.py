@@ -253,7 +253,10 @@ def dumps(obj):
 
 def loads(text):
     """Inverse of :func:`dumps`."""
-    envelope = json.loads(text)
+    try:
+        envelope = json.loads(text)
+    except ValueError as error:
+        raise SerializeError(f"not a serialized payload: {error}") from error
     kind = envelope.get("kind") if isinstance(envelope, dict) else None
     if kind not in _FROM_DICT:
         raise SerializeError(f"unknown payload kind {kind!r}")
@@ -275,8 +278,15 @@ def load_path(path, mmap=True):
         head = handle.read(len(binfmt.MAGIC))
     if head == binfmt.MAGIC:
         return binfmt.read_artifact(path, mmap=mmap)
-    with open(path, encoding="utf-8") as handle:
-        return loads(handle.read())
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return loads(handle.read())
+    except UnicodeDecodeError as error:
+        # A torn/corrupted binary container whose magic no longer
+        # matches must fail as a serialization error, not a codec one.
+        raise SerializeError(
+            f"neither a binary container nor a JSON payload: {error}"
+        ) from error
 
 
 def serialized_size(obj):

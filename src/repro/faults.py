@@ -1,0 +1,284 @@
+"""repro.faults — deterministic, seeded fault injection.
+
+Chaos tests are only useful when they are reproducible: a worker crash
+that fires "sometimes" cannot gate CI. This module makes failure a
+first-class, *scheduled* event. Production code declares named
+injection sites (:data:`SITES`) by calling :func:`inject`; a
+:class:`FaultPlan` — a list of :class:`FaultSpec` entries firing on
+exact per-site call counts — decides what happens there. With no plan
+installed, :func:`inject` is a dictionary miss and an early return:
+the sites cost nothing in the happy path.
+
+The wired sites:
+
+========================  ====================================================
+``worker.start``          pool-worker initializer (`scenarios/parallel.py`)
+``shard.evaluate``        per-shard evaluation inside a pool worker
+``store.map``             artifact mmap/decode (`service/store.py`)
+``store.spool_write``     spool file written, before hashing/rename
+``service.request``       HTTP request admitted (`service/app.py`)
+========================  ====================================================
+
+Fault kinds: ``crash`` (``os._exit``), ``exception`` (raise
+:class:`InjectedFault`), ``delay`` (sleep), ``corrupt`` (flip one
+deterministically chosen bit of the file named by the site's ``path``
+context). Plans propagate to spawned worker processes through the
+``REPRO_FAULT_PLAN`` environment variable; a spec with ``once=True``
+claims an atomic token file so it fires exactly once across the whole
+process tree even though call counters are per-process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.util.rng import derive_rng
+
+if TYPE_CHECKING:
+    from collections.abc import Iterator
+
+__all__ = [
+    "ENV_VAR",
+    "KINDS",
+    "SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "inject",
+    "install",
+    "installed",
+    "uninstall",
+]
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Injection sites wired into the tree. Plans may also name ad-hoc
+#: sites (tests register their own), but a typo'd site never fires, so
+#: specs naming an unknown dotted site are rejected unless marked.
+SITES = frozenset(
+    {
+        "worker.start",
+        "shard.evaluate",
+        "store.map",
+        "store.spool_write",
+        "service.request",
+    }
+)
+
+KINDS = ("crash", "exception", "delay", "corrupt")
+
+#: Exit status used by ``crash`` faults — distinguishable from a
+#: genuine interpreter death in test assertions.
+CRASH_STATUS = 17
+
+
+class InjectedFault(RuntimeError):
+    """Raised by an ``exception`` fault at an injection site."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    :param site: injection-site name (see :data:`SITES`).
+    :param kind: one of :data:`KINDS`.
+    :param at: 1-based per-process call count on which the fault fires.
+    :param count: number of consecutive calls (from ``at``) that fire.
+    :param delay: seconds slept by a ``delay`` fault.
+    :param offset: byte offset corrupted by a ``corrupt`` fault;
+        ``None`` derives one from ``seed`` and the file length.
+    :param seed: seed for the corrupt fault's bit choice.
+    :param once: fire at most once across the process tree (requires
+        the plan's ``token_dir`` for the atomic claim).
+    """
+
+    site: str
+    kind: str
+    at: int = 1
+    count: int = 1
+    delay: float = 0.05
+    offset: int | None = None
+    seed: int = 0
+    once: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; pick from {KINDS}")
+        if self.site not in SITES and "." not in self.site:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; wired sites are "
+                f"{sorted(SITES)} (ad-hoc sites need a dotted name)"
+            )
+        if self.at < 1 or self.count < 1:
+            raise ValueError("at and count must be >= 1")
+
+    def token_name(self) -> str:
+        """Filename of the once-token claimed by this spec."""
+        return f"{self.site}.{self.kind}.{self.at}.token"
+
+
+class FaultPlan:
+    """A reproducible schedule of faults over the injection sites.
+
+    Call counters are per-process (each worker that loads the plan from
+    the environment counts its own calls); ``once`` specs coordinate
+    across processes through token files under ``token_dir``.
+    """
+
+    def __init__(
+        self, specs: Iterator[FaultSpec] | list[FaultSpec], token_dir: str | None = None
+    ) -> None:
+        self.specs = tuple(specs)
+        self.token_dir = str(token_dir) if token_dir is not None else None
+        if any(spec.once for spec in self.specs) and self.token_dir is None:
+            raise ValueError("specs with once=True require a token_dir")
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def counts(self) -> dict[str, int]:
+        """Per-site call counts observed by *this process*."""
+        with self._lock:
+            return dict(self._counts)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "token_dir": self.token_dir,
+                "specs": [asdict(spec) for spec in self.specs],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> FaultPlan:
+        payload = json.loads(text)
+        specs = [FaultSpec(**spec) for spec in payload.get("specs", [])]
+        return cls(specs, token_dir=payload.get("token_dir"))
+
+    def fire(self, site: str, context: dict) -> None:
+        """Count a call at ``site`` and trigger any matching spec."""
+        with self._lock:
+            count = self._counts.get(site, 0) + 1
+            self._counts[site] = count
+        for spec in self.specs:
+            if spec.site != site:
+                continue
+            if not (spec.at <= count < spec.at + spec.count):
+                continue
+            if spec.once and not self._claim(spec):
+                continue
+            self._trigger(spec, site, count, context)
+
+    def _claim(self, spec: FaultSpec) -> bool:
+        """Atomically claim the once-token; False if already taken."""
+        assert self.token_dir is not None
+        token = os.path.join(self.token_dir, spec.token_name())
+        try:
+            handle = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(handle)
+        return True
+
+    def _trigger(self, spec: FaultSpec, site: str, count: int, context: dict) -> None:
+        if spec.kind == "crash":
+            os._exit(CRASH_STATUS)
+        if spec.kind == "delay":
+            time.sleep(spec.delay)
+            return
+        if spec.kind == "corrupt":
+            path = context.get("path")
+            if path is None:
+                raise ValueError(
+                    f"corrupt fault at {site!r} needs a path= context, got none"
+                )
+            _flip_bit(Path(path), spec)
+            return
+        raise InjectedFault(f"injected fault at {site!r} (call {count})")
+
+
+def _flip_bit(path: Path, spec: FaultSpec) -> None:
+    """Flip one deterministically chosen bit of ``path`` in place."""
+    data = bytearray(path.read_bytes())
+    if not data:
+        return
+    rng = derive_rng(spec.seed, f"{spec.site}:corrupt")
+    offset = spec.offset if spec.offset is not None else rng.randrange(len(data))
+    data[offset % len(data)] ^= 1 << rng.randrange(8)
+    path.write_bytes(bytes(data))
+
+
+_PLAN: FaultPlan | None = None
+_ENV_SCANNED = False
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan currently armed in this process, if any."""
+    return _PLAN
+
+
+def install(plan: FaultPlan, *, env: bool = False) -> None:
+    """Arm ``plan`` in this process.
+
+    With ``env=True`` the plan is also exported through
+    :data:`ENV_VAR`, so worker processes spawned while it is installed
+    load it lazily on their first :func:`inject` call. Pair every
+    ``install`` with :func:`uninstall` in a ``finally`` (the RPL011
+    lint contract), or use :func:`installed`.
+    """
+    global _PLAN
+    _PLAN = plan
+    if env:
+        os.environ[ENV_VAR] = plan.to_json()
+
+
+def uninstall() -> None:
+    """Disarm any installed plan and forget the environment scan."""
+    global _PLAN, _ENV_SCANNED
+    _PLAN = None
+    _ENV_SCANNED = False
+    os.environ.pop(ENV_VAR, None)
+
+
+@contextmanager
+def installed(plan: FaultPlan, *, env: bool = False) -> Iterator[FaultPlan]:
+    """Context manager: arm ``plan`` for the block, disarm after."""
+    install(plan, env=env)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+def _scan_env() -> FaultPlan | None:
+    """Load (once) a plan exported by a parent process."""
+    global _PLAN, _ENV_SCANNED
+    _ENV_SCANNED = True
+    text = os.environ.get(ENV_VAR)
+    if not text:
+        return None
+    _PLAN = FaultPlan.from_json(text)
+    return _PLAN
+
+
+def inject(site: str, **context: object) -> None:
+    """Declare an injection site; fire any armed plan's matching spec.
+
+    The no-plan path is two global reads and a dict miss — sites are
+    free when chaos is off.
+    """
+    plan = _PLAN
+    if plan is None:
+        if _ENV_SCANNED or ENV_VAR not in os.environ:
+            return
+        plan = _scan_env()
+        if plan is None:
+            return
+    plan.fire(site, context)

@@ -1,4 +1,4 @@
-"""The RPL001–RPL010 AST checkers: the repo's contracts, enforced.
+"""The RPL001–RPL011 AST checkers: the repo's contracts, enforced.
 
 Each rule guards an invariant that was introduced by a specific PR and
 is otherwise protected only by review attention (INVARIANTS.md at the
@@ -26,6 +26,7 @@ __all__ = [
     "PublicAnnotationChecker",
     "OptionsContractChecker",
     "MutationContractChecker",
+    "ResourceLifecycleChecker",
     "AST_CHECKERS",
 ]
 
@@ -756,6 +757,88 @@ class MutationContractChecker(Checker):
                 )
 
 
+class ResourceLifecycleChecker(Checker):
+    """RPL011 — leak-prone acquisitions sit under try/finally (PR 10).
+
+    Three acquisitions in this codebase survive their creator if an
+    exception lands between acquire and release: a shared-memory
+    segment (stays in ``/dev/shm``), an ``mkstemp`` temp file (stays
+    in the spool and poisons crash recovery statistics), and an
+    installed fault plan (leaks scheduled chaos into unrelated code).
+    Each such call must be protected: inside a ``with`` block, inside
+    a ``try`` that has a ``finally``, or — the acquisition-assignment
+    idiom — as the statement *immediately* followed by a
+    ``try``/``finally`` that owns the cleanup. A bare call with the
+    release further down the happy path leaks on the first exception
+    in between (the PR-10 shared-memory leak, exactly).
+    """
+
+    code = "RPL011"
+    name = "resource-lifecycle"
+    description = (
+        "SharedMemory(create=True), mkstemp and fault-plan install() "
+        "must sit inside try/finally or a context manager"
+    )
+
+    def check(self, module: ModuleSource):
+        parents = {
+            child: parent
+            for parent in ast.walk(module.tree)
+            for child in ast.iter_child_nodes(parent)
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            what = self._acquisition(module, node)
+            if what is None or self._protected(node, parents):
+                continue
+            yield self.finding(
+                module, node,
+                f"{what} is not protected by try/finally or a context "
+                "manager — an exception before the release leaks the "
+                "resource; put the cleanup in a finally immediately "
+                "following the acquisition",
+            )
+
+    @staticmethod
+    def _acquisition(module: ModuleSource, node: ast.Call) -> str | None:
+        """The acquisition kind of a call, or ``None`` for other calls."""
+        if SharedMemoryLifecycleChecker._is_create(node):
+            return "SharedMemory(create=True)"
+        dotted = module.resolve(node.func)
+        if dotted == "tempfile.mkstemp":
+            return "tempfile.mkstemp()"
+        if dotted == "repro.faults.install" or dotted.endswith(
+            ".faults.install"
+        ):
+            return "fault-plan install()"
+        return None
+
+    @staticmethod
+    def _protected(node: ast.Call, parents: dict) -> bool:
+        """Is ``node`` under a ``with``, a ``try``/``finally``, or an
+        acquisition statement immediately followed by one?"""
+        child: ast.AST = node
+        while True:
+            parent = parents.get(child)
+            if parent is None:
+                return False
+            if isinstance(parent, (ast.With, ast.AsyncWith)):
+                return True
+            if isinstance(parent, ast.Try) and parent.finalbody:
+                return True
+            if isinstance(child, ast.stmt):
+                for fieldname in ("body", "orelse", "finalbody"):
+                    block = getattr(parent, fieldname, None)
+                    if isinstance(block, list) and child in block:
+                        index = block.index(child)
+                        if index + 1 < len(block):
+                            after = block[index + 1]
+                            if isinstance(after, ast.Try) and after.finalbody:
+                                return True
+            child = parent
+
+
 #: Registration order == report order for same-line findings.
 AST_CHECKERS = (
     PowGroupingChecker,
@@ -768,4 +851,5 @@ AST_CHECKERS = (
     PublicAnnotationChecker,
     OptionsContractChecker,
     MutationContractChecker,
+    ResourceLifecycleChecker,
 )

@@ -51,6 +51,20 @@ Small inputs fall back to the serial compiled path — below
 :data:`MIN_PARALLEL_SCENARIOS` rows the pool start-up would dominate.
 Serial evaluation of large/unsized inputs is chunked too, so a
 million-scenario sweep never materializes a Python list of dicts.
+
+**Self-healing.** Sweeps survive worker failure: a
+:class:`~concurrent.futures.process.BrokenProcessPool` or a per-shard
+timeout tears the pool down, respawns it with the same initializer
+(the shared-memory segment outlives respawns), and resubmits only the
+shards still outstanding, with capped exponential backoff from the
+shared :class:`~repro.util.retry.RetryPolicy`. Because shards are pure
+``(start, stop)`` index ranges over an immutable spec, a retried shard
+recomputes exactly the bytes the first attempt would have produced —
+healed sweeps stay bit-identical to serial. A shard that keeps failing
+(``retry.attempts`` times) is quarantined: it degrades to in-process
+serial evaluation in the parent rather than failing the sweep. Fault
+sites ``worker.start`` and ``shard.evaluate`` (:mod:`repro.faults`)
+let chaos tests schedule those failures deterministically.
 """
 
 from __future__ import annotations
@@ -58,14 +72,18 @@ from __future__ import annotations
 import itertools
 import os
 import secrets
+import time
 from collections import deque
 from contextlib import contextmanager
+from functools import partial
 
 import numpy
 
 from repro.core.batch import ENGINES as _ENGINES
 from repro.core.valuation import Valuation
+from repro.faults import inject
 from repro.scenarios.sweep import DEFAULT_CHUNK_SIZE, Sweep
+from repro.util.retry import RetryPolicy
 
 __all__ = [
     "MIN_PARALLEL_SCENARIOS",
@@ -81,6 +99,10 @@ MIN_PARALLEL_SCENARIOS = 512
 #: Keep at most this many chunks in flight per worker — bounds parent
 #: memory while keeping every worker busy.
 _INFLIGHT_PER_WORKER = 4
+
+#: Healing defaults: three attempts per shard with fast capped backoff.
+#: Sweeps are interactive-adjacent — long sleeps would dwarf the retry.
+_DEFAULT_RETRY = RetryPolicy(attempts=3, base_delay=0.05, max_delay=1.0)
 
 # ---------------------------------------------------------------- workers
 
@@ -100,6 +122,7 @@ def _init_worker(compiled):
     O(1) transfer whatever the matrix size.
     """
     global _WORKER_COMPILED
+    inject("worker.start")
     _WORKER_COMPILED = compiled
 
 
@@ -131,6 +154,7 @@ def _init_worker_shm(name):
     global _WORKER_COMPILED, _WORKER_SEGMENT
     from repro.core import binfmt
 
+    inject("worker.start")
     segment = _attach_segment(name)
     _WORKER_SEGMENT = segment
     _WORKER_COMPILED = binfmt.compiled_from_buffer(segment.buf)
@@ -146,7 +170,10 @@ def _pool_setup(compiled):
       artifact) pickle as just their path; workers re-map the file;
     * ordinary compiled sets are rendered once into a shared-memory
       segment that workers reopen zero-copy; the segment is closed and
-      unlinked when the pool exits, so nothing leaks into ``/dev/shm``;
+      unlinked when the pool exits, so nothing leaks into ``/dev/shm``
+      — the create sits *inside* the try so an exception raised in the
+      parent between segment creation and pool exit (even an async one
+      landing mid-setup) still reaches the unlink;
     * objects without container support (test doubles) fall back to
       the plain pickle-per-pool initializer.
     """
@@ -161,24 +188,27 @@ def _pool_setup(compiled):
     from repro.core import binfmt
 
     blob = binfmt.dumps_compiled(compiled)
-    segment = shared_memory.SharedMemory(
-        create=True,
-        size=len(blob),
-        name=f"repro-{os.getpid()}-{secrets.token_hex(4)}",
-    )
+    segment = None
     try:
+        segment = shared_memory.SharedMemory(
+            create=True,
+            size=len(blob),
+            name=f"repro-{os.getpid()}-{secrets.token_hex(4)}",
+        )
         segment.buf[: len(blob)] = blob
         yield _init_worker_shm, (segment.name,)
     finally:
-        segment.close()
-        try:
-            segment.unlink()
-        except FileNotFoundError:
-            pass
+        if segment is not None:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
 
 
 def _evaluate_rows(rows, engine="dense"):
     """Worker task: valuate explicit ``(assignment, default)`` rows."""
+    inject("shard.evaluate")
     valuations = [
         Valuation(assignment, default=default) for assignment, default in rows
     ]
@@ -193,6 +223,7 @@ def _evaluate_span(sweep, start, stop, default, engine="dense"):
     baseline is cached on the worker's compiled set, so it is computed
     once per worker however many shards arrive.
     """
+    inject("shard.evaluate")
     return _WORKER_COMPILED.evaluate(
         sweep.iter_changes(start, stop), default, engine
     )
@@ -258,6 +289,15 @@ def _resolve_engine(compiled, scenarios, engine):
     return engine
 
 
+def _resolve_retry(retry):
+    """Normalize the ``retry`` argument to a ``RetryPolicy``."""
+    if retry is None:
+        return _DEFAULT_RETRY
+    if not isinstance(retry, RetryPolicy):
+        raise TypeError(f"retry must be a RetryPolicy, got {type(retry)!r}")
+    return retry
+
+
 # ---------------------------------------------------------------- serial
 
 
@@ -285,25 +325,204 @@ def _evaluate_serial(compiled, scenarios, default, chunk_size, engine):
 # --------------------------------------------------------------- parallel
 
 
-def _submit_stream(executor, tasks, max_inflight):
-    """Submit ``(fn, args)`` tasks with backpressure; yield ordered results.
+class _Shard:
+    """One unit of pool work plus its in-parent fallback.
 
-    Results come back in submission order — the reassembled matrix is
-    bit-identical to a serial pass over the same chunks.
+    ``fn(*args)`` runs in a worker; ``local()`` evaluates the same
+    shard in the parent (the quarantine degrade — bit-identical, since
+    both paths run the identical compiled evaluation over the identical
+    rows). ``meta`` carries caller bookkeeping through the healing
+    stream; ``failures`` is the per-shard retry ledger.
     """
-    pending = deque()
-    for fn, args in tasks:
-        while len(pending) >= max_inflight:
-            yield pending.popleft().result()
-        pending.append(executor.submit(fn, *args))
-    while pending:
-        yield pending.popleft().result()
+
+    __slots__ = ("fn", "args", "local", "token", "meta", "failures")
+
+    def __init__(self, fn, args, local, token, meta=None):
+        self.fn = fn
+        self.args = args
+        self.local = local
+        self.token = token
+        self.meta = meta
+        self.failures = 0
+
+
+#: Slot sentinel: the shard is quarantined — evaluate in-parent when it
+#: reaches the head of the queue.
+_LOCAL = object()
+
+#: Shard-iterator sentinel (shards themselves are never ``None``-like).
+_EXHAUSTED = object()
+
+
+class _Done:
+    """Slot wrapper for a result salvaged from a dying pool."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+def _terminate(executor):
+    """Tear an executor down without waiting on possibly-hung workers."""
+    executor.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(executor, "_processes", None)
+    for process in list(processes.values()) if processes else ():
+        process.terminate()
+
+
+def _healed_stream(shards, *, workers, initializer, initargs, retry,
+                   shard_timeout):
+    """Yield ``(shard, values)`` in submission order, healing failures.
+
+    The happy path matches the old submit stream: shards are submitted
+    with bounded in-flight backpressure and results are consumed from
+    the head of the queue, preserving submission order. Failure
+    handling layers on top:
+
+    * a shard whose future raises is resubmitted (head of the queue —
+      order never changes) after ``retry.delay`` backoff; after
+      ``retry.attempts`` failures it is quarantined to ``_LOCAL`` and
+      evaluated in the parent when it reaches the head;
+    * a broken pool or a head-shard timeout kills and respawns the
+      executor; every unfinished in-flight shard is charged one failure
+      (the culprit cannot be attributed, and charging all of them keeps
+      the respawn count finite) and resubmitted; results that completed
+      before the breakage are salvaged as ``_Done``;
+    * ``shard_timeout`` bounds the wait on the *oldest* outstanding
+      shard — the one every worker had first claim on — so a hung
+      worker cannot stall the sweep forever.
+
+    Correctness is unaffected by any of this: shards are pure functions
+    of ``(spec, start, stop)``, so whichever path finally answers one,
+    the bytes are the ones a serial pass would have produced.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FutureTimeout
+    from concurrent.futures.process import BrokenProcessPool
+
+    def spawn():
+        return ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        )
+
+    executor = spawn()
+    pending = deque()  # [shard, slot]; slot: Future | _Done | _LOCAL | None
+    respawns = 0
+    shard_iter = iter(shards)
+    max_inflight = workers * _INFLIGHT_PER_WORKER
+
+    def charge(shard):
+        """Record one failure; True once the shard should go local."""
+        shard.failures += 1
+        return shard.failures >= retry.attempts
+
+    def heal():
+        """Respawn the pool; salvage, charge, and resubmit in-flight."""
+        nonlocal executor, respawns
+        respawns += 1
+        _terminate(executor)
+        time.sleep(retry.delay(min(respawns, retry.attempts), "pool"))
+        executor = spawn()
+        for entry in pending:
+            shard, slot = entry
+            if slot is _LOCAL or slot is None or isinstance(slot, _Done):
+                continue
+            if (
+                slot.done()
+                and not slot.cancelled()
+                and slot.exception() is None
+            ):
+                entry[1] = _Done(slot.result())
+            else:
+                entry[1] = _LOCAL if charge(shard) else None
+        for entry in pending:
+            if entry[1] is None:
+                try:
+                    entry[1] = executor.submit(entry[0].fn, *entry[0].args)
+                except BrokenProcessPool:
+                    # Leave the slot None; the head loop re-heals. Every
+                    # round charges the in-flight shards, so this ends.
+                    return
+
+    try:
+        exhausted = False
+        while True:
+            while not exhausted and len(pending) < max_inflight:
+                shard = next(shard_iter, _EXHAUSTED)
+                if shard is _EXHAUSTED:
+                    exhausted = True
+                    break
+                try:
+                    slot = executor.submit(shard.fn, *shard.args)
+                except BrokenProcessPool:
+                    slot = None
+                pending.append([shard, slot])
+                if slot is None:
+                    heal()
+            if not pending:
+                break
+            shard, slot = pending[0]
+            if slot is _LOCAL:
+                pending.popleft()
+                yield shard, shard.local()
+                continue
+            if isinstance(slot, _Done):
+                pending.popleft()
+                yield shard, slot.value
+                continue
+            if slot is None:
+                try:
+                    pending[0][1] = executor.submit(shard.fn, *shard.args)
+                except BrokenProcessPool:
+                    heal()
+                continue
+            try:
+                values = slot.result(timeout=shard_timeout)
+            except FutureTimeout:
+                heal()
+                continue
+            except BrokenProcessPool:
+                heal()
+                continue
+            except Exception:
+                pending.popleft()
+                if charge(shard):
+                    pending.appendleft([shard, _LOCAL])
+                    continue
+                time.sleep(retry.delay(shard.failures, shard.token))
+                try:
+                    retried = executor.submit(shard.fn, *shard.args)
+                except BrokenProcessPool:
+                    retried = None
+                pending.appendleft([shard, retried])
+                if retried is None:
+                    heal()
+                continue
+            pending.popleft()
+            yield shard, values
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _span_local(compiled, sweep, start, stop, default, engine):
+    """Quarantine fallback: evaluate a sweep span in the parent."""
+    return compiled.evaluate(sweep.iter_changes(start, stop), default, engine)
+
+
+def _rows_local(compiled, rows, engine):
+    """Quarantine fallback: evaluate explicit rows in the parent."""
+    valuations = [
+        Valuation(assignment, default=default) for assignment, default in rows
+    ]
+    return compiled.evaluate(valuations, engine=engine)
 
 
 def evaluate_scenarios_parallel(polynomials, scenarios, *, workers,
                                 default=1.0, chunk_size=None,
                                 min_parallel=MIN_PARALLEL_SCENARIOS,
-                                engine="auto"):
+                                engine="auto", retry=None,
+                                shard_timeout=None):
     """Valuate a scenario family sharded across worker processes.
 
     :param polynomials: a :class:`~repro.core.polynomial.PolynomialSet`
@@ -323,6 +542,12 @@ def evaluate_scenarios_parallel(polynomials, scenarios, *, workers,
     :param engine: ``"dense"``, ``"delta"`` or ``"auto"`` (the
         default; see the module docstring). Bit-identical answers
         whichever engine runs.
+    :param retry: the :class:`~repro.util.retry.RetryPolicy` governing
+        shard retries and pool respawns (default: 3 attempts, 50 ms
+        base, 1 s cap). Healed results stay bit-identical to serial.
+    :param shard_timeout: seconds to wait on the oldest outstanding
+        shard before declaring its worker hung and respawning the pool
+        (``None`` — the default — waits forever).
     :returns: the ``(S, P)`` answer matrix — bit-identical to
         :meth:`PolynomialSet.evaluate_batch
         <repro.core.polynomial.PolynomialSet.evaluate_batch>` on the
@@ -331,6 +556,7 @@ def evaluate_scenarios_parallel(polynomials, scenarios, *, workers,
     compiled = _compiled_of(polynomials)
     workers = _resolve_workers(workers)
     engine = _resolve_engine(compiled, scenarios, engine)
+    retry = _resolve_retry(retry)
     if chunk_size is None:
         chunk_size = DEFAULT_CHUNK_SIZE
     if chunk_size < 1:
@@ -341,27 +567,38 @@ def evaluate_scenarios_parallel(polynomials, scenarios, *, workers,
         return _evaluate_serial(compiled, scenarios, default, chunk_size,
                                 engine)
 
-    from concurrent.futures import ProcessPoolExecutor
-
     if isinstance(scenarios, Sweep):
-        tasks = (
-            (_evaluate_span, (scenarios, start, stop, default, engine))
+        shards = (
+            _Shard(
+                _evaluate_span, (scenarios, start, stop, default, engine),
+                local=partial(_span_local, compiled, scenarios, start, stop,
+                              default, engine),
+                token=f"span-{start}",
+            )
             for start, stop in scenarios.chunks(chunk_size)
         )
     else:
-        tasks = (
-            (_evaluate_rows, (_coerce_rows(chunk, default), engine))
-            for chunk in _chunked(scenarios, chunk_size)
+        shards = (
+            _Shard(
+                _evaluate_rows, (rows, engine),
+                local=partial(_rows_local, compiled, rows, engine),
+                token=f"rows-{index}",
+            )
+            for index, rows in enumerate(
+                _coerce_rows(chunk, default)
+                for chunk in _chunked(scenarios, chunk_size)
+            )
         )
 
     blocks = []
     with _pool_setup(compiled) as (initializer, initargs):
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=initializer, initargs=initargs
-        ) as executor:
-            blocks.extend(
-                _submit_stream(executor, tasks, workers * _INFLIGHT_PER_WORKER)
+        blocks.extend(
+            values
+            for _, values in _healed_stream(
+                shards, workers=workers, initializer=initializer,
+                initargs=initargs, retry=retry, shard_timeout=shard_timeout,
             )
+        )
     if not blocks:
         return numpy.zeros((0, compiled.num_polynomials), dtype=numpy.float64)
     if len(blocks) == 1:
@@ -371,7 +608,7 @@ def evaluate_scenarios_parallel(polynomials, scenarios, *, workers,
 
 def iter_value_blocks(polynomials, scenarios, *, default=1.0, workers=None,
                       chunk_size=None, transform=None, materialize=True,
-                      engine="auto"):
+                      engine="auto", retry=None, shard_timeout=None):
     """Stream ``(start, scenarios_chunk, values_chunk)`` blocks.
 
     The O(k)-memory backbone of :func:`~repro.scenarios.analysis.top_k`
@@ -382,6 +619,9 @@ def iter_value_blocks(polynomials, scenarios, *, default=1.0, workers=None,
     for every input shape: Sweep shards ship as index ranges;
     generic iterables (and transformed entries — transforms run in the
     parent, they may close over un-picklable state) ship as plain rows.
+    Pool failures heal exactly as in
+    :func:`evaluate_scenarios_parallel` (same ``retry`` /
+    ``shard_timeout`` knobs), and blocks still arrive in order.
 
     :param transform: optional per-scenario callable applied before
         evaluation (e.g. lifting onto an artifact's meta-variables);
@@ -399,6 +639,7 @@ def iter_value_blocks(polynomials, scenarios, *, default=1.0, workers=None,
     compiled = _compiled_of(polynomials)
     workers = _resolve_workers(workers)
     engine = _resolve_engine(compiled, scenarios, engine)
+    retry = _resolve_retry(retry)
     if chunk_size is None:
         chunk_size = DEFAULT_CHUNK_SIZE
     if chunk_size < 1:
@@ -427,48 +668,40 @@ def iter_value_blocks(polynomials, scenarios, *, default=1.0, workers=None,
             start += len(chunk)
         return
 
-    from concurrent.futures import ProcessPoolExecutor
-
     if span_mode:
-        def tasks():
+        def shards():
             for start, stop in scenarios.chunks(chunk_size):
                 chunk = None if not materialize else (start, stop)
-                yield start, chunk, (
-                    _evaluate_span, (scenarios, start, stop, default, engine)
+                yield _Shard(
+                    _evaluate_span, (scenarios, start, stop, default, engine),
+                    local=partial(_span_local, compiled, scenarios, start,
+                                  stop, default, engine),
+                    token=f"span-{start}",
+                    meta=(start, chunk),
                 )
     else:
-        def tasks():
+        def shards():
             start = 0
             for chunk in _chunked(scenarios, chunk_size):
                 entries = chunk if transform is None else [
                     transform(entry) for entry in chunk
                 ]
                 rows = _coerce_rows(entries, default)
-                yield start, chunk, (_evaluate_rows, (rows, engine))
+                yield _Shard(
+                    _evaluate_rows, (rows, engine),
+                    local=partial(_rows_local, compiled, rows, engine),
+                    token=f"rows-{start}",
+                    meta=(start, chunk),
+                )
                 start += len(chunk)
 
-    max_inflight = workers * _INFLIGHT_PER_WORKER
     with _pool_setup(compiled) as (initializer, initargs):
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=initializer, initargs=initargs
-        ) as executor:
-            pending = deque()
-            for start, chunk, (fn, args) in tasks():
-                while len(pending) >= max_inflight:
-                    done_start, done_chunk, future = pending.popleft()
-                    yield (
-                        done_start,
-                        _realize(scenarios, done_chunk),
-                        future.result(),
-                    )
-                pending.append((start, chunk, executor.submit(fn, *args)))
-            while pending:
-                done_start, done_chunk, future = pending.popleft()
-                yield (
-                    done_start,
-                    _realize(scenarios, done_chunk),
-                    future.result(),
-                )
+        for shard, values in _healed_stream(
+            shards(), workers=workers, initializer=initializer,
+            initargs=initargs, retry=retry, shard_timeout=shard_timeout,
+        ):
+            start, chunk = shard.meta
+            yield start, _realize(scenarios, chunk), values
 
 
 def _realize(scenarios, chunk):

@@ -24,7 +24,9 @@ Endpoints (all JSON):
   from.
 * ``GET /artifacts/{id}`` — the artifact's stats (sizes, losses,
   ``mmap_active``) and residency.
-* ``GET /healthz`` — liveness, store counters, coalescing histogram.
+* ``GET /healthz`` — liveness, store counters, coalescing histogram,
+  and the resilience state (deadline/queue config, shed and timed-out
+  counts, per-artifact circuit-breaker states).
 
 Errors map by exception family (:mod:`repro.errors`): unknown artifact
 → 404, undecodable payloads → 400, infeasible bounds → 422, evaluation
@@ -44,9 +46,11 @@ from repro.errors import (
     ReproError,
     SerializeError,
 )
+from repro.faults import inject
 from repro.options import EvalOptions
 from repro.service.batcher import MicroBatcher
 from repro.service.http import HttpError, Request, serve_connection
+from repro.service.resilience import CircuitBreaker
 from repro.service.store import ArtifactStore
 
 if TYPE_CHECKING:
@@ -78,7 +82,22 @@ def _status_for(error: BaseException) -> int:
 
 
 class WhatIfService:
-    """The request handler: a store, a batcher, and the route table."""
+    """The request handler: a store, a batcher, and the route table.
+
+    Resilience knobs (all off/neutral by default so embedded uses and
+    tests opt in; ``python -m repro serve`` turns them on):
+
+    * ``deadline`` — per-request budget in seconds. The budget is
+      enforced at ``await`` points (a request parked in the batcher
+      past its deadline answers 504); the CPU-bound evaluator itself
+      runs synchronously on the loop and is bounded by ``max_batch``.
+    * ``max_pending`` — bounded admission: past this many in-flight
+      requests, new ones shed with 503 + ``Retry-After`` instead of
+      queueing unboundedly.
+    * ``breaker_threshold`` / ``breaker_cooldown`` — the per-artifact
+      :class:`~repro.service.resilience.CircuitBreaker` for repeated
+      map/eval failures.
+    """
 
     def __init__(
         self,
@@ -88,6 +107,10 @@ class WhatIfService:
         max_batch: int = 64,
         options: EvalOptions | None = None,
         warm_lift: bool = True,
+        deadline: float | None = None,
+        max_pending: int | None = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
     ) -> None:
         self.store = store
         self.batcher = MicroBatcher(window=window, max_batch=max_batch)
@@ -97,8 +120,19 @@ class WhatIfService:
         #: (what a naive server would do per request); answers are
         #: identical either way.
         self.warm_lift = bool(warm_lift)
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {deadline}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.deadline = deadline
+        self.max_pending = max_pending
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold, cooldown=breaker_cooldown
+        )
         self.started = time.monotonic()
         self.requests = 0
+        self.shed = 0
+        self.timed_out = 0
         self.closing = False
         self._inflight = 0
         self._idle = asyncio.Event()
@@ -110,11 +144,31 @@ class WhatIfService:
         """Dispatch one request; exceptions map via :data:`STATUS_OF`."""
         if self.closing:
             raise HttpError(503, "server is shutting down")
+        inject("service.request")
+        if self.max_pending is not None and self._inflight >= self.max_pending:
+            self.shed += 1
+            raise HttpError(
+                503,
+                f"admission queue full ({self._inflight} requests in "
+                f"flight, max_pending={self.max_pending})",
+                headers={"Retry-After": "1"},
+            )
         self.requests += 1
         self._inflight += 1
         self._idle.clear()
         try:
-            return await self._route(request)
+            if self.deadline is None:
+                return await self._route(request)
+            try:
+                return await asyncio.wait_for(
+                    self._route(request), self.deadline
+                )
+            except asyncio.TimeoutError:
+                self.timed_out += 1
+                raise HttpError(
+                    504,
+                    f"request exceeded its {self.deadline}s deadline",
+                ) from None
         except HttpError:
             raise
         except asyncio.CancelledError:
@@ -176,6 +230,14 @@ class WhatIfService:
                     )
                 },
             },
+            "resilience": {
+                "deadline_seconds": self.deadline,
+                "max_pending": self.max_pending,
+                "inflight": self._inflight,
+                "shed": self.shed,
+                "timed_out": self.timed_out,
+                "breakers": self.breaker.snapshot(),
+            },
         }
 
     def _create_artifact(self, request: Request) -> tuple[int, dict]:
@@ -213,7 +275,7 @@ class WhatIfService:
         ):
             raise HttpError(400, "'drift_limit' must be a number")
         options = EvalOptions.coerce(body.get("options"))
-        warm = self.store.get(artifact_id)
+        warm = self._fetch(artifact_id)
         added = parse_set(texts)
         with warnings.catch_warnings():
             # Spooled artifacts are always mmap-backed, so every service
@@ -228,17 +290,19 @@ class WhatIfService:
         # Re-spool under the new content hash; the unchanged cut lets
         # the warm lift index carry over instead of being rebuilt.
         new_id = self.store.put(result.artifact, warm_from=warm)
+        self.breaker.record_success(artifact_id)
         return 201, result.with_id(new_id).stats()
 
     def _describe_artifact(self, artifact_id: str) -> dict:
-        warm = self.store.get(artifact_id)
+        warm = self._fetch(artifact_id)
+        self.breaker.record_success(artifact_id)
         return {"id": artifact_id, "stats": warm.artifact.stats()}
 
     async def _ask(
         self, artifact_id: str, request: Request
     ) -> tuple[int, dict]:
         body = _require_object(request.json(), "ask request")
-        warm = self.store.get(artifact_id)
+        warm = self._fetch(artifact_id)
         default = body.get("default", 1.0)
         if not isinstance(default, (int, float)) or isinstance(default, bool):
             raise HttpError(400, "'default' must be a number")
@@ -250,7 +314,9 @@ class WhatIfService:
             answer = await self.batcher.submit(
                 (artifact_id, default, options),
                 scenario,
-                lambda items: self._evaluate(warm, items, default, options),
+                lambda items: self._evaluate(
+                    warm, items, default, options, artifact_id=artifact_id
+                ),
             )
             return 200, {"answers": [_answer_json(answer)]}
         if "scenarios" in body:
@@ -261,9 +327,27 @@ class WhatIfService:
                 _scenario_from(entry, index=index)
                 for index, entry in enumerate(entries)
             ]
-            answers = self._evaluate(warm, scenarios, default, options)
+            answers = self._evaluate(
+                warm, scenarios, default, options, artifact_id=artifact_id
+            )
             return 200, {"answers": [_answer_json(a) for a in answers]}
         raise HttpError(400, "missing 'scenario' (one) or 'scenarios' (many)")
+
+    def _fetch(self, artifact_id: str) -> WarmArtifact:
+        """Breaker-guarded store fetch.
+
+        Map/decode failures (fault site ``store.map``, tampered files)
+        count against the artifact's breaker; a 404 is the client's
+        problem, not the artifact's health.
+        """
+        self.breaker.admit(artifact_id)
+        try:
+            return self.store.get(artifact_id)
+        except ArtifactNotFound:
+            raise
+        except Exception:
+            self.breaker.record_failure(artifact_id)
+            raise
 
     def _evaluate(
         self,
@@ -271,22 +355,32 @@ class WhatIfService:
         scenarios: list,
         default: float,
         options: EvalOptions,
+        *,
+        artifact_id: str | None = None,
     ) -> list[Answer]:
         """One batched evaluator call; unexpected failures become
         :class:`~repro.errors.EvaluationError` (one 500, not a dropped
-        connection per waiter)."""
+        connection per waiter). Outcomes feed the artifact's breaker."""
         try:
             if self.warm_lift:
-                return warm.ask_many(
+                answers = warm.ask_many(
                     scenarios, default=default, options=options)
-            return warm.artifact.ask_many(
-                scenarios, default=default, options=options)
+            else:
+                answers = warm.artifact.ask_many(
+                    scenarios, default=default, options=options)
         except ReproError:
+            if artifact_id is not None:
+                self.breaker.record_failure(artifact_id)
             raise
         except Exception as error:
+            if artifact_id is not None:
+                self.breaker.record_failure(artifact_id)
             raise EvaluationError(
                 f"scenario evaluation failed: {type(error).__name__}: {error}"
             ) from error
+        if artifact_id is not None:
+            self.breaker.record_success(artifact_id)
+        return answers
 
     # -------------------------------------------------------------- lifecycle
 
@@ -344,12 +438,18 @@ async def start_service(
     max_batch: int = 64,
     options: EvalOptions | None = None,
     warm_lift: bool = True,
+    deadline: float | None = None,
+    max_pending: int | None = None,
+    breaker_threshold: int = 5,
+    breaker_cooldown: float = 30.0,
 ) -> ServiceServer:
     """Bind the what-if service; returns the running server handle."""
     store = ArtifactStore(spool, capacity=capacity)
     service = WhatIfService(
         store, window=window, max_batch=max_batch, options=options,
-        warm_lift=warm_lift,
+        warm_lift=warm_lift, deadline=deadline, max_pending=max_pending,
+        breaker_threshold=breaker_threshold,
+        breaker_cooldown=breaker_cooldown,
     )
     handle: ServiceServer
 

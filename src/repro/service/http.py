@@ -52,15 +52,26 @@ _REASONS = {
     500: "Internal Server Error",
     501: "Not Implemented",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
 class HttpError(Exception):
-    """A protocol-level failure with the status it maps to."""
+    """A protocol-level failure with the status it maps to.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``headers`` carries extra response headers — the backpressure and
+    circuit-breaker 503s use it for ``Retry-After``.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.headers = headers
 
 
 @dataclass
@@ -143,17 +154,25 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
 
 
 def render_response(
-    status: int, payload: dict, *, keep_alive: bool
+    status: int,
+    payload: dict,
+    *,
+    keep_alive: bool,
+    headers: dict[str, str] | None = None,
 ) -> bytes:
     """An HTTP/1.1 response with a JSON body, as wire bytes."""
     body = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
     reason = _REASONS.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {connection}\r\n"
+        f"{extra}"
         f"\r\n"
     )
     return head.encode("latin-1") + body
@@ -177,7 +196,7 @@ async def serve_connection(
             except HttpError as error:
                 writer.write(render_response(
                     error.status, _error_payload(error.status, str(error)),
-                    keep_alive=False,
+                    keep_alive=False, headers=error.headers,
                 ))
                 await writer.drain()
                 return
@@ -190,12 +209,14 @@ async def serve_connection(
             if request is None:
                 return
             keep_alive = request.keep_alive
+            extra_headers = None
             try:
                 status, payload = await handler(request)
             except HttpError as error:
                 status, payload = error.status, _error_payload(
                     error.status, str(error)
                 )
+                extra_headers = error.headers
             except asyncio.CancelledError:
                 raise
             except Exception as error:
@@ -205,7 +226,7 @@ async def serve_connection(
                 )
                 keep_alive = False
             writer.write(render_response(
-                status, payload, keep_alive=keep_alive
+                status, payload, keep_alive=keep_alive, headers=extra_headers
             ))
             await writer.drain()
             if not keep_alive:

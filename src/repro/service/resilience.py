@@ -1,0 +1,118 @@
+"""Service-side resilience primitives: circuit breaker state machine.
+
+The what-if service's failure domain is *per artifact*: a corrupt
+``.rpb`` file or a pathological polynomial set makes every map/eval
+against that one id fail, while the rest of the store stays healthy.
+:class:`CircuitBreaker` keeps that blast radius contained — after
+``threshold`` consecutive failures for an id the breaker *opens* and
+requests for it are refused outright (503 + ``Retry-After``) instead
+of burning an evaluation each time. After ``cooldown`` seconds one
+trial request is let through (*half-open*): success closes the
+breaker, failure re-opens it for another cooldown.
+
+The breaker is deliberately synchronous and unlocked: the service runs
+single-threaded on the event loop, and every transition happens inside
+one request handler call.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service.http import HttpError
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class _Breaker:
+    """Per-key breaker state (consecutive failures + trip clock)."""
+
+    __slots__ = ("state", "failures", "opened_at", "trips")
+
+    def __init__(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.trips = 0
+
+
+class CircuitBreaker:
+    """Per-key circuit breaking for repeated map/eval failures.
+
+    :param threshold: consecutive failures that trip a key's breaker.
+    :param cooldown: seconds an open breaker refuses requests before
+        letting one trial through.
+    :param clock: injectable monotonic clock (tests pin time).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._breakers: dict[str, _Breaker] = {}
+
+    def admit(self, key: str) -> None:
+        """Gate a request for ``key``; raise 503 while its breaker is open.
+
+        An open breaker past its cooldown flips to half-open and admits
+        the caller as the trial request.
+        """
+        breaker = self._breakers.get(key)
+        if breaker is None or breaker.state == CLOSED:
+            return
+        if breaker.state == OPEN:
+            remaining = breaker.opened_at + self.cooldown - self._clock()
+            if remaining > 0:
+                raise HttpError(
+                    503,
+                    f"circuit breaker open for artifact {key} after "
+                    f"{breaker.failures} consecutive failures; retry in "
+                    f"{remaining:.1f}s",
+                    headers={"Retry-After": str(max(1, int(remaining + 1)))},
+                )
+            breaker.state = HALF_OPEN
+
+    def record_failure(self, key: str) -> None:
+        """Count a map/eval failure; trip the breaker at the threshold.
+
+        A failed half-open trial re-opens immediately — one failure is
+        enough evidence that the cooldown did not help.
+        """
+        breaker = self._breakers.setdefault(key, _Breaker())
+        breaker.failures += 1
+        if breaker.state == HALF_OPEN or breaker.failures >= self.threshold:
+            if breaker.state != OPEN:
+                breaker.trips += 1
+            breaker.state = OPEN
+            breaker.opened_at = self._clock()
+
+    def record_success(self, key: str) -> None:
+        """A request for ``key`` completed: close and reset its breaker."""
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            return
+        breaker.state = CLOSED
+        breaker.failures = 0
+
+    def snapshot(self) -> dict:
+        """Health-report view: only keys that ever failed appear."""
+        return {
+            key: {
+                "state": breaker.state,
+                "consecutive_failures": breaker.failures,
+                "trips": breaker.trips,
+            }
+            for key, breaker in self._breakers.items()
+            if breaker.failures or breaker.state != CLOSED or breaker.trips
+        }

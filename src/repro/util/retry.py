@@ -1,0 +1,85 @@
+"""Capped exponential backoff with seeded jitter.
+
+:class:`RetryPolicy` is the one retry knob shared by the self-healing
+parallel sweeps (`repro.scenarios.parallel`), the artifact store's
+spool-write loop (`repro.service.store`), and the CI service probe
+(`benchmarks/probe_service.py`). Jitter is drawn from
+:func:`repro.util.rng.derive_rng`, so two runs with the same policy and
+token sleep for exactly the same spans — chaos tests stay reproducible
+down to the backoff schedule.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.util.rng import derive_rng
+
+if TYPE_CHECKING:
+    from collections.abc import Callable
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry a fallible operation.
+
+    :param attempts: total tries (first call included); must be >= 1.
+    :param base_delay: seconds slept after the first failure.
+    :param max_delay: cap on the exponential growth.
+    :param jitter: fractional spread added on top of the capped delay
+        (``0.25`` → up to +25%); drawn deterministically from ``seed``.
+    :param seed: root seed for the jitter stream.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+    def delay(self, attempt: int, token: str = "retry") -> float:
+        """Seconds to sleep after failed attempt ``attempt`` (1-based).
+
+        Capped exponential in ``attempt`` plus deterministic jitter:
+        the same ``(policy, token, attempt)`` always yields the same
+        span, so a healed run's timing is as reproducible as its data.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        span = min(self.base_delay * (2 ** (attempt - 1)), self.max_delay)
+        if not self.jitter or not span:
+            return span
+        rng = derive_rng(self.seed, f"{token}:{attempt}")
+        return span * (1.0 + self.jitter * rng.random())
+
+    def call(
+        self,
+        operation: Callable[[], object],
+        *,
+        retry_on: tuple[type[BaseException], ...] = (OSError,),
+        token: str = "retry",
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> object:
+        """Run ``operation`` under this policy; return its result.
+
+        Retries on ``retry_on`` with backoff between attempts; the last
+        failure propagates unwrapped once the budget is exhausted.
+        """
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return operation()
+            except retry_on:
+                if attempt == self.attempts:
+                    raise
+                sleep(self.delay(attempt, token))
+        raise AssertionError("unreachable")  # pragma: no cover

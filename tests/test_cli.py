@@ -487,3 +487,14 @@ class TestSweep:
         with pytest.raises(SystemExit):
             main(["sweep", provenance, "--grid", "nogroup",
                   "--multipliers", "0.5"])
+
+
+class TestServe:
+    def test_negative_deadline_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="--deadline must be >= 0"):
+            main(["serve", "--spool-dir", str(tmp_path), "--deadline", "-1"])
+
+    def test_negative_max_pending_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="--max-pending must be >= 0"):
+            main(["serve", "--spool-dir", str(tmp_path),
+                  "--max-pending", "-5"])

@@ -1,0 +1,186 @@
+"""`repro.faults`: deterministic, seeded fault injection.
+
+The contract: a :class:`FaultPlan` is a *schedule*. The same plan
+against the same call sequence fires the same faults — in-process
+(exact per-site call counts), and across a process tree (environment
+propagation plus atomic once-tokens).
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    CRASH_STATUS,
+    ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    inject,
+    installed,
+)
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    """No plan survives into (or out of) any test in this module."""
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec("worker.start", "meteor")
+
+    def test_unknown_site_rejected_unless_dotted(self):
+        with pytest.raises(ValueError, match="site"):
+            FaultSpec("workerstart", "crash")
+        assert FaultSpec("test.adhoc", "exception").site == "test.adhoc"
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("worker.start", "crash", at=0)
+        with pytest.raises(ValueError):
+            FaultSpec("worker.start", "crash", count=0)
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            [
+                FaultSpec("worker.start", "crash", once=True),
+                FaultSpec("store.spool_write", "corrupt", at=2, offset=7,
+                          seed=3),
+            ],
+            token_dir=tmp_path,
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.specs == plan.specs
+        assert clone.token_dir == str(tmp_path)
+
+    def test_once_requires_token_dir(self):
+        with pytest.raises(ValueError, match="token_dir"):
+            FaultPlan([FaultSpec("worker.start", "crash", once=True)])
+
+    def test_fires_on_exact_call_count(self):
+        plan = FaultPlan([FaultSpec("test.site", "exception", at=3)])
+        with installed(plan):
+            inject("test.site")
+            inject("test.site")
+            with pytest.raises(InjectedFault):
+                inject("test.site")
+            inject("test.site")
+        assert plan.counts() == {"test.site": 4}
+
+    def test_count_widens_the_firing_window(self):
+        plan = FaultPlan([FaultSpec("test.site", "exception", at=2, count=2)])
+        with installed(plan):
+            inject("test.site")
+            with pytest.raises(InjectedFault):
+                inject("test.site")
+            with pytest.raises(InjectedFault):
+                inject("test.site")
+            inject("test.site")
+
+    def test_delay_kind_sleeps(self):
+        plan = FaultPlan([FaultSpec("test.site", "delay", delay=0.15)])
+        with installed(plan):
+            began = time.monotonic()
+            inject("test.site")
+            assert time.monotonic() - began >= 0.14
+
+    def test_corrupt_flips_exactly_one_bit_deterministically(self, tmp_path):
+        original = bytes(range(64))
+        first, second = tmp_path / "a.bin", tmp_path / "b.bin"
+        first.write_bytes(original)
+        second.write_bytes(original)
+        spec = FaultSpec("store.spool_write", "corrupt", seed=7)
+        with installed(FaultPlan([spec])):
+            inject("store.spool_write", path=first)
+        with installed(FaultPlan([spec])):
+            inject("store.spool_write", path=second)
+        mutated = first.read_bytes()
+        assert mutated == second.read_bytes()  # same seed, same flip
+        assert mutated != original
+        flipped = sum(
+            bin(x ^ y).count("1") for x, y in zip(mutated, original)
+        )
+        assert flipped == 1
+
+    def test_corrupt_offset_pins_the_byte(self, tmp_path):
+        target = tmp_path / "pinned.bin"
+        target.write_bytes(bytes(32))
+        spec = FaultSpec("store.spool_write", "corrupt", offset=0)
+        with installed(FaultPlan([spec])):
+            inject("store.spool_write", path=target)
+        mutated = target.read_bytes()
+        assert mutated[0] != 0
+        assert mutated[1:] == bytes(31)
+
+    def test_corrupt_without_path_context_raises(self):
+        plan = FaultPlan([FaultSpec("test.site", "corrupt")])
+        with installed(plan):
+            with pytest.raises(ValueError, match="path"):
+                inject("test.site")
+
+    def test_once_fires_exactly_once_across_plan_instances(self, tmp_path):
+        spec = FaultSpec("test.site", "exception", once=True)
+        with installed(FaultPlan([spec], token_dir=tmp_path)):
+            with pytest.raises(InjectedFault):
+                inject("test.site")
+        # A fresh plan instance (fresh counters — a respawned worker)
+        # sees the claimed token and stays quiet.
+        with installed(FaultPlan([spec], token_dir=tmp_path)):
+            inject("test.site")
+
+
+class TestInstallation:
+    def test_inject_without_plan_is_a_noop(self):
+        inject("worker.start")
+        inject("not.wired", path="ignored")
+        assert active_plan() is None
+
+    def test_installed_sets_and_clears_plan_and_env(self):
+        plan = FaultPlan([FaultSpec("test.site", "delay", delay=0.0)])
+        with installed(plan, env=True):
+            assert active_plan() is plan
+            assert FaultPlan.from_json(os.environ[ENV_VAR]).specs == plan.specs
+        assert active_plan() is None
+        assert ENV_VAR not in os.environ
+
+    def test_env_plan_loads_lazily_on_first_inject(self, monkeypatch):
+        plan = FaultPlan([FaultSpec("test.lazy", "exception")])
+        monkeypatch.setenv(ENV_VAR, plan.to_json())
+        assert active_plan() is None
+        with pytest.raises(InjectedFault):
+            inject("test.lazy")
+        assert active_plan() is not None
+
+    def test_crash_kind_exits_with_the_crash_status(self):
+        plan = FaultPlan([FaultSpec("test.crash", "crash")])
+        env = dict(os.environ)
+        env[ENV_VAR] = plan.to_json()
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        code = (
+            "from repro.faults import inject\n"
+            "inject('test.crash')\n"
+            "raise SystemExit(99)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True
+        )
+        assert proc.returncode == CRASH_STATUS
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

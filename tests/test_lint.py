@@ -148,11 +148,17 @@ class TestReadOnlyViews:
 
 class TestSharedMemoryLifecycle:
     def test_fires_on_create_without_unlink(self, tmp_path):
+        # try/finally keeps RPL011 quiet: this fixture isolates the
+        # missing-unlink contract, not the leak-on-exception one.
         findings = lint_tree(tmp_path, {
             "scenarios/pool.py": """\
                 from multiprocessing.shared_memory import SharedMemory
                 def setup(size):
-                    return SharedMemory(create=True, size=size)
+                    segment = SharedMemory(create=True, size=size)
+                    try:
+                        return segment
+                    finally:
+                        segment.close()
                 """,
         })
         assert codes(findings) == ["RPL003"]
@@ -379,6 +385,63 @@ class TestMutationContract:
                     return target.extend(polynomials)
                 """,
         }, select={"RPL010"}) == []
+
+
+class TestResourceLifecycle:
+    def test_fires_on_unprotected_mkstemp(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/store.py": """\
+                import tempfile
+                def spool(root):
+                    handle, name = tempfile.mkstemp(dir=root)
+                    return handle, name
+                """,
+        }, select={"RPL011"})
+        assert codes(findings) == ["RPL011"]
+        assert "mkstemp" in findings[0].message
+
+    def test_fires_on_bare_create_and_install(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "tests/test_chaos.py": """\
+                from multiprocessing.shared_memory import SharedMemory
+                from repro import faults
+                def run(plan, size):
+                    faults.install(plan)
+                    segment = SharedMemory(create=True, size=size)
+                    return segment
+                """,
+        }, select={"RPL011"})
+        assert codes(findings) == ["RPL011", "RPL011"]
+        assert "install" in findings[0].message
+        assert "SharedMemory" in findings[1].message
+
+    def test_silent_on_protected_acquisitions(self, tmp_path):
+        assert lint_tree(tmp_path, {
+            "service/store.py": """\
+                import os
+                import tempfile
+                def spool(root, blob):
+                    handle, name = tempfile.mkstemp(dir=root)
+                    try:
+                        os.write(handle, blob)
+                    finally:
+                        os.close(handle)
+                        os.unlink(name)
+                    return name
+                """,
+            "tests/test_chaos.py": """\
+                from repro import faults
+                def run_ctx(plan):
+                    with faults.installed(plan):
+                        return 1
+                def run_manual(plan):
+                    faults.install(plan)
+                    try:
+                        return 1
+                    finally:
+                        faults.uninstall()
+                """,
+        }, select={"RPL011"}) == []
 
 
 class TestExactCoefficients:
